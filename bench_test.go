@@ -1,0 +1,420 @@
+package pathalias
+
+// Benchmark harness: one benchmark (or benchmark pair) per experiment with
+// a performance dimension, as indexed in DESIGN.md §4. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see EXPERIMENTS.md for paper-vs-measured discussion.
+
+import (
+	"fmt"
+	"testing"
+
+	"pathalias/internal/arena"
+	"pathalias/internal/cost"
+	"pathalias/internal/hash"
+	"pathalias/internal/lexer"
+	"pathalias/internal/mapgen"
+	"pathalias/internal/mapper"
+	"pathalias/internal/parser"
+	"pathalias/internal/printer"
+)
+
+// --- E1: cost expression evaluation -----------------------------------
+
+func BenchmarkE1CostExpr(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := cost.Eval("HOURLY*3 + (DIRECT+DEMAND)/2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: the paper's example map, full pipeline ------------------------
+
+func BenchmarkE4PaperMap(b *testing.B) {
+	const src = `unc	duke(HOURLY), phs(HOURLY*4)
+duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs	unc(HOURLY*4), duke(HOURLY)
+research	duke(DEMAND), ucbvax(DEMAND)
+ucbvax	research(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunString(Options{LocalHost: "unc"}, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: clique vs hub representation at growing network sizes ---------
+
+func cliqueMap(n int) string {
+	var sb []byte
+	sb = append(sb, "local m0(5)\n"...)
+	for i := 0; i < n; i++ {
+		sb = append(sb, fmt.Sprintf("m%d ", i)...)
+		first := true
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if !first {
+				sb = append(sb, ", "...)
+			}
+			sb = append(sb, fmt.Sprintf("m%d(50)", j)...)
+			first = false
+		}
+		sb = append(sb, '\n')
+	}
+	return string(sb)
+}
+
+func hubMap(n int) string {
+	var sb []byte
+	sb = append(sb, "local m0(5)\nNET = {"...)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb = append(sb, ", "...)
+		}
+		sb = append(sb, fmt.Sprintf("m%d", i)...)
+	}
+	sb = append(sb, "}(50)\n"...)
+	return string(sb)
+}
+
+func benchPipeline(b *testing.B, src string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunString(Options{LocalHost: "local"}, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5CliqueVsHub(b *testing.B) {
+	for _, n := range []int{50, 200, 500} {
+		b.Run(fmt.Sprintf("clique-%d", n), func(b *testing.B) { benchPipeline(b, cliqueMap(n)) })
+		b.Run(fmt.Sprintf("hub-%d", n), func(b *testing.B) { benchPipeline(b, hubMap(n)) })
+	}
+}
+
+// --- E8: hand scanner vs lex-style scanner on full-scale map text ------
+
+func scannerInput() []byte {
+	inputs, _ := mapgen.Generate(mapgen.Default1986())
+	src := append([]byte{}, inputs[0].Src...)
+	return append(src, inputs[1].Src...)
+}
+
+func BenchmarkE8HandScanner(b *testing.B) {
+	src := scannerInput()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := lexer.NewScanner("bench", src)
+		for {
+			tok, err := s.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == lexer.EOF {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkE8SlowScanner(b *testing.B) {
+	src := scannerInput()
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := lexer.NewSlowScanner("bench", src)
+		for {
+			tok, err := s.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == lexer.EOF {
+				break
+			}
+		}
+	}
+}
+
+// --- E9: allocation strategies under the parse-phase burst -------------
+
+type benchNode struct {
+	name  string
+	id    int
+	next  *benchNode
+	cost  int64
+	flags uint32
+}
+
+const e9Burst = 28500 // ≈ the paper's node+link allocation volume
+
+func BenchmarkE9Arena(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := arena.NewPool[benchNode](arena.DefaultSlabSize)
+		var head *benchNode
+		for j := 0; j < e9Burst; j++ {
+			n := p.New()
+			n.id = j
+			n.next = head
+			head = n
+		}
+		if head == nil {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkE9NaiveAlloc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var head *benchNode
+		for j := 0; j < e9Burst; j++ {
+			n := new(benchNode)
+			n.id = j
+			n.next = head
+			head = n
+		}
+		if head == nil {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkE9FreeList(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var f arena.FreeList[benchNode]
+		var head *benchNode
+		for j := 0; j < e9Burst; j++ {
+			n := f.New()
+			n.id = j
+			n.next = head
+			head = n
+		}
+		if head == nil {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// --- E10: hash table design choices ------------------------------------
+
+func e10Keys() []string {
+	keys := make([]string, 8500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("site%d.grp%d", i, i%131)
+	}
+	return keys
+}
+
+func benchHash(b *testing.B, sv hash.SecondaryVariant, gp hash.GrowthPolicy) {
+	keys := e10Keys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := hash.NewWith[int](sv, gp)
+		for j, k := range keys {
+			tab.Insert(k, j)
+		}
+		for _, k := range keys {
+			if _, ok := tab.Lookup(k); !ok {
+				b.Fatal("lost key")
+			}
+		}
+	}
+}
+
+func BenchmarkE10HashInverseFib(b *testing.B) {
+	benchHash(b, hash.SecondaryInverse, hash.GrowFibonacci)
+}
+func BenchmarkE10HashKnuthFib(b *testing.B) {
+	benchHash(b, hash.SecondaryKnuth, hash.GrowFibonacci)
+}
+func BenchmarkE10HashInverseDoubling(b *testing.B) {
+	benchHash(b, hash.SecondaryInverse, hash.GrowDoubling)
+}
+func BenchmarkE10HashInverseLowWater(b *testing.B) {
+	benchHash(b, hash.SecondaryInverse, hash.GrowLowWater)
+}
+func BenchmarkE10GoMapBaseline(b *testing.B) {
+	keys := e10Keys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := make(map[string]int)
+		for j, k := range keys {
+			m[k] = j
+		}
+		for _, k := range keys {
+			if _, ok := m[k]; !ok {
+				b.Fatal("lost key")
+			}
+		}
+	}
+}
+
+// --- E11: heap vs O(v²) Dijkstra across graph sizes ---------------------
+
+func e11Graph(b *testing.B, n int) (*parser.Result, string) {
+	b.Helper()
+	inputs, local := mapgen.Generate(mapgen.Scaled(n, int64(n)))
+	res, err := parser.Parse(inputs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res, local
+}
+
+func BenchmarkE11HeapDijkstra(b *testing.B) {
+	for _, n := range []int{500, 2000, 8500} {
+		b.Run(fmt.Sprintf("v%d", n), func(b *testing.B) {
+			res, local := e11Graph(b, n)
+			src, _ := res.Graph.Lookup(local)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapper.Run(res.Graph, src, mapper.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE11ArrayDijkstra(b *testing.B) {
+	for _, n := range []int{500, 2000, 8500} {
+		b.Run(fmt.Sprintf("v%d", n), func(b *testing.B) {
+			res, local := e11Graph(b, n)
+			src, _ := res.Graph.Lookup(local)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapper.RunArray(res.Graph, src, mapper.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E13 ablation: penalty heuristics on/off at full scale --------------
+
+func BenchmarkE13Heuristics(b *testing.B) {
+	inputs, local := mapgen.Generate(mapgen.Default1986())
+	res, err := parser.Parse(inputs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := res.Graph.Lookup(local)
+
+	configs := []struct {
+		name string
+		opts mapper.Options
+	}{
+		{"all-on", mapper.DefaultOptions()},
+		{"no-penalties", func() mapper.Options {
+			o := mapper.DefaultOptions()
+			o.MixedPenalty, o.GatewayPenalty, o.DomainRelayPenalty = 0, 0, 0
+			return o
+		}()},
+		{"second-best", func() mapper.Options {
+			o := mapper.DefaultOptions()
+			o.SecondBest = true
+			return o
+		}()},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mapper.Run(res.Graph, src, c.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E17: the full pipeline at 1986 scale, by phase ----------------------
+
+func BenchmarkE17FullPipeline(b *testing.B) {
+	inputs, local := mapgen.Generate(mapgen.Default1986())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := parser.Parse(inputs...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		src, _ := res.Graph.Lookup(local)
+		mres, err := mapper.Run(res.Graph, src, mapper.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if entries := printer.Routes(mres, printer.Options{}); len(entries) < 8000 {
+			b.Fatalf("only %d routes", len(entries))
+		}
+	}
+}
+
+func BenchmarkE17ParsePhase(b *testing.B) {
+	inputs, _ := mapgen.Generate(mapgen.Default1986())
+	total := 0
+	for _, in := range inputs {
+		total += len(in.Src)
+	}
+	b.SetBytes(int64(total))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parser.Parse(inputs...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE17MapPhase(b *testing.B) {
+	inputs, local := mapgen.Generate(mapgen.Default1986())
+	res, err := parser.Parse(inputs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := res.Graph.Lookup(local)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mapper.Run(res.Graph, src, mapper.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE17PrintPhase(b *testing.B) {
+	inputs, local := mapgen.Generate(mapgen.Default1986())
+	res, err := parser.Parse(inputs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, _ := res.Graph.Lookup(local)
+	mres, err := mapper.Run(res.Graph, src, mapper.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if entries := printer.Routes(mres, printer.Options{}); len(entries) < 8000 {
+			b.Fatalf("only %d routes", len(entries))
+		}
+	}
+}

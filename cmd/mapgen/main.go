@@ -1,0 +1,79 @@
+// Command mapgen generates synthetic connectivity maps at 1986 network
+// scale, the documented substitute for the historical UUCP map data
+// (DESIGN.md §3).
+//
+// Usage:
+//
+//	mapgen [-hosts n] [-links n] [-seed n] [-scale preset] [-o dir]
+//
+// With -o, the generated files (core.map, overlay.map) are written into
+// the directory; otherwise both are concatenated to standard output with
+// file{} boundaries so the stream stays semantically equivalent.
+//
+// Presets: "1986" (the paper's scale: 5,700+2,800 hosts, 28,000 links),
+// "small" (a few hundred hosts, for experiments).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pathalias/internal/mapgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mapgen", flag.ContinueOnError)
+	var (
+		hosts = fs.Int("hosts", 0, "core host count (overrides preset)")
+		seed  = fs.Int64("seed", 1986, "random seed")
+		scale = fs.String("scale", "1986", `preset: "1986" or "small"`)
+		out   = fs.String("o", "", "output directory (default: stdout)")
+	)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cfg mapgen.Config
+	switch *scale {
+	case "1986":
+		cfg = mapgen.Default1986()
+	case "small":
+		cfg = mapgen.Small()
+	default:
+		fmt.Fprintf(stderr, "mapgen: unknown scale %q\n", *scale)
+		return 2
+	}
+	cfg.Seed = *seed
+	if *hosts > 0 {
+		cfg = mapgen.Scaled(*hosts, *seed)
+	}
+
+	inputs, local := mapgen.Generate(cfg)
+	if *out == "" {
+		for _, in := range inputs {
+			// file{} keeps private scoping correct in the merged stream.
+			fmt.Fprintf(stdout, "file {%s}\n", in.Name)
+			stdout.Write(in.Src)
+		}
+		fmt.Fprintf(stderr, "mapgen: suggested local host: %s\n", local)
+		return 0
+	}
+	for _, in := range inputs {
+		path := filepath.Join(*out, in.Name)
+		if err := os.WriteFile(path, in.Src, 0o644); err != nil {
+			fmt.Fprintf(stderr, "mapgen: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "mapgen: wrote %s (%d bytes)\n", path, len(in.Src))
+	}
+	fmt.Fprintf(stderr, "mapgen: suggested local host: %s\n", local)
+	return 0
+}

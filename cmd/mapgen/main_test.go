@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStdoutStream(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scale", "small"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "file {core.map}") || !strings.Contains(text, "file {overlay.map}") {
+		t.Error("file{} boundaries missing from merged stream")
+	}
+	if !strings.Contains(errb.String(), "suggested local host: host0") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestOutputDirectory(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	if code := run([]string{"-scale", "small", "-o", dir}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"core.map", "overlay.map"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestHostsOverride(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-hosts", "100", "-seed", "7"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out.String(), "host99") {
+		t.Error("scaled map missing expected hosts")
+	}
+	if strings.Contains(out.String(), "host500") {
+		t.Error("scaled map larger than requested")
+	}
+}
+
+func TestUnknownScale(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-scale", "galactic"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d want 2", code)
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var out1, out2, errb strings.Builder
+	run([]string{"-scale", "small", "-seed", "5"}, &out1, &errb)
+	run([]string{"-scale", "small", "-seed", "5"}, &out2, &errb)
+	if out1.String() != out2.String() {
+		t.Error("same seed produced different maps")
+	}
+}

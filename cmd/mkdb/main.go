@@ -1,0 +1,69 @@
+// Command mkdb converts pathalias's linear output into a normalized route
+// database file — "a separate program may be used to convert this file
+// into a format appropriate for rapid database retrieval" (the paper,
+// OUTPUT section).
+//
+// Usage:
+//
+//	pathalias -l here map | mkdb -o routes.db
+//	mkdb routes.txt -o routes.db
+//
+// The output is sorted, deduplicated (cheapest route per host), and
+// always in the three-field "cost\thost\troute" form, ready for uupath.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pathalias/internal/routedb"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mkdb", flag.ContinueOnError)
+	out := fs.String("o", "", "output file (default: stdout)")
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "mkdb: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		in = f
+	}
+
+	db, err := routedb.Load(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "mkdb: %v\n", err)
+		return 1
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "mkdb: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := db.WriteTo(w); err != nil {
+		fmt.Fprintf(stderr, "mkdb: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "mkdb: %d routes\n", db.Len())
+	return 0
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStdinToStdout(t *testing.T) {
+	in := strings.NewReader("zeta\tzeta!%s\nalpha\talpha!%s\n")
+	var out, errb strings.Builder
+	if code := run(nil, in, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	// Sorted, normalized to three-field form.
+	want := "0\talpha\talpha!%s\n0\tzeta\tzeta!%s\n"
+	if out.String() != want {
+		t.Errorf("output = %q want %q", out.String(), want)
+	}
+	if !strings.Contains(errb.String(), "2 routes") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestFileToFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "routes.txt")
+	outPath := filepath.Join(dir, "routes.db")
+	if err := os.WriteFile(in, []byte("500\tduke\tduke!%s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb strings.Builder
+	if code := run([]string{"-o", outPath, in}, nil, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "500\tduke\tduke!%s\n" {
+		t.Errorf("db = %q", data)
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	in := strings.NewReader("not-a-route-line\n")
+	var out, errb strings.Builder
+	if code := run(nil, in, &out, &errb); code != 1 {
+		t.Errorf("exit %d want 1", code)
+	}
+}
+
+func TestMissingInputFile(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"/nonexistent"}, nil, &out, &errb); code != 1 {
+		t.Errorf("exit %d want 1", code)
+	}
+}

@@ -1,0 +1,121 @@
+// Command pathalias computes electronic mail routes from network
+// connectivity maps, reproducing the classic tool of Honeyman & Bellovin
+// (USENIX 1986).
+//
+// Usage:
+//
+//	pathalias [-c] [-D] [-g] [-i] [-B] [-f] [-l localname] [-s host,host] [-v] [file ...]
+//
+// Input files (or standard input) describe the connection graph in the
+// pathalias map language; output is one route per line, as a printf
+// format string with %s marking the user name position:
+//
+//	$ pathalias -l unc -c paper.map
+//	0	unc	%s
+//	500	duke	duke!%s
+//	...
+//
+// Flags:
+//
+//	-c    print costs and sort by cost (the paper's example format)
+//	-D    print top-level domain routes only
+//	-g    second-best route selection (the paper's experimental feature)
+//	-i    ignore case in host names (folds input to lower case)
+//	-l    local host name (default "localhost")
+//	-s    comma-separated hosts to avoid when possible
+//	-v    verbose statistics on standard error
+//	-B    disable back-link invention for unreachable hosts
+//	-f    report first-hop cost instead of full path cost
+//	-t    trace one host's links, attributes, and path on standard error
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pathalias/internal/core"
+	"pathalias/internal/mapper"
+	"pathalias/internal/printer"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pathalias", flag.ContinueOnError)
+	var (
+		costs       = fs.Bool("c", false, "print costs and sort by cost")
+		domainsOnly = fs.Bool("D", false, "print domain routes only")
+		secondBest  = fs.Bool("g", false, "second-best (domain-aware) route selection")
+		ignoreCase  = fs.Bool("i", false, "ignore case in host names")
+		local       = fs.String("l", "localhost", "local host name")
+		avoid       = fs.String("s", "", "comma-separated hosts to avoid")
+		verbose     = fs.Bool("v", false, "verbose statistics on stderr")
+		noBack      = fs.Bool("B", false, "disable back links")
+		firstHop    = fs.Bool("f", false, "report first-hop cost instead of path cost")
+		trace       = fs.String("t", "", "trace a host's links and mapping on stderr")
+	)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	inputs, err := core.ReadInputs(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "pathalias: %v\n", err)
+		return 1
+	}
+	if *ignoreCase {
+		*local = strings.ToLower(*local)
+	}
+
+	mopts := mapper.DefaultOptions()
+	mopts.SecondBest = *secondBest
+	mopts.BackLinks = !*noBack
+
+	cfg := core.Config{
+		Inputs:    inputs,
+		LocalHost: *local,
+		Mapper:    &mopts,
+		FoldCase:  *ignoreCase,
+		Printer: printer.Options{
+			Costs:        *costs,
+			SortByCost:   *costs,
+			DomainsOnly:  *domainsOnly,
+			FirstHopCost: *firstHop,
+		},
+	}
+	if *avoid != "" {
+		cfg.Avoid = strings.Split(*avoid, ",")
+	}
+
+	rep, err := core.Run(cfg)
+	if rep != nil {
+		for _, w := range rep.Warnings {
+			fmt.Fprintf(stderr, "pathalias: %s\n", w)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "pathalias: %v\n", err)
+		return 1
+	}
+
+	if err := printer.Write(stdout, rep.MapResult, cfg.Printer); err != nil {
+		fmt.Fprintf(stderr, "pathalias: writing output: %v\n", err)
+		return 1
+	}
+	for _, name := range rep.Unreachable {
+		fmt.Fprintf(stderr, "pathalias: %s: no route\n", name)
+	}
+	if *trace != "" {
+		traceHost(stderr, rep, *trace)
+	}
+	if *verbose {
+		core.WriteReportStats(stderr, rep)
+	}
+	return 0
+}

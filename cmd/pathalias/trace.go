@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pathalias/internal/core"
+	"pathalias/internal/graph"
+)
+
+// traceHost reports everything known about one host after a run — the C
+// tool's -t debugging aid: declared attributes, adjacency in both
+// directions, mapping state, and the full path from the local host.
+func traceHost(w io.Writer, rep *core.Report, name string) {
+	g := rep.Graph
+	n, ok := g.Lookup(name)
+	if !ok {
+		fmt.Fprintf(w, "pathalias: trace: no host %q\n", name)
+		return
+	}
+	fmt.Fprintf(w, "trace: %s (id %d, file %q)\n", n, n.ID, n.File)
+	if n.Adjust != 0 {
+		fmt.Fprintf(w, "trace:   adjust %v\n", n.Adjust)
+	}
+	if gws := n.Gateways(); len(gws) > 0 {
+		var names []string
+		for _, gw := range gws {
+			names = append(names, gw.Name)
+		}
+		fmt.Fprintf(w, "trace:   gateways: %s\n", strings.Join(names, ", "))
+	}
+
+	fmt.Fprintf(w, "trace:   out-links (%d):\n", n.Degree())
+	n.Links(func(l *graph.Link) bool {
+		fmt.Fprintf(w, "trace:     -> %s cost %v op %v%s\n",
+			l.To.Name, l.Cost, l.Op, linkFlagText(l.Flags))
+		return true
+	})
+
+	in := 0
+	for _, other := range g.Nodes() {
+		other.Links(func(l *graph.Link) bool {
+			if l.To == n {
+				if in == 0 {
+					fmt.Fprintf(w, "trace:   in-links:\n")
+				}
+				in++
+				fmt.Fprintf(w, "trace:     <- %s cost %v op %v%s\n",
+					l.From.Name, l.Cost, l.Op, linkFlagText(l.Flags))
+			}
+			return true
+		})
+	}
+	if in == 0 {
+		fmt.Fprintf(w, "trace:   in-links: none\n")
+	}
+
+	switch n.M.State {
+	case graph.Mapped:
+		fmt.Fprintf(w, "trace:   mapped at cost %v, %d hops\n", n.M.Cost, n.M.Hops)
+		var path []string
+		for cur := n; cur != nil; {
+			path = append([]string{cur.Name}, path...)
+			if cur.M.Parent == nil {
+				break
+			}
+			cur = cur.M.Parent.From
+		}
+		fmt.Fprintf(w, "trace:   path: %s\n", strings.Join(path, " -> "))
+	default:
+		fmt.Fprintf(w, "trace:   not mapped (%v)\n", n.M.State)
+	}
+}
+
+func linkFlagText(f graph.LinkFlags) string {
+	var parts []string
+	if f&graph.LAlias != 0 {
+		parts = append(parts, "alias")
+	}
+	if f&graph.LNetMember != 0 {
+		parts = append(parts, "net-member")
+	}
+	if f&graph.LNetEntry != 0 {
+		parts = append(parts, "net-entry")
+	}
+	if f&graph.LDead != 0 {
+		parts = append(parts, "dead")
+	}
+	if f&graph.LDeleted != 0 {
+		parts = append(parts, "deleted")
+	}
+	if f&graph.LBack != 0 {
+		parts = append(parts, "invented")
+	}
+	if f&graph.LTree != 0 {
+		parts = append(parts, "tree")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, ",") + "]"
+}

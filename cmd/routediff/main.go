@@ -1,0 +1,79 @@
+// Command routediff compares two pathalias route files and reports what
+// changed — the check administrators ran when each month's UUCP map batch
+// arrived.
+//
+// Usage:
+//
+//	routediff old.db new.db
+//
+// Output, one change per line, is one of:
+//
+//	added     host   route (cost)
+//	removed   host   route (cost)
+//	rerouted  host   oldroute (cost) -> newroute (cost)
+//	recosted  host   route (oldcost) -> route (newcost)
+//
+// Exit status is 0 when the route sets are identical, 3 when they differ,
+// 1 on errors (mirroring diff(1)'s convention, with 3 instead of 1 so
+// errors stay distinguishable).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pathalias/internal/routedb"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("routediff", flag.ContinueOnError)
+	summary := fs.Bool("s", false, "print only the change summary")
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: routediff [-s] old.db new.db")
+		return 2
+	}
+
+	load := func(path string) (*routedb.DB, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return routedb.Load(f)
+	}
+	old, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "routediff: %v\n", err)
+		return 1
+	}
+	new, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "routediff: %v\n", err)
+		return 1
+	}
+
+	changes := routedb.Diff(old, new)
+	if !*summary {
+		if err := routedb.WriteChanges(stdout, changes); err != nil {
+			fmt.Fprintf(stderr, "routediff: %v\n", err)
+			return 1
+		}
+	}
+	st := routedb.Summarize(changes)
+	fmt.Fprintf(stderr, "routediff: %d added, %d removed, %d rerouted, %d recosted (%d routes -> %d)\n",
+		st.Added, st.Removed, st.Rerouted, st.Recosted, old.Len(), new.Len())
+	if len(changes) > 0 {
+		return 3
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDB(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestIdenticalExitZero(t *testing.T) {
+	a := writeDB(t, "a.db", "100\tduke\tduke!%s\n")
+	b := writeDB(t, "b.db", "100\tduke\tduke!%s\n")
+	var out, errb strings.Builder
+	if code := run([]string{a, b}, &out, &errb); code != 0 {
+		t.Errorf("exit %d want 0; stderr %s", code, errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestDifferencesExitThree(t *testing.T) {
+	a := writeDB(t, "a.db", "100\tduke\tduke!%s\n")
+	b := writeDB(t, "b.db", "100\tduke\tphs!duke!%s\n")
+	var out, errb strings.Builder
+	if code := run([]string{a, b}, &out, &errb); code != 3 {
+		t.Errorf("exit %d want 3", code)
+	}
+	if !strings.Contains(out.String(), "rerouted\tduke") {
+		t.Errorf("output = %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 rerouted") {
+		t.Errorf("summary = %q", errb.String())
+	}
+}
+
+func TestSummaryOnly(t *testing.T) {
+	a := writeDB(t, "a.db", "100\tduke\tduke!%s\n")
+	b := writeDB(t, "b.db", "200\tduke\tduke!%s\n")
+	var out, errb strings.Builder
+	if code := run([]string{"-s", a, b}, &out, &errb); code != 3 {
+		t.Errorf("exit %d want 3", code)
+	}
+	if out.String() != "" {
+		t.Errorf("summary mode printed changes: %q", out.String())
+	}
+	if !strings.Contains(errb.String(), "1 recosted") {
+		t.Errorf("summary = %q", errb.String())
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"only-one"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d want 2", code)
+	}
+	a := writeDB(t, "a.db", "100\tduke\tduke!%s\n")
+	if code := run([]string{a, "/nonexistent"}, &out, &errb); code != 1 {
+		t.Errorf("exit %d want 1", code)
+	}
+	if code := run([]string{"/nonexistent", a}, &out, &errb); code != 1 {
+		t.Errorf("exit %d want 1", code)
+	}
+}

@@ -1,0 +1,113 @@
+// Command uupath queries a route database the way a user or delivery
+// agent would — the "manual querying by users" integration the paper
+// calls the simplest, plus the delivery-agent rewriting modes.
+//
+// Usage:
+//
+//	uupath -d routes.db dest [user]          # route to a destination
+//	uupath -d routes.db -r [-m mode] addr    # rewrite a relative address
+//	uupath -d routes.db -guess addr          # disambiguate mixed syntax
+//
+// Examples:
+//
+//	$ uupath -d routes.db mit-ai honey
+//	duke!research!ucbvax!honey@mit-ai
+//
+//	$ uupath -d routes.db -r -m rightmost -local unc a!b!seismo!mcvax!piet
+//	seismo!mcvax!piet
+//
+// Rewrite modes: off (leave the path alone), firsthop (route to the first
+// host), rightmost (collapse to the rightmost known host — "can result in
+// significant savings; unfortunately, it can backfire").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pathalias/internal/mailer"
+	"pathalias/internal/routedb"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uupath", flag.ContinueOnError)
+	var (
+		dbPath  = fs.String("d", "", "route database file (required)")
+		rewrite = fs.Bool("r", false, "rewrite a relative address instead of routing to a destination")
+		mode    = fs.String("m", "firsthop", "rewrite mode: off, firsthop, rightmost")
+		local   = fs.String("local", "localhost", "local host name for rewriting")
+		guess   = fs.String("guess", "", "disambiguate a mixed-syntax address against the database")
+	)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dbPath == "" || (fs.NArg() < 1 && *guess == "") {
+		fmt.Fprintln(stderr, "usage: uupath -d routes.db [-r [-m mode] [-local host]] dest [user]")
+		return 2
+	}
+
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "uupath: %v\n", err)
+		return 1
+	}
+	db, err := routedb.Load(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(stderr, "uupath: %v\n", err)
+		return 1
+	}
+
+	if *guess != "" {
+		rw := &mailer.Rewriter{DB: db, Local: *local}
+		a, err := rw.BestGuess(*guess)
+		if err != nil {
+			fmt.Fprintf(stderr, "uupath: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, a.String())
+		return 0
+	}
+
+	if *rewrite {
+		var m mailer.OptimizeMode
+		switch *mode {
+		case "off":
+			m = mailer.OptimizeOff
+		case "firsthop":
+			m = mailer.OptimizeFirstHop
+		case "rightmost":
+			m = mailer.OptimizeRightmost
+		default:
+			fmt.Fprintf(stderr, "uupath: unknown mode %q\n", *mode)
+			return 2
+		}
+		rw := &mailer.Rewriter{DB: db, Local: *local, Mode: m}
+		out, err := rw.Route(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "uupath: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, out)
+		return 0
+	}
+
+	user := "%s"
+	if fs.NArg() > 1 {
+		user = fs.Arg(1)
+	}
+	res, err := db.Resolve(fs.Arg(0), user)
+	if err != nil {
+		fmt.Fprintf(stderr, "uupath: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, res.Address())
+	return 0
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDB(t *testing.T) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "routes.db")
+	db := "0\t.edu\tseismo!%s\n500\tmcvax\tseismo!mcvax!%s\n100\tseismo\tseismo!%s\n"
+	if err := os.WriteFile(p, []byte(db), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestResolveDestination(t *testing.T) {
+	db := writeDB(t)
+	var out, errb strings.Builder
+	if code := run([]string{"-d", db, "mcvax", "piet"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "seismo!mcvax!piet" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestResolveWithoutUserKeepsMarker(t *testing.T) {
+	db := writeDB(t)
+	var out, errb strings.Builder
+	if code := run([]string{"-d", db, "seismo"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "seismo!%s" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestResolveDomainSuffix(t *testing.T) {
+	db := writeDB(t)
+	var out, errb strings.Builder
+	if code := run([]string{"-d", db, "caip.rutgers.edu", "pleasant"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "seismo!caip.rutgers.edu!pleasant" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRewriteModes(t *testing.T) {
+	db := writeDB(t)
+	cases := []struct {
+		mode string
+		want string
+	}{
+		{"off", "a!b!seismo!mcvax!piet"},
+		{"firsthop", ""}, // first hop "a" unknown: error
+		{"rightmost", "seismo!mcvax!piet"},
+	}
+	for _, c := range cases {
+		var out, errb strings.Builder
+		code := run([]string{"-d", db, "-r", "-m", c.mode, "-local", "here", "a!b!seismo!mcvax!piet"}, &out, &errb)
+		if c.want == "" {
+			if code == 0 {
+				t.Errorf("mode %s: expected failure", c.mode)
+			}
+			continue
+		}
+		if code != 0 {
+			t.Errorf("mode %s: exit %d: %s", c.mode, code, errb.String())
+			continue
+		}
+		if strings.TrimSpace(out.String()) != c.want {
+			t.Errorf("mode %s: output %q want %q", c.mode, out.String(), c.want)
+		}
+	}
+}
+
+func TestGuessFlag(t *testing.T) {
+	db := writeDB(t) // knows seismo, mcvax, .edu
+	var out, errb strings.Builder
+	// Ambiguous a!b!user@seismo: RFC822 reading (seismo first) resolves,
+	// UUCP reading (a first) does not.
+	if code := run([]string{"-d", db, "-guess", "a!b!user@seismo"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "seismo!a!b!user" {
+		t.Errorf("guess = %q", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-d", db, "-guess", "mcvax!user@unknown"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.TrimSpace(out.String()) != "mcvax!unknown!user" {
+		t.Errorf("guess = %q", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d want 2", code)
+	}
+	if code := run([]string{"-d", "/nonexistent", "x"}, &out, &errb); code != 1 {
+		t.Errorf("bad db: exit %d want 1", code)
+	}
+	db := writeDB(t)
+	if code := run([]string{"-d", db, "-r", "-m", "bogus", "x!y"}, &out, &errb); code != 2 {
+		t.Errorf("bad mode: exit %d want 2", code)
+	}
+	if code := run([]string{"-d", db, "unknowable"}, &out, &errb); code != 1 {
+		t.Errorf("no route: exit %d want 1", code)
+	}
+}

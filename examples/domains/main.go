@@ -1,0 +1,83 @@
+// domains walks through the paper's domain machinery: name accretion down
+// a domain tree, top-level domain routes, the .rutgers.edu masquerade,
+// the PROBLEMS-section motown example (425+∞ versus 500), and the
+// experimental second-best fix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pathalias"
+)
+
+func run(title string, opts pathalias.Options, mapText string) *pathalias.Result {
+	fmt.Printf("== %s ==\n", title)
+	res, err := pathalias.RunString(opts, mapText)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rt := range res.Routes {
+		fmt.Printf("  %-6d %-22s %s\n", rt.Cost, rt.Host, rt.Format)
+	}
+	fmt.Println()
+	return res
+}
+
+func main() {
+	// 1. The domain figure: seismo gateways .edu; names accrete downward
+	// (caip + .rutgers + .edu = caip.rutgers.edu); subdomains are not
+	// printed; the top-level domain is, with its gateway's route.
+	run("domain tree (paper's seismo/.edu/.rutgers/caip figure)",
+		pathalias.Options{LocalHost: "local", PrintCosts: true, SortByCost: true}, `
+local	seismo(DEMAND)
+seismo	.edu(DEDICATED)
+.edu	= {.rutgers}
+.rutgers	= {caip}
+`)
+
+	// 2. The masquerade: .rutgers.edu declared as its own top-level
+	// domain with gateway caip — "this makes caip a gateway for
+	// .rutgers.edu, but not for the ARPANET as a whole."
+	run(".rutgers.edu masquerade",
+		pathalias.Options{LocalHost: "local", PrintCosts: true, SortByCost: true}, `
+local	caip(DEMAND)
+.rutgers.edu	= {caip, blue}(0)
+`)
+
+	// 3. The PROBLEMS figure: the left branch through the domain costs
+	// 425 in pure edge weights but picks up the essentially infinite
+	// relay penalty, so the right branch (500) wins.
+	motown := `
+princeton	caip(200), topaz(300)
+.rutgers.edu	= {caip}(200)
+.rutgers.edu	motown(LOCAL)
+topaz	motown(200)
+`
+	res := run("motown (committed shortest-path tree, the paper's flaw)",
+		pathalias.Options{LocalHost: "princeton", PrintCosts: true, SortByCost: true}, motown)
+	if rt, ok := res.Lookup("motown"); ok {
+		fmt.Printf("motown routes via topaz at cost %d (the domain branch would be 425+penalty)\n\n", rt.Cost)
+	}
+
+	// 4. The second-best experiment on a graph where the committed tree
+	// actually hurts: caip's best route uses the domain, stranding its
+	// neighbor motown behind the relay penalty unless the clean label
+	// survives.
+	tree := `
+a	d1(50), b(100)
+.dom	= {caip}(50)
+d1	.dom(0)
+b	caip(50)
+caip	motown(25)
+`
+	plain := run("committed tree (motown stranded behind the domain)",
+		pathalias.Options{LocalHost: "a", PrintCosts: true, SortByCost: true}, tree)
+	second := run("second-best enabled (the paper's experimental fix)",
+		pathalias.Options{LocalHost: "a", PrintCosts: true, SortByCost: true, SecondBest: true}, tree)
+
+	pm, _ := plain.Lookup("motown")
+	sm, _ := second.Lookup("motown")
+	fmt.Printf("motown: committed cost %d -> second-best cost %d via %q\n",
+		pm.Cost, sm.Cost, sm.Format)
+}

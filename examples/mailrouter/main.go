@@ -1,0 +1,112 @@
+// mailrouter demonstrates integrating pathalias with a mail system, per
+// the paper's "INTEGRATING PATHALIAS WITH MAILERS" and "PERSPECTIVES ON
+// RELATIVE ADDRESSING" sections: building a route database, resolving
+// destinations (including the domain-suffix search), the three
+// optimization modes of a delivery agent, and the cbosgd/mcvax
+// reply-rewriting hazard.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pathalias"
+	"pathalias/internal/mailer"
+	"pathalias/internal/routedb"
+)
+
+// cbosgd's view of the world (a fragment of the paper's final example:
+// "All links are bidirectional").
+const cbosgdMap = `
+cbosgd	princeton(DEMAND), seismo(DEMAND)
+princeton	cbosgd(DEMAND), seismo(HOURLY)
+seismo	cbosgd(DEMAND), princeton(HOURLY), mcvax(DAILY), .edu(DEDICATED)
+mcvax	seismo(DAILY)
+.edu	= {.rutgers}
+.rutgers	= {caip}
+`
+
+func main() {
+	res, err := pathalias.RunString(pathalias.Options{LocalHost: "cbosgd"}, cbosgdMap)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The route database a delivery agent queries.
+	var sb strings.Builder
+	db := res.NewDatabase()
+	if _, err := db.WriteTo(&sb); err != nil {
+		log.Fatal(err)
+	}
+	rdb, err := routedb.Load(strings.NewReader(sb.String()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("route database: %d entries\n\n", rdb.Len())
+
+	// Plain destination lookups.
+	for _, dest := range []string{"mcvax", "caip.rutgers.edu", "blue.rutgers.edu"} {
+		r, err := rdb.Resolve(dest, "piet")
+		if err != nil {
+			fmt.Printf("  %-22s NO ROUTE\n", dest)
+			continue
+		}
+		how := "exact"
+		if r.ViaSuffix {
+			how = "suffix " + r.Matched
+		}
+		fmt.Printf("  %-22s -> %-40s (%s)\n", dest, r.Address(), how)
+	}
+
+	// The three delivery-agent modes on a user-supplied path.
+	userPath := "princeton!seismo!mcvax!piet"
+	fmt.Printf("\nuser-supplied path: %s\n", userPath)
+	for _, m := range []struct {
+		name string
+		mode mailer.OptimizeMode
+	}{
+		{"off      ", mailer.OptimizeOff},
+		{"firsthop ", mailer.OptimizeFirstHop},
+		{"rightmost", mailer.OptimizeRightmost},
+	} {
+		rw := &mailer.Rewriter{DB: rdb, Local: "cbosgd", Mode: m.mode}
+		out, err := rw.Route(userPath)
+		if err != nil {
+			fmt.Printf("  %s -> error: %v\n", m.name, err)
+			continue
+		}
+		fmt.Printf("  %s -> %s\n", m.name, out)
+	}
+
+	// The reply-rewriting hazard (the paper's closing example): a message
+	// from cbosgd!mark carries Cc: seismo!mcvax!piet. The recipient at
+	// princeton reads that relative to cbosgd.
+	fmt.Println("\nreply-rewriting hazard:")
+	honest, _ := mailer.ResolveRelative("cbosgd", "seismo!mcvax!piet")
+	fmt.Printf("  honest header at princeton resolves to:      %s\n", honest)
+
+	rw := &mailer.Rewriter{DB: rdb, Local: "cbosgd", Mode: mailer.OptimizeRightmost}
+	abbrev, changed := mailer.AbbreviateHazard(rw, "seismo!mcvax!piet")
+	if changed {
+		hazard, _ := mailer.ResolveRelative("cbosgd", abbrev)
+		fmt.Printf("  cbosgd 'cleverly' abbreviates the Cc to:     %s\n", abbrev)
+		fmt.Printf("  princeton then resolves it to:               %s\n", hazard)
+		fmt.Println("  -> the two routes differ; \"this cannot be safely transformed")
+		fmt.Println("     without making assumptions about host name uniqueness.\"")
+	}
+
+	// Guideline-compliant outbound preparation: headers show the modified
+	// routes that the transport actually uses.
+	msg := &mailer.Message{
+		From: "cbosgd!mark",
+		To:   []string{"princeton!honey"},
+		Cc:   []string{"seismo!mcvax!piet"},
+	}
+	rwFirst := &mailer.Rewriter{DB: rdb, Local: "cbosgd", Mode: mailer.OptimizeFirstHop}
+	if err := rwFirst.PrepareOutbound(msg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\noutbound headers (modified routes shown, per the paper's principles):")
+	fmt.Printf("  From: %s\n  To:   %s\n  Cc:   %s\n", msg.From, msg.To[0], msg.Cc[0])
+}

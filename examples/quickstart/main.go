@@ -1,0 +1,51 @@
+// Quickstart: run the paper's own 1981 example map through the public
+// API and print the routes exactly as the paper's OUTPUT section shows
+// them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pathalias"
+)
+
+// The "simplified portion of the map from 1981" (paper, page 4).
+const mapText = `
+unc	duke(HOURLY), phs(HOURLY*4)
+duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs	unc(HOURLY*4), duke(HOURLY)
+research	duke(DEMAND), ucbvax(DEMAND)
+ucbvax	research(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+`
+
+func main() {
+	res, err := pathalias.RunString(pathalias.Options{
+		LocalHost:  "unc",
+		PrintCosts: true,
+		SortByCost: true,
+	}, mapText)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Routes from unc (cost, host, format string):")
+	if err := res.WriteRoutes(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// A route is a printf format string: substitute the user name.
+	rt, ok := res.Lookup("mit-ai")
+	if !ok {
+		log.Fatal("no route to mit-ai")
+	}
+	fmt.Printf("\nMail for honey at mit-ai goes to: %s\n", rt.Address("honey"))
+
+	// Note the two points the paper makes about this output: everything
+	// routes through duke (cheaper than the direct unc-phs link), and the
+	// ARPANET leg uses mixed syntax (the trailing @mit-ai).
+	fmt.Printf("\n%d hosts reached, %d links, %d heap extractions\n",
+		res.Stats.Reached, res.Stats.Links, res.Stats.Extractions)
+}

@@ -1,0 +1,63 @@
+// usenet1986 runs the full 1986-scale workload the paper describes:
+// "USENET maps contain over 5,700 nodes and 20,000 links, while ARPANET,
+// CSNET, and BITNET add another 2,800 nodes and 8,000 links." The
+// historical map files are substituted by the deterministic generator
+// (DESIGN.md §3); the pipeline, data structures, and route volume are the
+// real thing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pathalias"
+	"pathalias/internal/mapgen"
+)
+
+func main() {
+	gen := time.Now()
+	inputs, local := mapgen.Generate(mapgen.Default1986())
+	fmt.Printf("generated %d map files in %v\n", len(inputs), time.Since(gen).Round(time.Millisecond))
+
+	var pins []pathalias.Input
+	total := 0
+	for _, in := range inputs {
+		pins = append(pins, pathalias.Input{Name: in.Name, Text: string(in.Src)})
+		total += len(in.Src)
+	}
+	fmt.Printf("map text: %d bytes\n", total)
+
+	start := time.Now()
+	res, err := pathalias.Run(pathalias.Options{LocalHost: local}, pins...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("\npipeline completed in %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  hosts:        %d\n", res.Stats.Hosts)
+	fmt.Printf("  networks:     %d (%d domains)\n", res.Stats.Nets, res.Stats.Domains)
+	fmt.Printf("  links:        %d\n", res.Stats.Links)
+	fmt.Printf("  routes:       %d\n", len(res.Routes))
+	fmt.Printf("  unreachable:  %d\n", len(res.Unreachable))
+	fmt.Printf("  back-linked:  %d (reached only via invented reverse links)\n", res.Stats.BackLinked)
+	fmt.Printf("  mixed-syntax penalized: %d (%.2f%% — the paper: \"a fraction of a percent\")\n",
+		res.Stats.Penalized, 100*float64(res.Stats.Penalized)/float64(len(res.Routes)))
+	fmt.Printf("  extractions:  %d, relaxations: %d\n", res.Stats.Extractions, res.Stats.Relaxations)
+
+	// Show a handful of representative routes.
+	fmt.Println("\nsample routes:")
+	for _, host := range []string{"host17", "host4242", "onet0-h7", "dhost0-0-1.sub0-0.dom0"} {
+		if rt, ok := res.Lookup(host); ok {
+			fmt.Printf("  %-26s %s  (cost %d)\n", rt.Host, rt.Format, rt.Cost)
+		}
+	}
+
+	// Pack the routes for delivery-agent lookups.
+	db := res.NewDatabase()
+	addr, err := db.Resolve("host4242", "piet")
+	if err == nil {
+		fmt.Printf("\nmail for piet at host4242: %s\n", addr)
+	}
+}

@@ -1,0 +1,277 @@
+package analyze
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pathalias/internal/graph"
+	"pathalias/internal/mapgen"
+	"pathalias/internal/mapper"
+	"pathalias/internal/parser"
+)
+
+func build(t *testing.T, src string) *graph.Graph {
+	t.Helper()
+	res, err := parser.ParseString("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func mapped(t *testing.T, src, local string) (*graph.Graph, *mapper.Result) {
+	t.Helper()
+	g := build(t, src)
+	n, ok := g.Lookup(local)
+	if !ok {
+		t.Fatalf("no %q", local)
+	}
+	res, err := mapper.Run(g, n, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, res
+}
+
+func TestDegrees(t *testing.T) {
+	g := build(t, "a b(10), c(10), d(10)\nb a(10)\nlonely\n")
+	ds := Degrees(g)
+	if ds.Nodes != 5 || ds.Links != 4 {
+		t.Errorf("nodes/links = %d/%d", ds.Nodes, ds.Links)
+	}
+	if ds.MaxOut != 3 || ds.MaxOutBy != "a" {
+		t.Errorf("max out = %d by %s", ds.MaxOut, ds.MaxOutBy)
+	}
+	if ds.Isolated != 1 {
+		t.Errorf("isolated = %d", ds.Isolated)
+	}
+	if ds.Histogram[3] != 1 || ds.Histogram[0] != 3 { // c, d, lonely
+		t.Errorf("histogram = %v", ds.Histogram[:5])
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// a<->b is one component; c is reachable but not back: its own.
+	g := build(t, "a b(10)\nb a(10), c(10)\n")
+	comps := SCC(g)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d want 2", len(comps))
+	}
+	if len(comps[0]) != 2 {
+		t.Errorf("largest = %d want 2", len(comps[0]))
+	}
+	names := []string{comps[0][0].Name, comps[0][1].Name}
+	if !(contains(names, "a") && contains(names, "b")) {
+		t.Errorf("largest comp = %v", names)
+	}
+}
+
+func TestSCCCycle(t *testing.T) {
+	// A 5-cycle is one component.
+	var sb strings.Builder
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(&sb, "n%d n%d(10)\n", i, (i+1)%5)
+	}
+	comps := SCC(build(t, sb.String()))
+	if len(comps) != 1 || len(comps[0]) != 5 {
+		t.Errorf("comps = %d, largest %d", len(comps), len(comps[0]))
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// A 50,000-node bidirectional chain would blow a recursive Tarjan.
+	var sb strings.Builder
+	const n = 50000
+	for i := 0; i < n-1; i++ {
+		fmt.Fprintf(&sb, "c%d c%d(10)\nc%d c%d(10)\n", i, i+1, i+1, i)
+	}
+	comps := SCC(build(t, sb.String()))
+	if len(comps) != 1 || len(comps[0]) != n {
+		t.Errorf("comps = %d, largest %d want 1 x %d", len(comps), len(comps[0]), n)
+	}
+}
+
+func TestSCCIgnoresDeleted(t *testing.T) {
+	g := build(t, "a b(10)\nb a(10)\ndelete {b}\n")
+	comps := SCC(g)
+	// b excluded entirely; a alone.
+	for _, comp := range comps {
+		for _, n := range comp {
+			if n.Name == "b" {
+				t.Error("deleted node in SCC")
+			}
+		}
+	}
+}
+
+func TestSCCMatchesBruteForce(t *testing.T) {
+	// Property: two nodes share a component iff each reaches the other
+	// (checked by BFS on random graphs).
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		const n = 30
+		for i := 0; i < n; i++ {
+			for k := 0; k < 2; k++ {
+				fmt.Fprintf(&sb, "x%d x%d(10)\n", i, rng.Intn(n))
+			}
+		}
+		g := build(t, sb.String())
+		comps := SCC(g)
+		compOf := map[*graph.Node]int{}
+		for ci, comp := range comps {
+			for _, nd := range comp {
+				compOf[nd] = ci
+			}
+		}
+		reach := func(from, to *graph.Node) bool {
+			seen := map[*graph.Node]bool{from: true}
+			queue := []*graph.Node{from}
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				if cur == to {
+					return true
+				}
+				for l := cur.FirstLink(); l != nil; l = l.Next {
+					if l.Usable() && !seen[l.To] {
+						seen[l.To] = true
+						queue = append(queue, l.To)
+					}
+				}
+			}
+			return false
+		}
+		nodes := g.Nodes()
+		for trial := 0; trial < 40; trial++ {
+			a := nodes[rng.Intn(len(nodes))]
+			b := nodes[rng.Intn(len(nodes))]
+			same := compOf[a] == compOf[b]
+			mutual := reach(a, b) && reach(b, a)
+			if same != mutual {
+				t.Fatalf("seed %d: SCC(%s,%s)=%v but mutual reach=%v",
+					seed, a.Name, b.Name, same, mutual)
+			}
+		}
+	}
+}
+
+func TestRelays(t *testing.T) {
+	// a -> relay -> {x, y, z}: relay carries 3 destinations.
+	_, res := mapped(t, "a relay(10)\nrelay x(10), y(10), z(10)\n", "a")
+	loads := Relays(res)
+	if len(loads) == 0 || loads[0].Host != "relay" || loads[0].Count != 3 {
+		t.Errorf("loads = %+v", loads)
+	}
+	// Leaves carry nothing.
+	for _, ld := range loads {
+		if ld.Host == "x" || ld.Host == "y" || ld.Host == "z" {
+			t.Errorf("leaf %s has relay load", ld.Host)
+		}
+	}
+}
+
+func TestRelaysOrdering(t *testing.T) {
+	_, res := mapped(t, `a b(10), c(10)
+b p(10), q(10), r(10)
+c s(10)
+`, "a")
+	loads := Relays(res)
+	if loads[0].Host != "b" || loads[0].Count != 3 {
+		t.Errorf("busiest = %+v", loads[0])
+	}
+	if len(loads) < 2 || loads[1].Host != "c" || loads[1].Count != 1 {
+		t.Errorf("second = %+v", loads)
+	}
+}
+
+func TestHops(t *testing.T) {
+	_, res := mapped(t, "a b(10)\nb c(10)\nc d(10)\n", "a")
+	hs := Hops(res)
+	if hs.Routes != 4 { // a, b, c, d
+		t.Errorf("routes = %d", hs.Routes)
+	}
+	if hs.MaxHop != 3 {
+		t.Errorf("max hops = %d", hs.MaxHop)
+	}
+	if hs.MeanHop != 1.5 { // 0+1+2+3 / 4
+		t.Errorf("mean hops = %v", hs.MeanHop)
+	}
+	if hs.ByHops[0] != 1 || hs.ByHops[3] != 1 {
+		t.Errorf("histogram = %v", hs.ByHops[:5])
+	}
+}
+
+func TestHopsExcludesNetsAndPrivates(t *testing.T) {
+	_, res := mapped(t, "private {p}\na p(10)\nNET = {a, b}(5)\n", "a")
+	hs := Hops(res)
+	for _, rt := range []string{"NET"} {
+		_ = rt
+	}
+	// Routes counted: a, b (p is private, NET is a net).
+	if hs.Routes != 2 {
+		t.Errorf("routes = %d want 2", hs.Routes)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	g, res := mapped(t, "a relay(10)\nrelay x(10), y(10)\n", "a")
+	var sb strings.Builder
+	Report(&sb, g, res, 5)
+	out := sb.String()
+	for _, want := range []string{"nodes: 4", "strongly connected", "mean hops", "relay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Graph-only report.
+	var sb2 strings.Builder
+	Report(&sb2, g, nil, 5)
+	if strings.Contains(sb2.String(), "mean hops") {
+		t.Error("graph-only report shows route stats")
+	}
+}
+
+func TestFullScaleAnalysis(t *testing.T) {
+	inputs, local := mapgen.Generate(mapgen.Small())
+	pres, err := parser.Parse(inputs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := pres.Graph
+	src, _ := g.Lookup(local)
+	res, err := mapper.Run(g, src, mapper.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Degrees(g)
+	if ds.Sparsity > 10 {
+		t.Errorf("generated map not sparse: %.1f links/node", ds.Sparsity)
+	}
+	comps := SCC(g)
+	if len(comps[0]) < g.Len()/3 {
+		t.Errorf("largest SCC only %d of %d", len(comps[0]), g.Len())
+	}
+	loads := Relays(res)
+	if len(loads) == 0 || loads[0].Count < 10 {
+		t.Errorf("no busy relays found: %+v", loads[:min(3, len(loads))])
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

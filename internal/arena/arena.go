@@ -1,0 +1,115 @@
+// Package arena implements the pathalias memory-allocation strategy.
+//
+// From "Memory allocation woes": the input data is overwhelming (tens of
+// thousands of dynamically allocated nodes and links), and the authors
+// found that "a buffered sbrk scheme for allocation, with no attempt to
+// re-use freed space, gives superior performance in both time and space",
+// because "most allocation takes place during the parsing phase, with very
+// little space freed. After parsing, only minuscule amounts of space are
+// allocated, while just about everything is freed. Thus memory allocators
+// that attempt to coalesce when space is freed simply waste time (and
+// space)."
+//
+// Pool is the Go analogue: a slab (bump) allocator that grabs large blocks
+// and hands out objects by incrementing a cursor, never freeing
+// individually. Experiment E9 compares it against per-object allocation
+// (the "C library malloc" role) and against FreeList, an allocator that
+// does bookkeeping on free — the kind of work the paper calls wasted.
+package arena
+
+// DefaultSlabSize is the number of objects per slab. 4096 objects of a
+// ~100-byte node is a few hundred kilobytes per block — the same ballpark
+// as the original's buffered sbrk chunks relative to its data.
+const DefaultSlabSize = 4096
+
+// Stats reports a pool's allocation behavior.
+type Stats struct {
+	Allocated int64 // objects handed out
+	Slabs     int   // slabs obtained from the runtime
+	SlabSize  int   // objects per slab
+	Wasted    int   // objects reserved but never handed out (tail of last slab)
+}
+
+// Pool is a slab allocator for objects of type T. Objects are never freed
+// individually; the entire pool is released by dropping the Pool. The zero
+// value is usable and uses DefaultSlabSize.
+type Pool[T any] struct {
+	slab      []T
+	next      int
+	slabSize  int
+	slabs     int
+	allocated int64
+}
+
+// NewPool returns a pool whose slabs hold slabSize objects each.
+func NewPool[T any](slabSize int) *Pool[T] {
+	if slabSize <= 0 {
+		slabSize = DefaultSlabSize
+	}
+	return &Pool[T]{slabSize: slabSize}
+}
+
+// New returns a pointer to a zeroed T from the pool.
+func (p *Pool[T]) New() *T {
+	if p.next >= len(p.slab) {
+		if p.slabSize == 0 {
+			p.slabSize = DefaultSlabSize
+		}
+		p.slab = make([]T, p.slabSize)
+		p.next = 0
+		p.slabs++
+	}
+	obj := &p.slab[p.next]
+	p.next++
+	p.allocated++
+	return obj
+}
+
+// Stats returns the pool's counters.
+func (p *Pool[T]) Stats() Stats {
+	wasted := 0
+	if p.slabs > 0 {
+		wasted = len(p.slab) - p.next
+	}
+	return Stats{
+		Allocated: p.allocated,
+		Slabs:     p.slabs,
+		SlabSize:  p.slabSize,
+		Wasted:    wasted,
+	}
+}
+
+// FreeList is the comparison allocator for experiment E9: it supports Free
+// and reuses freed objects, paying the bookkeeping cost on every operation
+// — the "waste [of] time" the paper measured in coalescing allocators.
+// It is not used by the pipeline; it exists to regenerate the comparison.
+type FreeList[T any] struct {
+	free      []*T
+	allocated int64
+	reused    int64
+}
+
+// New returns an object, reusing a freed one when available.
+func (f *FreeList[T]) New() *T {
+	f.allocated++
+	if n := len(f.free); n > 0 {
+		obj := f.free[n-1]
+		f.free = f.free[:n-1]
+		f.reused++
+		var zero T
+		*obj = zero
+		return obj
+	}
+	return new(T)
+}
+
+// Free returns obj to the free list.
+func (f *FreeList[T]) Free(obj *T) {
+	f.free = append(f.free, obj)
+}
+
+// Reused reports how many allocations were served from the free list.
+func (f *FreeList[T]) Reused() int64 { return f.reused }
+
+// Allocated reports the total number of New calls.
+func (f *FreeList[T]) Allocated() int64 { return f.allocated }

@@ -1,0 +1,173 @@
+package arena
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type fakeNode struct {
+	name  string
+	id    int
+	links *fakeNode
+	cost  int64
+	flags uint32
+}
+
+func TestPoolBasics(t *testing.T) {
+	p := NewPool[fakeNode](8)
+	a := p.New()
+	b := p.New()
+	if a == b {
+		t.Fatal("pool returned the same object twice")
+	}
+	if a.id != 0 || a.name != "" {
+		t.Error("pool object not zeroed")
+	}
+	a.id = 1
+	b.id = 2
+	if a.id == b.id {
+		t.Error("objects share storage")
+	}
+}
+
+func TestPoolZeroValueUsable(t *testing.T) {
+	var p Pool[int]
+	x := p.New()
+	*x = 42
+	st := p.Stats()
+	if st.Allocated != 1 || st.Slabs != 1 || st.SlabSize != DefaultSlabSize {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPoolSlabGrowth(t *testing.T) {
+	p := NewPool[fakeNode](4)
+	seen := map[*fakeNode]bool{}
+	for i := 0; i < 10; i++ {
+		obj := p.New()
+		if seen[obj] {
+			t.Fatalf("object %d reused", i)
+		}
+		seen[obj] = true
+		obj.id = i
+	}
+	st := p.Stats()
+	if st.Allocated != 10 {
+		t.Errorf("Allocated = %d want 10", st.Allocated)
+	}
+	if st.Slabs != 3 { // 4+4+2(+2 wasted)
+		t.Errorf("Slabs = %d want 3", st.Slabs)
+	}
+	if st.Wasted != 2 {
+		t.Errorf("Wasted = %d want 2", st.Wasted)
+	}
+	// All stored values must survive slab transitions.
+	i := 0
+	for obj := range seen {
+		_ = obj
+		i++
+	}
+	if i != 10 {
+		t.Errorf("lost objects")
+	}
+}
+
+func TestPoolObjectsDistinct(t *testing.T) {
+	// Property: k allocations yield k distinct pointers, all zeroed.
+	f := func(k uint8) bool {
+		p := NewPool[fakeNode](16)
+		seen := map[*fakeNode]bool{}
+		for i := 0; i < int(k); i++ {
+			obj := p.New()
+			if seen[obj] || obj.id != 0 || obj.links != nil {
+				return false
+			}
+			seen[obj] = true
+			obj.id = i + 1
+		}
+		return len(seen) == int(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolNegativeSlabSize(t *testing.T) {
+	p := NewPool[int](-5)
+	p.New()
+	if p.Stats().SlabSize != DefaultSlabSize {
+		t.Errorf("SlabSize = %d want default", p.Stats().SlabSize)
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	var f FreeList[fakeNode]
+	a := f.New()
+	a.id = 99
+	f.Free(a)
+	b := f.New()
+	if b != a {
+		t.Error("free list did not reuse the freed object")
+	}
+	if b.id != 0 {
+		t.Error("reused object not zeroed")
+	}
+	if f.Reused() != 1 || f.Allocated() != 2 {
+		t.Errorf("Reused = %d Allocated = %d", f.Reused(), f.Allocated())
+	}
+}
+
+func TestFreeListWithoutFrees(t *testing.T) {
+	var f FreeList[int]
+	a, b := f.New(), f.New()
+	if a == b {
+		t.Error("distinct allocations share storage")
+	}
+	if f.Reused() != 0 {
+		t.Errorf("Reused = %d want 0", f.Reused())
+	}
+}
+
+// The pipeline's allocation pattern, used by E9: a parse-phase burst of
+// node+link allocations with no frees.
+func allocationBurst(newNode func() *fakeNode, n int) *fakeNode {
+	var head *fakeNode
+	for i := 0; i < n; i++ {
+		obj := newNode()
+		obj.id = i
+		obj.links = head
+		head = obj
+	}
+	return head
+}
+
+const burstSize = 28500 // 8,500 nodes + 20,000 links, the paper's scale
+
+func BenchmarkArenaBurst(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := NewPool[fakeNode](DefaultSlabSize)
+		if allocationBurst(p.New, burstSize) == nil {
+			b.Fatal("nil chain")
+		}
+	}
+}
+
+func BenchmarkNaiveBurst(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if allocationBurst(func() *fakeNode { return new(fakeNode) }, burstSize) == nil {
+			b.Fatal("nil chain")
+		}
+	}
+}
+
+func BenchmarkFreeListBurst(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var f FreeList[fakeNode]
+		if allocationBurst(f.New, burstSize) == nil {
+			b.Fatal("nil chain")
+		}
+	}
+}

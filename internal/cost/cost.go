@@ -1,0 +1,378 @@
+// Package cost implements the pathalias symbolic cost algebra.
+//
+// Edge weights in a pathalias map are non-negative integers, but map files
+// rarely spell them as raw numbers. Instead they use the symbolic vocabulary
+// the paper tabulates (LOCAL through WEEKLY) and combine the symbols with
+// ordinary arithmetic: HOURLY*3 is a link polled once every three hours,
+// DAILY/2 one polled twice a day. The paper is explicit that the values are
+// pragmatic, not physical: "DAILY is 10 times greater than HOURLY, instead
+// of 24", because per-hop overhead dominates and paths must be kept short.
+//
+// This package provides the symbol table, an expression evaluator, and the
+// saturating arithmetic the mapper relies on (costs never overflow into
+// negative values; they clamp at Infinity).
+package cost
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cost is a path or edge cost. It is a signed 64-bit integer so that
+// intermediate arithmetic has headroom, but all exported operations maintain
+// the invariant 0 <= c <= Infinity.
+type Cost int64
+
+// Infinity is the cost beyond which a path is considered unusable. The paper
+// describes the subdomain-to-parent penalty as "essentially infinite"; this
+// is that value. It is far larger than any real path cost (a 100-hop WEEKLY
+// path is 3e6) yet small enough that sums of a few Infinities do not
+// overflow int64.
+const Infinity Cost = 1 << 40
+
+// Values from the paper's cost table (page 3). These are the authoritative
+// nine symbols. The paper: "symbolic names like HOURLY, DAILY, etc. are
+// assigned numeric values ... juggled until, in the estimation of
+// experienced users, the paths produced were reasonable."
+const (
+	Local     Cost = 25
+	Dedicated Cost = 95
+	Direct    Cost = 200
+	Demand    Cost = 300
+	Hourly    Cost = 500
+	Evening   Cost = 1800
+	Polled    Cost = 5000
+	Daily     Cost = 5000
+	Weekly    Cost = 30000
+)
+
+// Extension symbols. The paper's released C implementation also understood
+// these; period map data uses them heavily, so realistic inputs need them.
+// They are documented as extensions in DESIGN.md §2.
+const (
+	// Dead marks a link that should be avoided at (nearly) all cost.
+	Dead Cost = Infinity
+	// High and Low fine-tune a cost by a small bias; map conventions used
+	// them as "+LOW" (slightly worse) and "-HIGH" adjustments. We follow the
+	// C tool: LOW = -5, HIGH = +5 as additive terms.
+	High Cost = 5
+	Low  Cost = -5
+	// Fast rewards high-speed links (the C tool used -80).
+	Fast Cost = -80
+)
+
+// DefaultCost is the cost assigned to a link written without an explicit
+// cost. The choice is documented in DESIGN.md: a bare link is assumed to be
+// a reasonable default-grade connection.
+const DefaultCost = Hourly * 4
+
+// Symbols maps the symbolic cost names (upper case, as they appear in map
+// files) to their values. Lookup is case-sensitive, matching the C tool.
+var Symbols = map[string]Cost{
+	"LOCAL":     Local,
+	"DEDICATED": Dedicated,
+	"DIRECT":    Direct,
+	"DEMAND":    Demand,
+	"HOURLY":    Hourly,
+	"EVENING":   Evening,
+	"POLLED":    Polled,
+	"DAILY":     Daily,
+	"WEEKLY":    Weekly,
+
+	"DEAD": Dead,
+	"HIGH": High,
+	"LOW":  Low,
+	"FAST": Fast,
+}
+
+// PaperSymbols lists the nine symbols of the paper's table in table order.
+// Experiment E1 regenerates the table from this slice.
+var PaperSymbols = []struct {
+	Name  string
+	Value Cost
+}{
+	{"LOCAL", Local},
+	{"DEDICATED", Dedicated},
+	{"DIRECT", Direct},
+	{"DEMAND", Demand},
+	{"HOURLY", Hourly},
+	{"EVENING", Evening},
+	{"POLLED", Polled},
+	{"DAILY", Daily},
+	{"WEEKLY", Weekly},
+}
+
+// IsInfinite reports whether c is at or beyond the unusable threshold.
+func (c Cost) IsInfinite() bool { return c >= Infinity }
+
+// Add returns c+d, saturating at Infinity and clamping below at 0.
+// Saturation keeps heuristic penalties composable: Infinity plus anything is
+// still Infinity, never an overflow.
+func (c Cost) Add(d Cost) Cost {
+	s := c + d
+	if s < 0 {
+		if c > 0 && d > 0 {
+			return Infinity // overflowed upward
+		}
+		return 0
+	}
+	if s > Infinity {
+		return Infinity
+	}
+	return s
+}
+
+// Mul returns c*d with the same clamping rules as Add.
+func (c Cost) Mul(d Cost) Cost {
+	if c == 0 || d == 0 {
+		return 0
+	}
+	p := c * d
+	if p/d != c || p < 0 || p > Infinity {
+		if (c > 0) == (d > 0) {
+			return Infinity
+		}
+		return 0
+	}
+	return p
+}
+
+// String renders the cost; Infinity renders as "INF" for readable dumps.
+func (c Cost) String() string {
+	if c.IsInfinite() {
+		return "INF"
+	}
+	return fmt.Sprintf("%d", int64(c))
+}
+
+// An EvalError describes a failure to evaluate a cost expression.
+type EvalError struct {
+	Expr string // the full expression text
+	Pos  int    // byte offset of the failure
+	Msg  string // what went wrong
+}
+
+func (e *EvalError) Error() string {
+	return fmt.Sprintf("cost: %s at offset %d in %q", e.Msg, e.Pos, e.Expr)
+}
+
+// Eval evaluates a cost expression: numbers and symbols combined with
+// + - * /, unary minus, and parentheses, e.g. "HOURLY*3", "DAILY/2",
+// "DEMAND+LOW", "(HOURLY+DIRECT)/2". The result is clamped to
+// [0, Infinity]: the paper requires non-negative edge weights, so an
+// expression that evaluates negative (e.g. "LOW" alone, -5) yields 0.
+func Eval(expr string) (Cost, error) {
+	p := evalParser{src: expr}
+	v, err := p.parseExpr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, p.errorf("trailing garbage %q", p.src[p.pos:])
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v > int64(Infinity) {
+		v = int64(Infinity)
+	}
+	return Cost(v), nil
+}
+
+// MustEval is Eval for expressions known to be valid; it panics on error.
+// Intended for tests and static tables.
+func MustEval(expr string) Cost {
+	v, err := Eval(expr)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// EvalSigned evaluates a cost expression without clamping negatives, for
+// contexts where a negative result is meaningful: the "adjust" command
+// biases a host's transit cost and may subtract ("adjust {x(-5)}").
+// The magnitude is still clamped to ±Infinity.
+func EvalSigned(expr string) (Cost, error) {
+	p := evalParser{src: expr}
+	v, err := p.parseExpr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, p.errorf("trailing garbage %q", p.src[p.pos:])
+	}
+	if v > int64(Infinity) {
+		v = int64(Infinity)
+	}
+	if v < -int64(Infinity) {
+		v = -int64(Infinity)
+	}
+	return Cost(v), nil
+}
+
+// evalParser is a tiny precedence-climbing parser over the expression text.
+// Intermediate values are plain int64 (not clamped) so that, e.g.,
+// "LOW+HOURLY" computes -5+500 = 495 rather than clamping LOW to 0 first;
+// only the final result is clamped by Eval.
+type evalParser struct {
+	src string
+	pos int
+}
+
+func (p *evalParser) errorf(format string, args ...any) *EvalError {
+	return &EvalError{Expr: p.src, Pos: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *evalParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *evalParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// parseExpr := term { (+|-) term }
+func (p *evalParser) parseExpr() (int64, error) {
+	v, err := p.parseTerm()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '+':
+			p.pos++
+			w, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case '-':
+			p.pos++
+			w, err := p.parseTerm()
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+// parseTerm := factor { (*|/) factor }
+func (p *evalParser) parseTerm() (int64, error) {
+	v, err := p.parseFactor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		switch p.peek() {
+		case '*':
+			p.pos++
+			w, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			v *= w
+		case '/':
+			p.pos++
+			w, err := p.parseFactor()
+			if err != nil {
+				return 0, err
+			}
+			if w == 0 {
+				return 0, p.errorf("division by zero")
+			}
+			v /= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+// parseFactor := number | SYMBOL | ( expr ) | - factor | + factor
+func (p *evalParser) parseFactor() (int64, error) {
+	p.skipSpace()
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		v, err := p.parseExpr()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.peek() != ')' {
+			return 0, p.errorf("missing )")
+		}
+		p.pos++
+		return v, nil
+	case c == '-':
+		p.pos++
+		v, err := p.parseFactor()
+		return -v, err
+	case c == '+':
+		p.pos++
+		return p.parseFactor()
+	case c >= '0' && c <= '9':
+		return p.parseNumber()
+	case isSymbolByte(c):
+		return p.parseSymbol()
+	case c == 0:
+		return 0, p.errorf("unexpected end of expression")
+	default:
+		return 0, p.errorf("unexpected character %q", c)
+	}
+}
+
+func (p *evalParser) parseNumber() (int64, error) {
+	start := p.pos
+	var v int64
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		d := int64(p.src[p.pos] - '0')
+		if v > (1<<62)/10 {
+			p.pos = start
+			return 0, p.errorf("number too large")
+		}
+		v = v*10 + d
+		p.pos++
+	}
+	return v, nil
+}
+
+func isSymbolByte(c byte) bool {
+	return c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func (p *evalParser) parseSymbol() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isSymbolByte(p.src[p.pos]) {
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	v, ok := Symbols[name]
+	if !ok {
+		p.pos = start
+		return 0, p.errorf("unknown cost symbol %q", name)
+	}
+	return int64(v), nil
+}
+
+// Table renders the paper's cost table as text, one "SYMBOL value" row per
+// line, in paper order. Used by experiment E1 and cmd/pathalias -v.
+func Table() string {
+	var b strings.Builder
+	for _, s := range PaperSymbols {
+		fmt.Fprintf(&b, "%s\t%d\n", s.Name, int64(s.Value))
+	}
+	return b.String()
+}

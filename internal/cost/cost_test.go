@@ -1,0 +1,320 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTableValues(t *testing.T) {
+	// The authoritative table from page 3 of the paper.
+	want := map[string]Cost{
+		"LOCAL":     25,
+		"DEDICATED": 95,
+		"DIRECT":    200,
+		"DEMAND":    300,
+		"HOURLY":    500,
+		"EVENING":   1800,
+		"POLLED":    5000,
+		"DAILY":     5000,
+		"WEEKLY":    30000,
+	}
+	for name, v := range want {
+		got, ok := Symbols[name]
+		if !ok {
+			t.Errorf("symbol %s missing", name)
+			continue
+		}
+		if got != v {
+			t.Errorf("Symbols[%s] = %d, want %d", name, got, v)
+		}
+	}
+}
+
+func TestDailyIsTenTimesHourly(t *testing.T) {
+	// "Thus, for example, DAILY is 10 times greater than HOURLY, instead
+	// of 24." — the paper's per-hop-overhead design decision.
+	if Daily != 10*Hourly {
+		t.Errorf("DAILY = %d, want 10*HOURLY = %d", Daily, 10*Hourly)
+	}
+	if Daily == 24*Hourly {
+		t.Error("DAILY must NOT be the naive 24*HOURLY")
+	}
+}
+
+func TestPaperSymbolsOrder(t *testing.T) {
+	order := []string{"LOCAL", "DEDICATED", "DIRECT", "DEMAND", "HOURLY",
+		"EVENING", "POLLED", "DAILY", "WEEKLY"}
+	if len(PaperSymbols) != len(order) {
+		t.Fatalf("PaperSymbols has %d entries, want %d", len(PaperSymbols), len(order))
+	}
+	for i, name := range order {
+		if PaperSymbols[i].Name != name {
+			t.Errorf("PaperSymbols[%d] = %s, want %s", i, PaperSymbols[i].Name, name)
+		}
+		if PaperSymbols[i].Value != Symbols[name] {
+			t.Errorf("PaperSymbols[%d].Value = %d, disagrees with Symbols[%s] = %d",
+				i, PaperSymbols[i].Value, name, Symbols[name])
+		}
+	}
+	// Values must be non-decreasing: the table orders grades best to worst.
+	for i := 1; i < len(PaperSymbols); i++ {
+		if PaperSymbols[i].Value < PaperSymbols[i-1].Value {
+			t.Errorf("table not monotone at %s", PaperSymbols[i].Name)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	tests := []struct {
+		expr string
+		want Cost
+	}{
+		{"0", 0},
+		{"10", 10},
+		{"HOURLY", 500},
+		{"HOURLY*3", 1500},
+		{"HOURLY * 3", 1500},
+		{"3*HOURLY", 1500},
+		{"DAILY/2", 2500},
+		{"HOURLY*4", 2000},
+		{"DEMAND+LOW", 295},    // LOW = -5 as additive term
+		{"DEMAND+HIGH", 305},   // HIGH = +5
+		{"DEDICATED+FAST", 15}, // 95 - 80
+		{"LOCAL+DEDICATED", 120},
+		{"(HOURLY+DIRECT)/2", 350},
+		{"WEEKLY-DAILY", 25000},
+		{"2*(DIRECT+DEMAND)", 1000},
+		{"-5+HOURLY", 495},
+		{"+HOURLY", 500},
+		{"LOW", 0},           // negative result clamps to 0
+		{"HOURLY-WEEKLY", 0}, // ditto
+		{"DEAD", Infinity},
+		{"DEAD+HOURLY", Infinity},     // clamps at Infinity
+		{"DEAD*2", Infinity},          // ditto
+		{"2000000*2000000", Infinity}, // big product clamps (4e12 > 2^40)
+		{"  HOURLY\t*\t2  ", 1000},    // whitespace tolerated
+		{"7/2", 3},                    // integer division
+	}
+	for _, tt := range tests {
+		got, err := Eval(tt.expr)
+		if err != nil {
+			t.Errorf("Eval(%q) error: %v", tt.expr, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Eval(%q) = %v, want %v", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FOO",                    // unknown symbol
+		"HOURLY*",                // dangling operator
+		"*HOURLY",                // leading operator
+		"(HOURLY",                // unbalanced paren
+		"HOURLY)",                // trailing garbage
+		"HOURLY 3",               // two factors, no operator
+		"HOURLY/0",               // division by zero
+		"HOURLY/(5-5)",           // division by computed zero
+		"hourly",                 // case-sensitive
+		"9999999999999999999999", // overflow number
+		"HOURLY$",                // bad character
+		"3..4",                   // bad character
+	}
+	for _, expr := range bad {
+		if _, err := Eval(expr); err == nil {
+			t.Errorf("Eval(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+func TestEvalErrorHasContext(t *testing.T) {
+	_, err := Eval("HOURLY*BOGUS")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	ee, ok := err.(*EvalError)
+	if !ok {
+		t.Fatalf("error type %T, want *EvalError", err)
+	}
+	if ee.Expr != "HOURLY*BOGUS" {
+		t.Errorf("EvalError.Expr = %q", ee.Expr)
+	}
+	if ee.Pos != len("HOURLY*") {
+		t.Errorf("EvalError.Pos = %d, want %d", ee.Pos, len("HOURLY*"))
+	}
+	if !strings.Contains(ee.Error(), "BOGUS") {
+		t.Errorf("error message %q does not name the bad symbol", ee.Error())
+	}
+}
+
+func TestMustEvalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEval of invalid expression did not panic")
+		}
+	}()
+	MustEval("NOT_A_SYMBOL")
+}
+
+func TestAddSaturation(t *testing.T) {
+	tests := []struct {
+		a, b, want Cost
+	}{
+		{1, 2, 3},
+		{Infinity, 1, Infinity},
+		{Infinity, Infinity, Infinity},
+		{Cost(math.MaxInt64 - 1), Cost(math.MaxInt64 - 1), Infinity},
+		{5, -10, 0},
+		{0, 0, 0},
+		{Infinity - 1, 1, Infinity},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Add(tt.b); got != tt.want {
+			t.Errorf("%v.Add(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestMulSaturation(t *testing.T) {
+	tests := []struct {
+		a, b, want Cost
+	}{
+		{3, 4, 12},
+		{0, Infinity, 0},
+		{Infinity, 2, Infinity},
+		{1 << 30, 1 << 30, Infinity},
+		{Cost(math.MaxInt32), Cost(math.MaxInt32), Infinity},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Mul(tt.b); got != tt.want {
+			t.Errorf("%v.Mul(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCostString(t *testing.T) {
+	if got := Cost(42).String(); got != "42" {
+		t.Errorf("Cost(42).String() = %q", got)
+	}
+	if got := Infinity.String(); got != "INF" {
+		t.Errorf("Infinity.String() = %q", got)
+	}
+	if got := (Infinity + 5).String(); got != "INF" {
+		t.Errorf("(Infinity+5).String() = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table()
+	lines := strings.Split(strings.TrimRight(tab, "\n"), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("Table() has %d rows, want 9", len(lines))
+	}
+	if lines[0] != "LOCAL\t25" {
+		t.Errorf("first row = %q", lines[0])
+	}
+	if lines[8] != "WEEKLY\t30000" {
+		t.Errorf("last row = %q", lines[8])
+	}
+}
+
+// Property: Add never leaves [0, Infinity] and is commutative on the
+// clamped domain.
+func TestAddProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := clamp(a), clamp(b)
+		s := x.Add(y)
+		if s < 0 || s > Infinity {
+			return false
+		}
+		return s == y.Add(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for in-range values Add matches plain integer addition.
+func TestAddMatchesIntegerAddition(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := Cost(a), Cost(b)
+		return x.Add(y) == Cost(int64(a)+int64(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval of a rendered non-negative number is the identity.
+func TestEvalNumberRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		v, err := Eval(Cost(n).String())
+		return err == nil && v == Cost(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the evaluator agrees with a reference evaluation on randomly
+// generated sum-of-products expressions.
+func TestEvalAgainstReference(t *testing.T) {
+	syms := []string{"LOCAL", "DIRECT", "DEMAND", "HOURLY", "EVENING"}
+	f := func(terms []uint8) bool {
+		if len(terms) == 0 {
+			return true
+		}
+		if len(terms) > 8 {
+			terms = terms[:8]
+		}
+		var sb strings.Builder
+		var ref int64
+		for i, tm := range terms {
+			sym := syms[int(tm)%len(syms)]
+			mult := int64(tm%7) + 1
+			if i > 0 {
+				sb.WriteByte('+')
+			}
+			sb.WriteString(sym)
+			sb.WriteByte('*')
+			sb.WriteString(Cost(mult).String())
+			ref += int64(Symbols[sym]) * mult
+		}
+		got, err := Eval(sb.String())
+		return err == nil && got == Cost(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(v int64) Cost {
+	if v < 0 {
+		return 0
+	}
+	if v > int64(Infinity) {
+		return Infinity
+	}
+	return Cost(v)
+}
+
+func BenchmarkEvalSimple(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval("HOURLY*4"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalComplex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval("(HOURLY+DIRECT)/2 + DAILY/2 - LOCAL*3"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

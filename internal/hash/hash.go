@@ -1,0 +1,387 @@
+// Package hash implements the pathalias host-name table: open addressing
+// with double hashing, exactly as the paper describes.
+//
+// From "Hash table management":
+//
+//   - The integer key k is computed from the name "using bit-level shifts
+//     and exclusive-ors".
+//   - The primary hash is k mod T for prime table size T.
+//   - The secondary hash (the probe step) is NOT the oft-suggested
+//     1+(k mod T−2), which the authors found anomalous, but its inverse
+//     T−2−(k mod T−2).
+//   - When the load factor exceeds the high-water mark α_H = 0.79 (chosen
+//     for a predicted 2 probes per access at full load), the table grows.
+//   - Table sizes follow "a Fibonacci sequence of primes (more or less)",
+//     which tracks the golden ratio without the low-water-mark search the
+//     earlier implementation used.
+//   - Discarded tables are kept on a list for later reuse rather than freed.
+//
+// The package also implements the two growth policies the paper rejected
+// (doubling, and the α_L = 0.49 low-water arithmetic search) so experiment
+// E10 can regenerate the comparison, and both secondary-hash variants so the
+// probe-count anomaly claim can be measured.
+package hash
+
+import "fmt"
+
+// SecondaryVariant selects the double-hashing step function.
+type SecondaryVariant int
+
+const (
+	// SecondaryInverse is the paper's choice: step = T−2−(k mod T−2).
+	SecondaryInverse SecondaryVariant = iota
+	// SecondaryKnuth is the textbook suggestion the paper rejected:
+	// step = 1+(k mod T−2).
+	SecondaryKnuth
+)
+
+// GrowthPolicy selects how a new table size is chosen on rehash.
+type GrowthPolicy int
+
+const (
+	// GrowFibonacci is the paper's current scheme: table sizes follow a
+	// Fibonacci sequence of primes, which grows by ≈ the golden ratio.
+	GrowFibonacci GrowthPolicy = iota
+	// GrowDoubling doubles the size (δ=2, the Aho–Hopcroft–Ullman
+	// suggestion); the paper rejects it as wasting space when the final
+	// count barely exceeds α_H·T.
+	GrowDoubling
+	// GrowLowWater implements the earlier pathalias: scan an arithmetic
+	// sequence of primes for the first size with load factor < α_L = 0.49.
+	GrowLowWater
+)
+
+// Load factor marks from the paper.
+const (
+	// HighWater α_H: exceed it and the table grows. 0.79 "gives a
+	// predicted ratio of 2 probes per access when the table is full".
+	HighWater = 0.79
+	// LowWater α_L, used only by GrowLowWater. α_H/α_L ≈ 1.61 ≈ φ.
+	LowWater = 0.49
+)
+
+// initialSize is the first table size. 509 is prime; the original started
+// small and relied on rehashing ("we cannot know a priori how many hosts
+// will be declared").
+const initialSize = 509
+
+// entry is one slot. A nil-key slot is empty; keys are never removed
+// (pathalias marks deleted hosts at the graph layer instead — "very little
+// space [is] freed" during parsing).
+type entry[V any] struct {
+	key string
+	set bool
+	val V
+}
+
+// Stats captures the table's behavior for experiments and -v output.
+type Stats struct {
+	Len          int   // entries stored
+	Size         int   // current table size T
+	Rehashes     int   // number of growths
+	Probes       int64 // probe count across Insert/Lookup/GetOrInsert calls
+	RehashProbes int64 // probes spent re-placing entries during growth
+	Accesses     int64 // total operations (insert+lookup)
+	RetiredSlots int   // total capacity of discarded tables kept on the list
+}
+
+// ProbesPerAccess returns the observed mean probes per access.
+func (s Stats) ProbesPerAccess() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Probes) / float64(s.Accesses)
+}
+
+// Table is an open-addressing, double-hashing string-keyed table.
+// The zero value is not usable; call New.
+type Table[V any] struct {
+	slots        []entry[V]
+	len          int
+	variant      SecondaryVariant
+	growth       GrowthPolicy
+	rehashes     int
+	probes       int64
+	rehashProbes int64
+	accesses     int64
+
+	// retired holds discarded tables: "Rather than freeing the old tables
+	// ... they are placed on a list and made available to our memory
+	// allocator for later use." A later rehash reuses a retired table if
+	// one is large enough, and the mapper's heap sizes itself from the
+	// table's guaranteed capacity (see DonatedCapacity).
+	retired [][]entry[V]
+
+	// fib tracks the Fibonacci prime sequence: previous and current sizes.
+	fibPrev int
+}
+
+// New returns a table with the paper's parameters: inverse secondary hash
+// and Fibonacci-prime growth.
+func New[V any]() *Table[V] {
+	return NewWith[V](SecondaryInverse, GrowFibonacci)
+}
+
+// NewWith returns a table with explicit design choices, for the E10
+// comparison experiments.
+func NewWith[V any](sv SecondaryVariant, gp GrowthPolicy) *Table[V] {
+	return &Table[V]{
+		slots:   make([]entry[V], initialSize),
+		variant: sv,
+		growth:  gp,
+		fibPrev: 317, // prime below initialSize; 317+509=826 → next prime 827 ≈ φ·509
+	}
+}
+
+// Fold computes the integer key for a name with bit-level shifts and
+// exclusive-ors, as the paper specifies. (Exported so experiments can
+// measure its distribution.)
+func Fold(name string) uint64 {
+	var k uint64
+	for i := 0; i < len(name); i++ {
+		k = (k << 7) ^ (k >> 57) ^ uint64(name[i])
+	}
+	return k
+}
+
+// step returns the probe step for key k in a table of size t.
+func (t *Table[V]) step(k uint64, size int) int {
+	m := uint64(size - 2)
+	switch t.variant {
+	case SecondaryKnuth:
+		return int(1 + k%m)
+	default: // SecondaryInverse
+		return int(m - k%m)
+	}
+}
+
+// Len returns the number of entries.
+func (t *Table[V]) Len() int { return t.len }
+
+// Size returns the current table size T.
+func (t *Table[V]) Size() int { return len(t.slots) }
+
+// LoadFactor returns len/T.
+func (t *Table[V]) LoadFactor() float64 {
+	return float64(t.len) / float64(len(t.slots))
+}
+
+// Stats returns a snapshot of the table's counters.
+func (t *Table[V]) Stats() Stats {
+	retired := 0
+	for _, r := range t.retired {
+		retired += len(r)
+	}
+	return Stats{
+		Len:          t.len,
+		Size:         len(t.slots),
+		Rehashes:     t.rehashes,
+		Probes:       t.probes,
+		RehashProbes: t.rehashProbes,
+		Accesses:     t.accesses,
+		RetiredSlots: retired,
+	}
+}
+
+// Lookup finds the value stored under key.
+func (t *Table[V]) Lookup(key string) (V, bool) {
+	t.accesses++
+	i, found := t.probe(key)
+	if !found {
+		var zero V
+		return zero, false
+	}
+	return t.slots[i].val, true
+}
+
+// Insert stores val under key, returning the previous value if the key was
+// already present.
+func (t *Table[V]) Insert(key string, val V) (prev V, existed bool) {
+	t.accesses++
+	i, found := t.probe(key)
+	if found {
+		prev = t.slots[i].val
+		t.slots[i].val = val
+		return prev, true
+	}
+	t.slots[i] = entry[V]{key: key, set: true, val: val}
+	t.len++
+	if t.LoadFactor() > HighWater {
+		t.rehash()
+	}
+	return prev, false
+}
+
+// GetOrInsert returns the value under key, inserting the result of mk() if
+// absent. This is the hot path during parsing: one probe sequence serves
+// both the hit and the miss.
+func (t *Table[V]) GetOrInsert(key string, mk func() V) (V, bool) {
+	t.accesses++
+	i, found := t.probe(key)
+	if found {
+		return t.slots[i].val, true
+	}
+	v := mk()
+	t.slots[i] = entry[V]{key: key, set: true, val: v}
+	t.len++
+	if t.LoadFactor() > HighWater {
+		t.rehash()
+	}
+	return v, false
+}
+
+// probe runs the double-hash probe sequence for key, counting probes.
+// It returns the slot index where the key lives (found=true) or where it
+// should be inserted (found=false).
+func (t *Table[V]) probe(key string) (idx int, found bool) {
+	k := Fold(key)
+	size := len(t.slots)
+	i := int(k % uint64(size))
+	step := t.step(k, size)
+	for {
+		t.probes++
+		e := &t.slots[i]
+		if !e.set {
+			return i, false
+		}
+		if e.key == key {
+			return i, true
+		}
+		i += step
+		if i >= size {
+			i -= size
+		}
+	}
+}
+
+// rehash grows the table per the growth policy, inserting old entries into
+// the new table and retiring the old one.
+func (t *Table[V]) rehash() {
+	newSize := t.nextSize()
+	old := t.slots
+
+	// Reuse a retired table if one is big enough (it never is under
+	// monotone growth, but the list is also the donation pool).
+	var ns []entry[V]
+	for ri, r := range t.retired {
+		if len(r) >= newSize {
+			ns = r[:newSize]
+			clear(ns)
+			t.retired = append(t.retired[:ri], t.retired[ri+1:]...)
+			break
+		}
+	}
+	if ns == nil {
+		ns = make([]entry[V], newSize)
+	}
+
+	t.slots = ns
+	t.rehashes++
+	for i := range old {
+		if old[i].set {
+			// Direct placement: keys are unique, so probe for the
+			// insertion slot without the public-API accounting.
+			k := Fold(old[i].key)
+			j := int(k % uint64(newSize))
+			step := t.step(k, newSize)
+			for {
+				t.rehashProbes++
+				if !t.slots[j].set {
+					t.slots[j] = old[i]
+					break
+				}
+				j += step
+				if j >= newSize {
+					j -= newSize
+				}
+			}
+		}
+	}
+	t.retired = append(t.retired, old)
+}
+
+// nextSize picks the next table size per the growth policy.
+func (t *Table[V]) nextSize() int {
+	cur := len(t.slots)
+	switch t.growth {
+	case GrowDoubling:
+		return nextPrime(2 * cur)
+	case GrowLowWater:
+		// Scan an arithmetic sequence of primes for the first size that
+		// brings the load factor under α_L.
+		want := int(float64(t.len)/LowWater) + 1
+		sz := cur + 2
+		for {
+			sz = nextPrime(sz)
+			if sz >= want {
+				return sz
+			}
+			sz += 2
+		}
+	default: // GrowFibonacci
+		next := nextPrime(t.fibPrev + cur)
+		t.fibPrev = cur
+		return next
+	}
+}
+
+// ForEach calls fn for every (key, value) pair in unspecified order.
+func (t *Table[V]) ForEach(fn func(key string, val V)) {
+	for i := range t.slots {
+		if t.slots[i].set {
+			fn(t.slots[i].key, t.slots[i].val)
+		}
+	}
+}
+
+// DonatedCapacity reports the capacity guarantee the mapper relies on: the
+// paper reuses the hash table's memory for the shortest-path heap, "since
+// the hash table is no longer needed and is guaranteed to be large enough".
+// Safe Go cannot retype that memory, so the design point survives as a
+// guarantee: the current table (plus retired list) always has at least
+// Len() slots available for a heap of all hosts. See DESIGN.md §3.
+func (t *Table[V]) DonatedCapacity() int {
+	c := len(t.slots)
+	for _, r := range t.retired {
+		c += len(r)
+	}
+	return c
+}
+
+// nextPrime returns the smallest prime ≥ n. Trial division is plenty: sizes
+// stay far below the point where it would matter, and rehashes are rare.
+func nextPrime(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for {
+		if isPrime(n) {
+			return n
+		}
+		n += 2
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarizes the table for diagnostics.
+func (t *Table[V]) String() string {
+	return fmt.Sprintf("hash.Table{len=%d size=%d load=%.2f rehashes=%d}",
+		t.len, len(t.slots), t.LoadFactor(), t.rehashes)
+}

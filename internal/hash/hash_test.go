@@ -1,0 +1,410 @@
+package hash
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertLookup(t *testing.T) {
+	tab := New[int]()
+	if _, ok := tab.Lookup("unc"); ok {
+		t.Error("lookup in empty table succeeded")
+	}
+	if _, existed := tab.Insert("unc", 1); existed {
+		t.Error("first insert reported existing")
+	}
+	v, ok := tab.Lookup("unc")
+	if !ok || v != 1 {
+		t.Errorf("Lookup(unc) = %d,%v want 1,true", v, ok)
+	}
+	prev, existed := tab.Insert("unc", 2)
+	if !existed || prev != 1 {
+		t.Errorf("re-insert = %d,%v want 1,true", prev, existed)
+	}
+	v, _ = tab.Lookup("unc")
+	if v != 2 {
+		t.Errorf("after update Lookup = %d want 2", v)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("Len = %d want 1", tab.Len())
+	}
+}
+
+func TestGetOrInsert(t *testing.T) {
+	tab := New[string]()
+	calls := 0
+	v, existed := tab.GetOrInsert("duke", func() string { calls++; return "made" })
+	if existed || v != "made" || calls != 1 {
+		t.Errorf("first GetOrInsert = %q,%v calls=%d", v, existed, calls)
+	}
+	v, existed = tab.GetOrInsert("duke", func() string { calls++; return "again" })
+	if !existed || v != "made" || calls != 1 {
+		t.Errorf("second GetOrInsert = %q,%v calls=%d", v, existed, calls)
+	}
+}
+
+func TestManyKeysAndRehash(t *testing.T) {
+	tab := New[int]()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tab.Insert(fmt.Sprintf("host%d", i), i)
+	}
+	if tab.Len() != n {
+		t.Fatalf("Len = %d want %d", tab.Len(), n)
+	}
+	st := tab.Stats()
+	if st.Rehashes == 0 {
+		t.Error("no rehashes for 10000 keys starting at size 509")
+	}
+	if tab.LoadFactor() > HighWater {
+		t.Errorf("load factor %.3f exceeds high-water %.2f after growth",
+			tab.LoadFactor(), HighWater)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tab.Lookup(fmt.Sprintf("host%d", i))
+		if !ok || v != i {
+			t.Fatalf("Lookup(host%d) = %d,%v", i, v, ok)
+		}
+	}
+	if st.RetiredSlots == 0 {
+		t.Error("rehash retired no tables; the paper keeps them on a list")
+	}
+}
+
+func TestLoadFactorNeverExceedsHighWaterAfterInsert(t *testing.T) {
+	tab := New[int]()
+	for i := 0; i < 5000; i++ {
+		tab.Insert(fmt.Sprintf("k%d", i), i)
+		if lf := tab.LoadFactor(); lf > HighWater {
+			t.Fatalf("load factor %.3f > α_H after insert %d", lf, i)
+		}
+	}
+}
+
+func TestTableSizesArePrime(t *testing.T) {
+	tab := New[int]()
+	sizes := []int{tab.Size()}
+	for i := 0; i < 30000; i++ {
+		tab.Insert(fmt.Sprintf("k%d", i), i)
+		if s := tab.Size(); s != sizes[len(sizes)-1] {
+			sizes = append(sizes, s)
+		}
+	}
+	for _, s := range sizes {
+		if !isPrime(s) {
+			t.Errorf("table size %d is not prime", s)
+		}
+	}
+	if len(sizes) < 3 {
+		t.Fatalf("expected several growths, got sizes %v", sizes)
+	}
+}
+
+func TestFibonacciGrowthTracksGoldenRatio(t *testing.T) {
+	// "we ... maintain a Fibonacci sequence of primes (more or less),
+	// which also follows the golden ratio."
+	tab := New[int]()
+	var sizes []int
+	last := tab.Size()
+	sizes = append(sizes, last)
+	for i := 0; i < 200000 && len(sizes) < 8; i++ {
+		tab.Insert(fmt.Sprintf("key-%d", i), i)
+		if s := tab.Size(); s != last {
+			last = s
+			sizes = append(sizes, s)
+		}
+	}
+	phi := (1 + math.Sqrt(5)) / 2
+	for i := 1; i < len(sizes); i++ {
+		ratio := float64(sizes[i]) / float64(sizes[i-1])
+		if ratio < phi-0.25 || ratio > phi+0.25 {
+			t.Errorf("growth ratio %0.3f (sizes %d→%d) not near φ=%.3f",
+				ratio, sizes[i-1], sizes[i], phi)
+		}
+	}
+}
+
+func TestDoublingGrowth(t *testing.T) {
+	tab := NewWith[int](SecondaryInverse, GrowDoubling)
+	var sizes []int
+	last := tab.Size()
+	for i := 0; i < 20000 && len(sizes) < 4; i++ {
+		tab.Insert(fmt.Sprintf("key-%d", i), i)
+		if s := tab.Size(); s != last {
+			last = s
+			sizes = append(sizes, s)
+		}
+	}
+	for i := 1; i < len(sizes); i++ {
+		ratio := float64(sizes[i]) / float64(sizes[i-1])
+		if ratio < 1.9 || ratio > 2.1 {
+			t.Errorf("doubling ratio %.3f, want ≈2", ratio)
+		}
+	}
+}
+
+func TestLowWaterGrowth(t *testing.T) {
+	tab := NewWith[int](SecondaryInverse, GrowLowWater)
+	prevSize := tab.Size()
+	for i := 0; i < 20000; i++ {
+		tab.Insert(fmt.Sprintf("key-%d", i), i)
+		if s := tab.Size(); s != prevSize {
+			// Just after a low-water rehash the load factor must be
+			// under α_L.
+			if lf := tab.LoadFactor(); lf >= LowWater+0.01 {
+				t.Fatalf("after low-water rehash to %d, load %.3f ≥ α_L", s, lf)
+			}
+			prevSize = s
+		}
+	}
+}
+
+func TestSecondaryVariants(t *testing.T) {
+	for _, sv := range []SecondaryVariant{SecondaryInverse, SecondaryKnuth} {
+		tab := NewWith[int](sv, GrowFibonacci)
+		const n = 8500 // the paper's combined host count
+		for i := 0; i < n; i++ {
+			tab.Insert(fmt.Sprintf("site%d", i), i)
+		}
+		for i := 0; i < n; i++ {
+			if v, ok := tab.Lookup(fmt.Sprintf("site%d", i)); !ok || v != i {
+				t.Fatalf("variant %d: Lookup(site%d) = %d,%v", sv, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestProbeStepNeverZero(t *testing.T) {
+	// A zero step would loop forever; both variants must yield step ≥ 1
+	// for any key. Checked across a spread of keys and both variants.
+	tab := New[int]()
+	f := func(key string) bool {
+		k := Fold(key)
+		for _, sv := range []SecondaryVariant{SecondaryInverse, SecondaryKnuth} {
+			tt := NewWith[int](sv, GrowFibonacci)
+			s := tt.step(k, tab.Size())
+			if s < 1 || s >= tab.Size() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldDistribution(t *testing.T) {
+	// The fold must not collapse suffix/prefix variants — the classic
+	// failure of additive folds on names like host1, host2, ....
+	seen := map[uint64]string{}
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("host%d", i)
+		k := Fold(name)
+		if other, dup := seen[k]; dup {
+			t.Fatalf("Fold collision: %q and %q both fold to %d", name, other, k)
+		}
+		seen[k] = name
+	}
+	if Fold("ab") == Fold("ba") {
+		t.Error("Fold is order-insensitive; shifts are not working")
+	}
+	if Fold("") == Fold("a") {
+		t.Error("Fold of empty equals Fold of 'a'")
+	}
+}
+
+func TestProbesPerAccessNearPrediction(t *testing.T) {
+	// "We use 0.79 for α_H, as this gives a predicted ratio of 2 probes
+	// per access when the table is full." Observed mean over a mixed
+	// insert+lookup workload must be modest — well under 3 — and the
+	// near-full-table mean should be in the vicinity of 2.
+	tab := New[int]()
+	const n = 8500
+	for i := 0; i < n; i++ {
+		tab.Insert(fmt.Sprintf("node-%d-x", i), i)
+	}
+	for i := 0; i < n; i++ {
+		tab.Lookup(fmt.Sprintf("node-%d-x", i))
+	}
+	st := tab.Stats()
+	ppa := st.ProbesPerAccess()
+	if ppa > 3.0 {
+		t.Errorf("mean probes/access = %.2f, want < 3 (paper predicts ≈2 at full load)", ppa)
+	}
+	if ppa < 1.0 {
+		t.Errorf("mean probes/access = %.2f < 1, counter broken", ppa)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	tab := New[int]()
+	want := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("h%d", i)
+		tab.Insert(k, i)
+		want[k] = i
+	}
+	got := map[string]int{}
+	tab.ForEach(func(k string, v int) { got[k] = v })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("ForEach got[%q] = %d want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestDonatedCapacity(t *testing.T) {
+	tab := New[int]()
+	for i := 0; i < 5000; i++ {
+		tab.Insert(fmt.Sprintf("h%d", i), i)
+	}
+	// The guarantee the mapper's heap relies on: capacity ≥ Len.
+	if dc := tab.DonatedCapacity(); dc < tab.Len() {
+		t.Errorf("DonatedCapacity %d < Len %d", dc, tab.Len())
+	}
+}
+
+func TestEmptyKeyAndOddKeys(t *testing.T) {
+	tab := New[int]()
+	keys := []string{"", " ", "a", strings.Repeat("x", 1000), "UNC-dwarf", ".edu", "host!bang"}
+	for i, k := range keys {
+		tab.Insert(k, i)
+	}
+	for i, k := range keys {
+		v, ok := tab.Lookup(k)
+		if !ok || v != i {
+			t.Errorf("Lookup(%q) = %d,%v want %d,true", k, v, ok, i)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 2}, {2, 2}, {3, 3}, {4, 5}, {509, 509}, {510, 521},
+		{826, 827}, {1000, 1009},
+	}
+	for _, c := range cases {
+		if got := nextPrime(c.in); got != c.want {
+			t.Errorf("nextPrime(%d) = %d want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 509: true, 827: true}
+	for n := -5; n < 30; n++ {
+		want := primes[n] || n == 11 || n == 13 || n == 17 || n == 19 || n == 23 || n == 29
+		if got := isPrime(n); got != want {
+			t.Errorf("isPrime(%d) = %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	tab := New[int]()
+	tab.Insert("a", 1)
+	s := tab.String()
+	if !strings.Contains(s, "len=1") || !strings.Contains(s, "size=509") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Property: the table behaves exactly like map[string]int under a random
+// operation sequence.
+func TestModelEquivalence(t *testing.T) {
+	type op struct {
+		Insert bool
+		Key    uint8 // small key space forces collisions and updates
+		Val    int
+	}
+	f := func(ops []op) bool {
+		tab := New[int]()
+		model := map[string]int{}
+		for _, o := range ops {
+			key := fmt.Sprintf("k%d", o.Key%32)
+			if o.Insert {
+				prev, existed := tab.Insert(key, o.Val)
+				mprev, mexisted := model[key]
+				if existed != mexisted || (existed && prev != mprev) {
+					return false
+				}
+				model[key] = o.Val
+			} else {
+				v, ok := tab.Lookup(key)
+				mv, mok := model[key]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			}
+		}
+		return tab.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: model equivalence still holds across every variant/policy pair
+// with enough keys to force rehashes.
+func TestModelEquivalenceAllConfigs(t *testing.T) {
+	for _, sv := range []SecondaryVariant{SecondaryInverse, SecondaryKnuth} {
+		for _, gp := range []GrowthPolicy{GrowFibonacci, GrowDoubling, GrowLowWater} {
+			tab := NewWith[int](sv, gp)
+			model := map[string]int{}
+			for i := 0; i < 3000; i++ {
+				k := fmt.Sprintf("key-%d", i*7919%3001)
+				tab.Insert(k, i)
+				model[k] = i
+			}
+			if tab.Len() != len(model) {
+				t.Fatalf("sv=%d gp=%d: Len %d != model %d", sv, gp, tab.Len(), len(model))
+			}
+			for k, v := range model {
+				got, ok := tab.Lookup(k)
+				if !ok || got != v {
+					t.Fatalf("sv=%d gp=%d: Lookup(%q) = %d,%v want %d", sv, gp, k, got, ok, v)
+				}
+			}
+		}
+	}
+}
+
+func benchmarkInsert(b *testing.B, sv SecondaryVariant, gp GrowthPolicy) {
+	keys := make([]string, 8500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("host-%d.sub%d", i, i%97)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tab := NewWith[int](sv, gp)
+		for j, k := range keys {
+			tab.Insert(k, j)
+		}
+	}
+}
+
+func BenchmarkInsertInverseFib(b *testing.B) { benchmarkInsert(b, SecondaryInverse, GrowFibonacci) }
+func BenchmarkInsertKnuthFib(b *testing.B)   { benchmarkInsert(b, SecondaryKnuth, GrowFibonacci) }
+func BenchmarkInsertInverseDbl(b *testing.B) { benchmarkInsert(b, SecondaryInverse, GrowDoubling) }
+func BenchmarkInsertInverseLow(b *testing.B) { benchmarkInsert(b, SecondaryInverse, GrowLowWater) }
+
+func BenchmarkLookupHit(b *testing.B) {
+	tab := New[int]()
+	keys := make([]string, 8500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("host-%d", i)
+		tab.Insert(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.Lookup(keys[i%len(keys)])
+	}
+}

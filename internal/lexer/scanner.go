@@ -1,0 +1,206 @@
+package lexer
+
+import "fmt"
+
+// Scanner is the hand-built scanner: a byte-at-a-time recognizer for the
+// map language. It performs no allocation per token beyond slicing the
+// input for token text, which is what made the original fast enough to
+// displace lex.
+//
+// Lexical rules (DESIGN.md §2):
+//
+//   - '#' starts a comment running to end of line.
+//   - Statements are newline-terminated; Newline tokens are significant.
+//   - A backslash immediately before a newline continues the line.
+//   - A newline following a comma is suppressed (a trailing comma continues
+//     the statement, the idiom long map files rely on).
+//   - '(' ... ')' brackets a cost expression; the scanner returns the raw
+//     text between the balanced parens as a single CostText token. Nested
+//     parens are respected; newlines inside costs are errors.
+//   - '!', '@', '%', ':', '^' are NetChar tokens.
+//   - ',', '=', '{', '}' are themselves.
+//   - Anything else that is a name byte starts a Name.
+type Scanner struct {
+	src  []byte
+	file string
+	pos  int
+	line int
+	col  int
+
+	lastKind Kind // kind of the last emitted token; Invalid before the first
+	sawEOF   bool
+}
+
+// NewScanner returns a Scanner over src, reporting positions against the
+// given file name.
+func NewScanner(file string, src []byte) *Scanner {
+	return &Scanner{src: src, file: file, line: 1, col: 1}
+}
+
+func (s *Scanner) errorf(format string, args ...any) *ScanError {
+	return &ScanError{File: s.file, Line: s.line, Col: s.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// advance consumes one byte, maintaining line/col accounting.
+func (s *Scanner) advance() {
+	if s.src[s.pos] == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	s.pos++
+}
+
+// peek returns the current byte, or 0 at end of input.
+func (s *Scanner) peek() byte {
+	if s.pos < len(s.src) {
+		return s.src[s.pos]
+	}
+	return 0
+}
+
+func (s *Scanner) peekAt(off int) byte {
+	if s.pos+off < len(s.src) {
+		return s.src[s.pos+off]
+	}
+	return 0
+}
+
+// Next returns the next token. At end of input it returns one final EOF
+// token, preceded by a synthetic Newline if the input did not end in one,
+// so the parser always sees terminated statements.
+func (s *Scanner) Next() (Token, error) {
+	tok, err := s.next()
+	if err == nil {
+		s.lastKind = tok.Kind
+	}
+	return tok, err
+}
+
+func (s *Scanner) next() (Token, error) {
+	for {
+		// Skip horizontal whitespace, comments, and continuations.
+		for s.pos < len(s.src) {
+			c := s.src[s.pos]
+			switch {
+			case c == ' ' || c == '\t' || c == '\r':
+				s.advance()
+			case c == '#':
+				for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+					s.advance()
+				}
+			case c == '\\' && s.peekAt(1) == '\n':
+				s.advance() // backslash
+				s.advance() // newline
+			default:
+				goto skipped
+			}
+		}
+	skipped:
+		if s.pos >= len(s.src) {
+			if s.sawEOF {
+				return Token{Kind: EOF, File: s.file, Line: s.line, Col: s.col}, nil
+			}
+			s.sawEOF = true
+			if s.lastKind != Newline && s.lastKind != Invalid {
+				return Token{Kind: Newline, File: s.file, Line: s.line, Col: s.col}, nil
+			}
+			return Token{Kind: EOF, File: s.file, Line: s.line, Col: s.col}, nil
+		}
+
+		tok := Token{File: s.file, Line: s.line, Col: s.col}
+		c := s.src[s.pos]
+		switch {
+		case c == '\n':
+			s.advance()
+			if s.lastKind == Comma {
+				continue // trailing comma: statement continues on next line
+			}
+			tok.Kind = Newline
+			return tok, nil
+
+		case c == ',':
+			s.advance()
+			tok.Kind = Comma
+			return tok, nil
+
+		case c == '=':
+			s.advance()
+			tok.Kind = Equals
+			return tok, nil
+
+		case c == '{':
+			s.advance()
+			tok.Kind = LBrace
+			return tok, nil
+
+		case c == '}':
+			s.advance()
+			tok.Kind = RBrace
+			return tok, nil
+
+		case c == '(':
+			s.advance()
+			start := s.pos
+			depth := 1
+			for s.pos < len(s.src) {
+				b := s.src[s.pos]
+				if b == '\n' {
+					return tok, s.errorf("newline inside cost expression")
+				}
+				if b == '(' {
+					depth++
+				}
+				if b == ')' {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+				s.advance()
+			}
+			if depth != 0 {
+				return tok, s.errorf("unterminated cost expression")
+			}
+			tok.Kind = CostText
+			tok.Text = string(s.src[start:s.pos])
+			s.advance() // closing paren
+			return tok, nil
+
+		case IsNetChar(c):
+			s.advance()
+			tok.Kind = NetChar
+			tok.Text = string(c)
+			return tok, nil
+
+		case isNameByte(c):
+			start := s.pos
+			for s.pos < len(s.src) && isNameByte(s.src[s.pos]) {
+				s.advance()
+			}
+			tok.Kind = Name
+			tok.Text = string(s.src[start:s.pos])
+			return tok, nil
+
+		default:
+			return tok, s.errorf("illegal character %q", c)
+		}
+	}
+}
+
+// All scans the entire input, returning the token stream up to and
+// including EOF. Mostly a convenience for tests and benchmarks.
+func (s *Scanner) All() ([]Token, error) {
+	var toks []Token
+	for {
+		t, err := s.Next()
+		if err != nil {
+			return toks, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// collect scans src with the fast scanner and fails the test on error.
+func collect(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := NewScanner("test", []byte(src)).All()
+	if err != nil {
+		t.Fatalf("scan %q: %v", src, err)
+	}
+	return toks
+}
+
+// kinds extracts the kind sequence.
+func kinds(toks []Token) []Kind {
+	ks := make([]Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func eqKinds(a []Kind, b ...Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSimpleHostDecl(t *testing.T) {
+	// The paper's first example: a b(10), c(20)
+	toks := collect(t, "a b(10), c(20)\n")
+	want := []Kind{Name, Name, CostText, Comma, Name, CostText, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+	if toks[0].Text != "a" || toks[1].Text != "b" || toks[2].Text != "10" {
+		t.Errorf("texts wrong: %v", toks[:3])
+	}
+	if toks[4].Text != "c" || toks[5].Text != "20" {
+		t.Errorf("texts wrong: %v", toks[4:6])
+	}
+}
+
+func TestArpanetSyntax(t *testing.T) {
+	// a @b(10), @c(20) — '@' before the host means host on the right.
+	toks := collect(t, "a @b(10), @c(20)\n")
+	want := []Kind{Name, NetChar, Name, CostText, Comma, NetChar, Name, CostText, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+	if toks[1].Text != "@" {
+		t.Errorf("netchar text = %q", toks[1].Text)
+	}
+}
+
+func TestExplicitUUCPSyntax(t *testing.T) {
+	// a b!(10), c!(20) — the paper's "default case written explicitly".
+	toks := collect(t, "a b!(10), c!(20)\n")
+	want := []Kind{Name, Name, NetChar, CostText, Comma, Name, NetChar, CostText, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestNetworkDecl(t *testing.T) {
+	// UNC-dwarf = {dopey, grumpy, sleepy}(10)
+	toks := collect(t, "UNC-dwarf = {dopey, grumpy, sleepy}(10)\n")
+	want := []Kind{Name, Equals, LBrace, Name, Comma, Name, Comma, Name, RBrace, CostText, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+	if toks[0].Text != "UNC-dwarf" {
+		t.Errorf("network name = %q", toks[0].Text)
+	}
+}
+
+func TestNetworkWithNetChar(t *testing.T) {
+	// ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+	toks := collect(t, "ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)\n")
+	want := []Kind{Name, Equals, NetChar, LBrace, Name, Comma, Name, Comma, Name, RBrace, CostText, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+	if toks[9].Kind != RBrace || toks[10].Text != "DEDICATED" {
+		t.Errorf("cost text = %q", toks[10].Text)
+	}
+}
+
+func TestDomainNames(t *testing.T) {
+	toks := collect(t, ".rutgers.edu = {caip, blue}\n")
+	if toks[0].Text != ".rutgers.edu" {
+		t.Errorf("domain name = %q", toks[0].Text)
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := collect(t, "# full line comment\na b(10) # trailing comment\n")
+	want := []Kind{Newline, Name, Name, CostText, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestBackslashContinuation(t *testing.T) {
+	toks := collect(t, "a b(10), \\\n c(20)\n")
+	want := []Kind{Name, Name, CostText, Comma, Name, CostText, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestTrailingCommaContinuation(t *testing.T) {
+	// A newline right after a comma does not terminate the statement.
+	toks := collect(t, "a b(10),\n c(20)\nd e\n")
+	want := []Kind{Name, Name, CostText, Comma, Name, CostText, Newline,
+		Name, Name, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestTrailingCommaWithCommentContinuation(t *testing.T) {
+	toks := collect(t, "a b(10), # more below\n c(20)\n")
+	want := []Kind{Name, Name, CostText, Comma, Name, CostText, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestMissingFinalNewline(t *testing.T) {
+	// The scanner synthesizes a final Newline so statements always end.
+	toks := collect(t, "a b(10)")
+	want := []Kind{Name, Name, CostText, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	toks := collect(t, "")
+	// No synthetic newline when nothing was emitted: just EOF.
+	want := []Kind{EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestTrailingCommaAtEOF(t *testing.T) {
+	// A statement left dangling by a trailing comma still gets terminated.
+	toks := collect(t, "a b(10),")
+	want := []Kind{Name, Name, CostText, Comma, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestNestedCostParens(t *testing.T) {
+	toks := collect(t, "a b((HOURLY+(DIRECT*2))/3)\n")
+	if toks[2].Kind != CostText || toks[2].Text != "(HOURLY+(DIRECT*2))/3" {
+		t.Fatalf("cost token = %v", toks[2])
+	}
+	// The slow scanner must agree even on deep nesting (its rule table
+	// cannot express this; the manual fallback must).
+	slow, err := NewSlowScanner("test", []byte("a b((HOURLY+(DIRECT*2))/3)\n")).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow[2].Text != toks[2].Text {
+		t.Errorf("slow scanner cost = %q, fast = %q", slow[2].Text, toks[2].Text)
+	}
+}
+
+func TestBlankLines(t *testing.T) {
+	toks := collect(t, "\n\n\na b\n\n")
+	want := []Kind{Newline, Newline, Newline, Name, Name, Newline, Newline, EOF}
+	if !eqKinds(kinds(toks), want...) {
+		t.Fatalf("kinds = %v, want %v", kinds(toks), want)
+	}
+}
+
+func TestCostExpressionText(t *testing.T) {
+	toks := collect(t, "a b(HOURLY*3 + (DIRECT/2))\n")
+	if toks[2].Kind != CostText {
+		t.Fatalf("kinds = %v", kinds(toks))
+	}
+	if toks[2].Text != "HOURLY*3 + (DIRECT/2)" {
+		t.Errorf("cost text = %q", toks[2].Text)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := collect(t, "abc def\nghi\n")
+	checks := []struct {
+		i         int
+		line, col int
+	}{
+		{0, 1, 1}, // abc
+		{1, 1, 5}, // def
+		{2, 1, 8}, // newline
+		{3, 2, 1}, // ghi
+	}
+	for _, c := range checks {
+		if toks[c.i].Line != c.line || toks[c.i].Col != c.col {
+			t.Errorf("token %d at %d:%d, want %d:%d",
+				c.i, toks[c.i].Line, toks[c.i].Col, c.line, c.col)
+		}
+	}
+	if got := toks[0].Pos(); got != "test:1:1" {
+		t.Errorf("Pos() = %q", got)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantMsg string
+	}{
+		{"a b(10\n", "newline inside cost"},
+		{"a b(10", "unterminated cost"},
+		{"a b(((10))", "unterminated cost"},
+		{"a ;b\n", "illegal character"},
+		{"a \"b\"\n", "illegal character"},
+	}
+	for _, c := range cases {
+		_, err := NewScanner("t", []byte(c.src)).All()
+		if err == nil {
+			t.Errorf("scan %q: no error, want %q", c.src, c.wantMsg)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("scan %q: error %q, want substring %q", c.src, err, c.wantMsg)
+		}
+	}
+}
+
+func TestScanErrorPosition(t *testing.T) {
+	_, err := NewScanner("map.txt", []byte("ok ok\nbad ;\n")).All()
+	se, ok := err.(*ScanError)
+	if !ok {
+		t.Fatalf("error type %T, want *ScanError", err)
+	}
+	if se.File != "map.txt" || se.Line != 2 || se.Col != 5 {
+		t.Errorf("error at %s:%d:%d, want map.txt:2:5", se.File, se.Line, se.Col)
+	}
+}
+
+func TestAllNetChars(t *testing.T) {
+	for _, c := range []string{"!", "@", "%", ":", "^"} {
+		toks := collect(t, "a "+c+"b\n")
+		if toks[1].Kind != NetChar || toks[1].Text != c {
+			t.Errorf("netchar %q: token %v", c, toks[1])
+		}
+	}
+}
+
+func TestIsNetChar(t *testing.T) {
+	for _, c := range []byte{'!', '@', '%', ':', '^'} {
+		if !IsNetChar(c) {
+			t.Errorf("IsNetChar(%q) = false", c)
+		}
+	}
+	for _, c := range []byte{'a', '0', '.', '-', ' ', '#', 0} {
+		if IsNetChar(c) {
+			t.Errorf("IsNetChar(%q) = true", c)
+		}
+	}
+}
+
+// TestSlowScannerEquivalence is the load-bearing property for experiment
+// E8: both scanners recognize the same language, so their benchmark compares
+// only recognition machinery.
+func TestSlowScannerEquivalence(t *testing.T) {
+	srcs := []string{
+		"",
+		"a b(10), c(20)\n",
+		"a @b(10), @c(20)\n",
+		"a b!(10), c!(20)\n",
+		"UNC-dwarf = {dopey, grumpy, sleepy}(10)\n",
+		"ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)\n",
+		"# comment\na b\n",
+		"a b(HOURLY*3 + (DIRECT/2)), c\n",
+		"private {x, y}\ndead {a!b}\n",
+		"a b(10),\n c(20)\nd e\n",
+		"a b(10), \\\n c(20)\n",
+		"unc duke(HOURLY), phs(HOURLY*4)\nduke unc(DEMAND), research(DAILY/2), phs(DEMAND)\n",
+		".rutgers.edu = {caip}\n",
+		"x\n\n\ny\n",
+		"adjust {w(+10), x(-5)}\n",
+	}
+	for _, src := range srcs {
+		fast, ferr := NewScanner("t", []byte(src)).All()
+		slow, serr := NewSlowScanner("t", []byte(src)).All()
+		if (ferr == nil) != (serr == nil) {
+			t.Errorf("src %q: fast err %v, slow err %v", src, ferr, serr)
+			continue
+		}
+		if len(fast) != len(slow) {
+			t.Errorf("src %q: fast %d tokens, slow %d", src, len(fast), len(slow))
+			continue
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				t.Errorf("src %q token %d: fast %v (at %s), slow %v (at %s)",
+					src, i, fast[i], fast[i].Pos(), slow[i], slow[i].Pos())
+			}
+		}
+	}
+}
+
+func TestSlowScannerErrors(t *testing.T) {
+	cases := []string{"a b(10\n", "a b(10", "a ;b\n"}
+	for _, src := range cases {
+		_, ferr := NewScanner("t", []byte(src)).All()
+		_, serr := NewSlowScanner("t", []byte(src)).All()
+		if ferr == nil || serr == nil {
+			t.Errorf("src %q: fast err %v, slow err %v (want both non-nil)", src, ferr, serr)
+			continue
+		}
+		if ferr.Error() != serr.Error() {
+			t.Errorf("src %q: fast %q, slow %q", src, ferr, serr)
+		}
+	}
+}
+
+// Property: the two scanners produce identical streams on random inputs
+// assembled from legal lexical fragments.
+func TestScannerEquivalenceProperty(t *testing.T) {
+	frags := []string{
+		"host", "a", "b-2", ".edu", "x_y+z", " ", "\t", ",", "=",
+		"{", "}", "(10)", "(HOURLY*3)", "!", "@", "%", "\n", "# c\n", ", \n",
+	}
+	f := func(picks []uint8) bool {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(frags[int(p)%len(frags)])
+		}
+		src := []byte(sb.String())
+		fast, ferr := NewScanner("t", src).All()
+		slow, serr := NewSlowScanner("t", src).All()
+		if (ferr == nil) != (serr == nil) {
+			return false
+		}
+		if len(fast) != len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Name, Text: "unc"}
+	if got := tok.String(); got != `name("unc")` {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Token{Kind: Comma}).String(); got != "','" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// benchInput builds a map-file-shaped input of roughly n hosts for scanner
+// benchmarks.
+func benchInput(n int) []byte {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteString("host")
+		sb.WriteByte(byte('a' + i%26))
+		sb.WriteString(" neighbor1(HOURLY), neighbor2!(DAILY/2), @gateway(DEDICATED) # link\n")
+	}
+	return []byte(sb.String())
+}
+
+func BenchmarkHandScanner(b *testing.B) {
+	src := benchInput(1000)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewScanner("bench", src)
+		for {
+			tok, err := s.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == EOF {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkSlowScanner(b *testing.B) {
+	src := benchInput(1000)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := NewSlowScanner("bench", src)
+		for {
+			tok, err := s.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if tok.Kind == EOF {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package lexer
+
+import (
+	"fmt"
+	"regexp"
+)
+
+// SlowScanner is the generated-style baseline scanner for experiment E8.
+//
+// The paper: "We experimented with lex ... but were disappointed with its
+// performance: half the run time was spent in the scanner." A lex-generated
+// scanner recognizes tokens by running a generic table-driven automaton with
+// buffer and action indirection on every character. SlowScanner reproduces
+// that architecture in Go: an ordered table of (pattern, action) rules, each
+// pattern a compiled regular expression applied at the current position,
+// longest match wins, earlier rules break ties. It recognizes exactly the
+// same token language as Scanner — the tests require the two token streams
+// (and error messages) to be identical — so benchmarks comparing them
+// measure only the recognition machinery, which is what the paper measured.
+//
+// The one construct the rule table cannot express is the arbitrarily nested
+// cost expression; like real lex specifications, which fell back to
+// hand-written input() loops for balanced constructs, SlowScanner handles
+// '(' with a manual balanced scan.
+type SlowScanner struct {
+	src  []byte
+	file string
+	pos  int
+	line int
+	col  int
+
+	lastKind Kind
+	sawEOF   bool
+}
+
+// slowRule is one row of the generated-style rule table.
+type slowRule struct {
+	re   *regexp.Regexp
+	kind Kind
+	skip bool // whitespace/comment/continuation: no token produced
+}
+
+// The rule table. Order matters, as in a lex specification: earlier rules
+// win ties among equal-length matches.
+var slowRules = []slowRule{
+	{re: regexp.MustCompile(`^[ \t\r]+`), skip: true},
+	{re: regexp.MustCompile(`^#[^\n]*`), skip: true},
+	{re: regexp.MustCompile(`^\\\n`), skip: true},
+	{re: regexp.MustCompile(`^\n`), kind: Newline},
+	{re: regexp.MustCompile(`^,`), kind: Comma},
+	{re: regexp.MustCompile(`^=`), kind: Equals},
+	{re: regexp.MustCompile(`^\{`), kind: LBrace},
+	{re: regexp.MustCompile(`^\}`), kind: RBrace},
+	{re: regexp.MustCompile(`^[!@%:^]`), kind: NetChar},
+	{re: regexp.MustCompile(`^[A-Za-z0-9._+\-\x80-\xFF]+`), kind: Name},
+}
+
+// NewSlowScanner returns a SlowScanner over src.
+func NewSlowScanner(file string, src []byte) *SlowScanner {
+	return &SlowScanner{src: src, file: file, line: 1, col: 1}
+}
+
+func (s *SlowScanner) bump(text []byte) {
+	for _, b := range text {
+		if b == '\n' {
+			s.line++
+			s.col = 1
+		} else {
+			s.col++
+		}
+	}
+	s.pos += len(text)
+}
+
+// Next returns the next token; the stream is identical to Scanner.Next's.
+func (s *SlowScanner) Next() (Token, error) {
+	tok, err := s.next()
+	if err == nil {
+		s.lastKind = tok.Kind
+	}
+	return tok, err
+}
+
+func (s *SlowScanner) next() (Token, error) {
+	for {
+		if s.pos >= len(s.src) {
+			if s.sawEOF {
+				return Token{Kind: EOF, File: s.file, Line: s.line, Col: s.col}, nil
+			}
+			s.sawEOF = true
+			if s.lastKind != Newline && s.lastKind != Invalid {
+				return Token{Kind: Newline, File: s.file, Line: s.line, Col: s.col}, nil
+			}
+			return Token{Kind: EOF, File: s.file, Line: s.line, Col: s.col}, nil
+		}
+
+		rest := s.src[s.pos:]
+		tok := Token{File: s.file, Line: s.line, Col: s.col}
+
+		// Hand-written fallback for the balanced-paren cost construct.
+		if rest[0] == '(' {
+			col := s.col + 1 // column of the byte after '('
+			depth := 1
+			i := 1
+			for i < len(rest) {
+				b := rest[i]
+				if b == '\n' {
+					return tok, &ScanError{File: s.file, Line: s.line, Col: col,
+						Msg: "newline inside cost expression"}
+				}
+				if b == '(' {
+					depth++
+				}
+				if b == ')' {
+					depth--
+					if depth == 0 {
+						break
+					}
+				}
+				col++
+				i++
+			}
+			if depth != 0 {
+				return tok, &ScanError{File: s.file, Line: s.line, Col: col,
+					Msg: "unterminated cost expression"}
+			}
+			text := rest[:i+1]
+			s.bump(text)
+			tok.Kind = CostText
+			tok.Text = string(text[1 : len(text)-1])
+			return tok, nil
+		}
+
+		var best *slowRule
+		var bestLen int
+		for i := range slowRules {
+			loc := slowRules[i].re.FindIndex(rest)
+			if loc == nil || loc[0] != 0 {
+				continue
+			}
+			if loc[1] > bestLen {
+				best = &slowRules[i]
+				bestLen = loc[1]
+			}
+		}
+		if best == nil {
+			return tok, &ScanError{File: s.file, Line: s.line, Col: s.col,
+				Msg: fmt.Sprintf("illegal character %q", rest[0])}
+		}
+
+		text := rest[:bestLen]
+		if best.skip {
+			s.bump(text)
+			continue
+		}
+
+		switch best.kind {
+		case Newline:
+			s.bump(text)
+			if s.lastKind == Comma {
+				continue
+			}
+			tok.Kind = Newline
+			return tok, nil
+		case NetChar, Name:
+			s.bump(text)
+			tok.Kind = best.kind
+			tok.Text = string(text)
+			return tok, nil
+		default:
+			s.bump(text)
+			tok.Kind = best.kind
+			return tok, nil
+		}
+	}
+}
+
+// All scans the entire input, as Scanner.All does.
+func (s *SlowScanner) All() ([]Token, error) {
+	var toks []Token
+	for {
+		t, err := s.Next()
+		if err != nil {
+			return toks, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

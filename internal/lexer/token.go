@@ -1,0 +1,121 @@
+// Package lexer tokenizes the pathalias map language.
+//
+// The paper reports that the authors "experimented with lex for transforming
+// the raw input into lexical tokens, but were disappointed with its
+// performance: half the run time was spent in the scanner. Since our input
+// tokens are easy to recognize, we built a simple scanner and cut the overall
+// run time by 40%." This package contains both sides of that experiment:
+//
+//   - Scanner: the hand-built scanner, a byte-at-a-time state machine with
+//     no allocation beyond the token text it returns.
+//   - SlowScanner: a deliberately generated-style baseline that recognizes
+//     the same token language with generic regular-expression machinery, as
+//     lex-generated scanners do with DFA tables and buffer indirection.
+//
+// Both produce identical token streams (enforced by tests), so the benchmark
+// in experiment E8 compares exactly what the paper compared.
+package lexer
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds. CostText is the raw text between a balanced '(' ... ')' pair;
+// cost expressions are evaluated later by the parser (syntax-directed
+// translation, as in the paper's yacc grammar).
+const (
+	Invalid  Kind = iota
+	EOF           // end of input
+	Newline       // statement terminator
+	Name          // host, network, or domain name
+	Comma         // ,
+	Equals        // =
+	LBrace        // {
+	RBrace        // }
+	CostText      // parenthesized cost expression, text without the parens
+	NetChar       // one of ! @ % : ^ — a routing operator
+)
+
+var kindNames = [...]string{
+	Invalid:  "invalid",
+	EOF:      "EOF",
+	Newline:  "newline",
+	Name:     "name",
+	Comma:    "','",
+	Equals:   "'='",
+	LBrace:   "'{'",
+	RBrace:   "'}'",
+	CostText: "cost",
+	NetChar:  "netchar",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// A Token is one lexical element of a map file, with its source position
+// for error reporting.
+type Token struct {
+	Kind Kind
+	Text string // name text, cost expression text, or operator character
+	File string
+	Line int // 1-based
+	Col  int // 1-based byte column
+}
+
+// Pos renders the token's position as "file:line:col".
+func (t Token) Pos() string {
+	return fmt.Sprintf("%s:%d:%d", t.File, t.Line, t.Col)
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Name, CostText, NetChar:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// A ScanError reports a lexical error with source position.
+type ScanError struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ScanError) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// IsNetChar reports whether c is one of the legal routing operator
+// characters. The paper's examples use '!' (UUCP) and '@' (ARPANET); the
+// C tool also admitted '%', ':' and '^' as network characters.
+func IsNetChar(c byte) bool {
+	switch c {
+	case '!', '@', '%', ':', '^':
+		return true
+	}
+	return false
+}
+
+// isNameByte reports whether c may appear in a host, network, or domain
+// name. Period map data is ASCII; we accept letters, digits, '.', '-', '_',
+// '+', and any high byte (so non-ASCII input degrades gracefully rather
+// than stopping the scan).
+func isNameByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '.' || c == '-' || c == '_' || c == '+':
+		return true
+	case c >= 0x80:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,356 @@
+// Package mailer implements the mail-system integration the paper
+// describes: parsing relative addresses in both syntax conventions,
+// resolving them against a pathalias route database, and rewriting headers
+// under the paper's principles.
+//
+// From "INTEGRATING PATHALIAS WITH MAILERS": the route database can be
+// queried manually, by user agents, by a separate router program, or by
+// the delivery agent itself. A delivery agent must decide "the extent to
+// which pathalias data is allowed to override a user's selection of a
+// path": route to the first hop only, search for the rightmost known host
+// (big savings, can backfire), or turn optimization off entirely (loop
+// tests are a time-honored UUCP tradition).
+//
+// From "PERSPECTIVES ON RELATIVE ADDRESSING": a!b!user@host is read
+// differently by UUCP mailers (leftmost ! first) and RFC822 mailers
+// (@ first) — "they consistently make the wrong choice on selected
+// inputs". Both readings are implemented here, along with the ambiguity
+// test and the reply-rewriting hazard of the cbosgd/mcvax example.
+package mailer
+
+import (
+	"fmt"
+	"strings"
+
+	"pathalias/internal/routedb"
+)
+
+// Address is a parsed relative address: the relay hops in transit order,
+// then the user name at the final destination.
+type Address struct {
+	Hops []string // relay hosts, outermost first
+	User string   // local part at the last hop
+}
+
+// String renders the address as a pure bang path.
+func (a Address) String() string {
+	if len(a.Hops) == 0 {
+		return a.User
+	}
+	return strings.Join(a.Hops, "!") + "!" + a.User
+}
+
+// Final returns the destination host (the last hop), or "" for a purely
+// local address.
+func (a Address) Final() string {
+	if len(a.Hops) == 0 {
+		return ""
+	}
+	return a.Hops[len(a.Hops)-1]
+}
+
+// ParseUUCP reads addr with UUCP precedence: split at the leftmost '!'
+// first, repeatedly; a remaining user@host or user%host tail is then
+// delivered from the last bang hop.
+func ParseUUCP(addr string) (Address, error) {
+	if addr == "" {
+		return Address{}, fmt.Errorf("mailer: empty address")
+	}
+	var a Address
+	rest := addr
+	for {
+		i := strings.IndexByte(rest, '!')
+		if i < 0 {
+			break
+		}
+		hop := rest[:i]
+		if hop == "" {
+			return Address{}, fmt.Errorf("mailer: empty hop in %q", addr)
+		}
+		a.Hops = append(a.Hops, hop)
+		rest = rest[i+1:]
+	}
+	// The tail may still carry @ or % routing.
+	tail, err := parseAtTail(rest, addr)
+	if err != nil {
+		return Address{}, err
+	}
+	a.Hops = append(a.Hops, tail.Hops...)
+	a.User = tail.User
+	return a, nil
+}
+
+// ParseRFC822 reads addr with RFC822 precedence: split at the rightmost
+// '@' first (the domain is the first hop), then interpret the local part
+// at that host — which, for a gatewayed bang path, means UUCP rules.
+// The "underground syntax" user%host@relay resolves relay first, then
+// host.
+func ParseRFC822(addr string) (Address, error) {
+	if addr == "" {
+		return Address{}, fmt.Errorf("mailer: empty address")
+	}
+	at := strings.LastIndexByte(addr, '@')
+	if at < 0 {
+		// No @: fall back to UUCP reading (pure bang path or bare user).
+		return ParseUUCP(addr)
+	}
+	local, domain := addr[:at], addr[at+1:]
+	if domain == "" {
+		return Address{}, fmt.Errorf("mailer: empty domain in %q", addr)
+	}
+	if local == "" {
+		return Address{}, fmt.Errorf("mailer: empty local part in %q", addr)
+	}
+	a := Address{Hops: []string{domain}}
+	// The local part is interpreted at the domain host: percent hops
+	// first (user%h2 -> user@h2), then bang routing.
+	inner, err := parsePercentThenBang(local, addr)
+	if err != nil {
+		return Address{}, err
+	}
+	a.Hops = append(a.Hops, inner.Hops...)
+	a.User = inner.User
+	return a, nil
+}
+
+// parseAtTail interprets a bang-path tail that may be user, user@host, or
+// user%host@relay.
+func parseAtTail(rest, full string) (Address, error) {
+	if rest == "" {
+		return Address{}, fmt.Errorf("mailer: trailing '!' in %q", full)
+	}
+	at := strings.LastIndexByte(rest, '@')
+	if at < 0 {
+		return Address{User: rest}, nil
+	}
+	local, domain := rest[:at], rest[at+1:]
+	if local == "" || domain == "" {
+		return Address{}, fmt.Errorf("mailer: malformed tail %q in %q", rest, full)
+	}
+	a := Address{Hops: []string{domain}}
+	inner, err := parsePercentThenBang(local, full)
+	if err != nil {
+		return Address{}, err
+	}
+	a.Hops = append(a.Hops, inner.Hops...)
+	a.User = inner.User
+	return a, nil
+}
+
+// parsePercentThenBang resolves the underground user%host hops, then bang
+// hops, in a local part.
+func parsePercentThenBang(local, full string) (Address, error) {
+	var a Address
+	for {
+		pc := strings.LastIndexByte(local, '%')
+		if pc < 0 {
+			break
+		}
+		host := local[pc+1:]
+		if host == "" {
+			return Address{}, fmt.Errorf("mailer: empty %% hop in %q", full)
+		}
+		a.Hops = append(a.Hops, host)
+		local = local[:pc]
+	}
+	if strings.IndexByte(local, '!') >= 0 {
+		inner, err := ParseUUCP(local)
+		if err != nil {
+			return Address{}, err
+		}
+		a.Hops = append(a.Hops, inner.Hops...)
+		a.User = inner.User
+		return a, nil
+	}
+	if local == "" {
+		return Address{}, fmt.Errorf("mailer: empty user in %q", full)
+	}
+	a.User = local
+	return a, nil
+}
+
+// Ambiguous reports whether the two syntax conventions disagree about
+// addr's first hop — the property the mixed-syntax penalty exists to
+// avoid.
+func Ambiguous(addr string) bool {
+	u, uerr := ParseUUCP(addr)
+	r, rerr := ParseRFC822(addr)
+	if uerr != nil || rerr != nil {
+		return uerr == nil != (rerr == nil)
+	}
+	if len(u.Hops) == 0 || len(r.Hops) == 0 {
+		return len(u.Hops) != len(r.Hops)
+	}
+	return u.Hops[0] != r.Hops[0]
+}
+
+// OptimizeMode is the paper's spectrum of router aggressiveness.
+type OptimizeMode int
+
+const (
+	// OptimizeOff leaves the user's path untouched ("it may be desirable
+	// to turn off optimization entirely. Loop tests are a time-honored
+	// UUCP tradition").
+	OptimizeOff OptimizeMode = iota
+	// OptimizeFirstHop routes to the first host in the path and leaves
+	// the rest of the path alone.
+	OptimizeFirstHop
+	// OptimizeRightmost searches for the rightmost host known to the
+	// database and routes to it ("can result in significant savings;
+	// unfortunately, it can backfire").
+	OptimizeRightmost
+)
+
+// Rewriter resolves relative addresses to transmittable ones using a
+// route database, the way a pathalias-integrated delivery agent would.
+type Rewriter struct {
+	DB    *routedb.DB
+	Local string // this host's name
+	Mode  OptimizeMode
+}
+
+// Route rewrites addr into a concrete address for transmission from
+// rw.Local. The result is a complete address (no %s marker).
+func (rw *Rewriter) Route(addr string) (string, error) {
+	a, err := ParseUUCP(addr)
+	if err != nil {
+		return "", err
+	}
+	// Strip leading hops naming this host: "princeton!x" sent from
+	// princeton is just "x".
+	for len(a.Hops) > 0 && a.Hops[0] == rw.Local {
+		a.Hops = a.Hops[1:]
+	}
+	if len(a.Hops) == 0 {
+		return a.User, nil // local delivery
+	}
+
+	switch rw.Mode {
+	case OptimizeOff:
+		return a.String(), nil
+
+	case OptimizeRightmost:
+		for i := len(a.Hops) - 1; i >= 0; i-- {
+			res, err := rw.DB.Resolve(a.Hops[i], argumentAfter(a, i))
+			if err == nil {
+				return res.Address(), nil
+			}
+		}
+		return "", fmt.Errorf("mailer: no known host in path %q", addr)
+
+	default: // OptimizeFirstHop
+		res, err := rw.DB.Resolve(a.Hops[0], argumentAfter(a, 0))
+		if err != nil {
+			return "", fmt.Errorf("mailer: first hop of %q: %w", addr, err)
+		}
+		return res.Address(), nil
+	}
+}
+
+// argumentAfter builds the route-relative argument for resolution at hop
+// index i: the remaining hops and user, joined UUCP-style.
+func argumentAfter(a Address, i int) string {
+	rest := append(append([]string{}, a.Hops[i+1:]...), a.User)
+	return strings.Join(rest, "!")
+}
+
+// BestGuess disambiguates a mixed-syntax address the way the
+// Honeyman–Parseghian heuristics the paper cites do: parse it under both
+// conventions and prefer the reading whose first hop the route database
+// can actually reach. If both or neither resolve, the UUCP reading wins
+// (pathalias's home turf). The returned Address is the chosen reading.
+func (rw *Rewriter) BestGuess(addr string) (Address, error) {
+	u, uerr := ParseUUCP(addr)
+	r, rerr := ParseRFC822(addr)
+	resolvable := func(a Address, err error) bool {
+		if err != nil {
+			return false
+		}
+		if len(a.Hops) == 0 {
+			return true // local delivery always "resolves"
+		}
+		_, rerr := rw.DB.Resolve(a.Hops[0], "x")
+		return rerr == nil
+	}
+	uOK := resolvable(u, uerr)
+	rOK := resolvable(r, rerr)
+	switch {
+	case uOK:
+		return u, nil
+	case rOK:
+		return r, nil
+	case uerr == nil:
+		return u, nil
+	case rerr == nil:
+		return r, nil
+	default:
+		return Address{}, fmt.Errorf("mailer: cannot parse %q under either convention", addr)
+	}
+}
+
+// Message is a minimal mail header set for the rewriting demonstrations.
+type Message struct {
+	From string
+	To   []string
+	Cc   []string
+}
+
+// ResolveRelative interprets a received relative address from the
+// perspective of a reader: the address in a header written at origin is
+// relative to origin, so the reader's absolute form prepends the origin's
+// route. This is the cbosgd example: seismo!mcvax!piet in mail from
+// cbosgd is, for the recipient, cbosgd!seismo!mcvax!piet.
+func ResolveRelative(origin, addr string) (string, error) {
+	a, err := ParseUUCP(addr)
+	if err != nil {
+		return "", err
+	}
+	if len(a.Hops) > 0 && a.Hops[0] == origin {
+		return a.String(), nil
+	}
+	return origin + "!" + a.String(), nil
+}
+
+// PrepareOutbound rewrites a locally submitted message's recipient headers
+// per the paper's principles: the shown routes are the modified routes
+// ("Hosts that re-route mail from local users should show the modified
+// routes in message headers"), and every generated address must be
+// acceptable if received in remote mail — so headers are rewritten with
+// the SAME routing the transport uses, never a private abbreviation.
+func (rw *Rewriter) PrepareOutbound(msg *Message) error {
+	rewrite := func(addrs []string) error {
+		for i, addr := range addrs {
+			out, err := rw.Route(addr)
+			if err != nil {
+				return err
+			}
+			addrs[i] = out
+		}
+		return nil
+	}
+	if err := rewrite(msg.To); err != nil {
+		return err
+	}
+	return rewrite(msg.Cc)
+}
+
+// AbbreviateHazard demonstrates the abuse the paper warns against: a
+// "clever" host rewriting a header address to be relative to ITSELF
+// (cbosgd abbreviating seismo!mcvax!piet to mcvax!piet because cbosgd
+// knows a route to mcvax). The result is only meaningful in cbosgd's name
+// space; a recipient elsewhere cannot safely interpret it. Returned so
+// tests and examples can show the two readings diverging.
+func AbbreviateHazard(rw *Rewriter, addr string) (string, bool) {
+	a, err := ParseUUCP(addr)
+	if err != nil || len(a.Hops) < 2 {
+		return addr, false
+	}
+	// If a later hop is directly known, drop the hops before it.
+	for i := len(a.Hops) - 1; i > 0; i-- {
+		if _, ok := rw.DB.Lookup(a.Hops[i]); ok {
+			ab := Address{Hops: a.Hops[i:], User: a.User}
+			return ab.String(), true
+		}
+	}
+	return addr, false
+}

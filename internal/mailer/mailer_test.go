@@ -1,0 +1,314 @@
+package mailer
+
+import (
+	"strings"
+	"testing"
+
+	"pathalias/internal/routedb"
+)
+
+func mustDB(t *testing.T, lines string) *routedb.DB {
+	t.Helper()
+	db, err := routedb.Load(strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestParseUUCP(t *testing.T) {
+	cases := []struct {
+		in   string
+		hops string
+		user string
+	}{
+		{"user", "", "user"},
+		{"hosta!user", "hosta", "user"},
+		{"hosta!hostb!user", "hosta hostb", "user"},
+		{"a!b!user@host", "a b host", "user"},
+		{"user@host", "host", "user"},
+		{"user%h2@relay", "relay h2", "user"},
+		{"a!user%h2@relay", "a relay h2", "user"},
+	}
+	for _, c := range cases {
+		a, err := ParseUUCP(c.in)
+		if err != nil {
+			t.Errorf("ParseUUCP(%q): %v", c.in, err)
+			continue
+		}
+		if got := strings.Join(a.Hops, " "); got != c.hops || a.User != c.user {
+			t.Errorf("ParseUUCP(%q) = hops %q user %q, want %q %q",
+				c.in, got, a.User, c.hops, c.user)
+		}
+	}
+}
+
+func TestParseRFC822(t *testing.T) {
+	cases := []struct {
+		in   string
+		hops string
+		user string
+	}{
+		{"user@host", "host", "user"},
+		{"a!b!user@host", "host a b", "user"}, // @ first: host, then bang route
+		{"user%h2@relay", "relay h2", "user"},
+		{"user%h3%h2@relay", "relay h2 h3", "user"},
+		{"a!b!user", "a b", "user"}, // no @: UUCP fallback
+	}
+	for _, c := range cases {
+		a, err := ParseRFC822(c.in)
+		if err != nil {
+			t.Errorf("ParseRFC822(%q): %v", c.in, err)
+			continue
+		}
+		if got := strings.Join(a.Hops, " "); got != c.hops || a.User != c.user {
+			t.Errorf("ParseRFC822(%q) = hops %q user %q, want %q %q",
+				c.in, got, a.User, c.hops, c.user)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{"", "!user", "a!!b!user", "a!", "@host", "user@", "%h@r", "user%@r"}
+	for _, in := range bad {
+		if _, err := ParseUUCP(in); err == nil {
+			t.Errorf("ParseUUCP(%q) succeeded", in)
+		}
+	}
+	for _, in := range []string{"", "@host", "user@"} {
+		if _, err := ParseRFC822(in); err == nil {
+			t.Errorf("ParseRFC822(%q) succeeded", in)
+		}
+	}
+}
+
+func TestAmbiguity(t *testing.T) {
+	// The canonical ambiguous form: mixed bang and @. UUCP reads hosta
+	// first; RFC822 reads host first.
+	if !Ambiguous("a!b!user@host") {
+		t.Error("a!b!user@host should be ambiguous")
+	}
+	// Pure forms are not ambiguous.
+	for _, in := range []string{"a!b!user", "user@host", "user"} {
+		if Ambiguous(in) {
+			t.Errorf("%q wrongly ambiguous", in)
+		}
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	a := Address{Hops: []string{"seismo", "mcvax"}, User: "piet"}
+	if a.String() != "seismo!mcvax!piet" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.Final() != "mcvax" {
+		t.Errorf("Final = %q", a.Final())
+	}
+	local := Address{User: "root"}
+	if local.String() != "root" || local.Final() != "" {
+		t.Errorf("local address misrendered")
+	}
+}
+
+func TestRouteLocalDelivery(t *testing.T) {
+	rw := &Rewriter{DB: mustDB(t, "x\tx!%s\n"), Local: "princeton"}
+	out, err := rw.Route("princeton!honey")
+	if err != nil || out != "honey" {
+		t.Errorf("Route = %q, %v", out, err)
+	}
+}
+
+func TestRouteFirstHop(t *testing.T) {
+	db := mustDB(t, "seismo\tduke!seismo!%s\n")
+	rw := &Rewriter{DB: db, Local: "unc", Mode: OptimizeFirstHop}
+	out, err := rw.Route("seismo!mcvax!piet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "duke!seismo!mcvax!piet" {
+		t.Errorf("Route = %q", out)
+	}
+}
+
+func TestRouteOff(t *testing.T) {
+	rw := &Rewriter{DB: mustDB(t, "x\tx!%s\n"), Local: "unc", Mode: OptimizeOff}
+	// Loop test preserved verbatim.
+	out, err := rw.Route("a!b!a!b!user")
+	if err != nil || out != "a!b!a!b!user" {
+		t.Errorf("Route = %q, %v", out, err)
+	}
+}
+
+func TestRouteRightmost(t *testing.T) {
+	// mcvax is directly known: the circuitous user path collapses.
+	db := mustDB(t, "seismo\tseismo!%s\nmcvax\tseismo!mcvax!%s\n")
+	rw := &Rewriter{DB: db, Local: "unc", Mode: OptimizeRightmost}
+	out, err := rw.Route("a!b!seismo!mcvax!piet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "seismo!mcvax!piet" {
+		t.Errorf("Route = %q want collapsed route", out)
+	}
+}
+
+func TestRouteRightmostBackfire(t *testing.T) {
+	// The paper's caveat: rightmost optimization eliminates the user's
+	// deliberate detour around a dead link.
+	db := mustDB(t, "dead-route\tdead-route!%s\ndest\tdead-route!dest!%s\n")
+	rw := &Rewriter{DB: db, Local: "unc", Mode: OptimizeRightmost}
+	out, err := rw.Route("detour1!detour2!dest!user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "dead-route!dest!user" {
+		t.Errorf("Route = %q", out)
+	}
+	// The detour is gone — exactly why OptimizeOff exists.
+	if strings.Contains(out, "detour1") {
+		t.Error("detour preserved under rightmost optimization?")
+	}
+}
+
+func TestRouteUnknown(t *testing.T) {
+	rw := &Rewriter{DB: mustDB(t, "x\tx!%s\n"), Local: "unc", Mode: OptimizeFirstHop}
+	if _, err := rw.Route("ghost!user"); err == nil {
+		t.Error("route to unknown first hop succeeded")
+	}
+	rw.Mode = OptimizeRightmost
+	if _, err := rw.Route("ghost!wraith!user"); err == nil {
+		t.Error("route with no known hop succeeded")
+	}
+}
+
+// TestReplyRewritingHazard reproduces the paper's cbosgd/mcvax example
+// (E18): from princeton's perspective, the Cc seismo!mcvax!piet written
+// at cbosgd is cbosgd!seismo!mcvax!piet; but if cbosgd "cleverly"
+// abbreviates the header to mcvax!piet, princeton resolves it to
+// cbosgd!mcvax!piet — a different, unsafe route.
+func TestReplyRewritingHazard(t *testing.T) {
+	// What the honest header yields at princeton:
+	full, err := ResolveRelative("cbosgd", "seismo!mcvax!piet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != "cbosgd!seismo!mcvax!piet" {
+		t.Errorf("relative resolution = %q", full)
+	}
+
+	// cbosgd's database knows mcvax; the hazardous abbreviation:
+	cbosgdDB := mustDB(t, "seismo\tseismo!%s\nmcvax\tseismo!mcvax!%s\n")
+	rw := &Rewriter{DB: cbosgdDB, Local: "cbosgd", Mode: OptimizeRightmost}
+	abbrev, changed := AbbreviateHazard(rw, "seismo!mcvax!piet")
+	if !changed || abbrev != "mcvax!piet" {
+		t.Fatalf("abbreviation = %q, %v", abbrev, changed)
+	}
+
+	// princeton now resolves the abbreviated header differently:
+	hazard, err := ResolveRelative("cbosgd", abbrev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hazard != "cbosgd!mcvax!piet" {
+		t.Errorf("hazard resolution = %q", hazard)
+	}
+	if hazard == full {
+		t.Error("abbreviation was harmless; the example requires divergence")
+	}
+}
+
+// TestPrepareOutboundShowsModifiedRoutes checks the principle "Hosts that
+// re-route mail from local users should show the modified routes in
+// message headers": the header and the transport see the same rewritten
+// address.
+func TestPrepareOutboundShowsModifiedRoutes(t *testing.T) {
+	db := mustDB(t, "seismo\tduke!seismo!%s\nprinceton\tprinceton!%s\n")
+	rw := &Rewriter{DB: db, Local: "cbosgd", Mode: OptimizeFirstHop}
+	msg := &Message{
+		From: "cbosgd!mark",
+		To:   []string{"princeton!honey"},
+		Cc:   []string{"seismo!mcvax!piet"},
+	}
+	if err := rw.PrepareOutbound(msg); err != nil {
+		t.Fatal(err)
+	}
+	if msg.To[0] != "princeton!honey" {
+		t.Errorf("To = %q", msg.To[0])
+	}
+	if msg.Cc[0] != "duke!seismo!mcvax!piet" {
+		t.Errorf("Cc = %q: header must show the modified route", msg.Cc[0])
+	}
+}
+
+func TestPrepareOutboundError(t *testing.T) {
+	rw := &Rewriter{DB: mustDB(t, "x\tx!%s\n"), Local: "l", Mode: OptimizeFirstHop}
+	msg := &Message{To: []string{"ghost!user"}}
+	if err := rw.PrepareOutbound(msg); err == nil {
+		t.Error("unresolvable recipient accepted")
+	}
+}
+
+func TestResolveRelativeIdempotent(t *testing.T) {
+	// An address already rooted at the origin is not double-prefixed.
+	out, err := ResolveRelative("cbosgd", "cbosgd!seismo!piet")
+	if err != nil || out != "cbosgd!seismo!piet" {
+		t.Errorf("ResolveRelative = %q, %v", out, err)
+	}
+}
+
+func TestBestGuess(t *testing.T) {
+	// The ambiguous form a!b!user@host: UUCP reads hop "a" first, RFC822
+	// reads "host" first. The database decides.
+	rwA := &Rewriter{DB: mustDB(t, "a\ta!%s\n"), Local: "l"}
+	got, err := rwA.BestGuess("a!b!user@host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hops[0] != "a" {
+		t.Errorf("with a known, first hop = %q want a", got.Hops[0])
+	}
+
+	rwH := &Rewriter{DB: mustDB(t, "host\thost!%s\n"), Local: "l"}
+	got, err = rwH.BestGuess("a!b!user@host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hops[0] != "host" {
+		t.Errorf("with host known, first hop = %q want host", got.Hops[0])
+	}
+
+	// Neither known: UUCP reading wins by default.
+	rwNone := &Rewriter{DB: mustDB(t, "z\tz!%s\n"), Local: "l"}
+	got, err = rwNone.BestGuess("a!b!user@host")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hops[0] != "a" {
+		t.Errorf("default reading first hop = %q want a (UUCP)", got.Hops[0])
+	}
+
+	// Unparseable both ways.
+	if _, err := rwNone.BestGuess(""); err == nil {
+		t.Error("empty address accepted")
+	}
+
+	// Pure local: resolves trivially.
+	got, err = rwNone.BestGuess("justuser")
+	if err != nil || len(got.Hops) != 0 || got.User != "justuser" {
+		t.Errorf("local BestGuess = %+v, %v", got, err)
+	}
+}
+
+func TestRouteWithDomainSuffix(t *testing.T) {
+	// The delivery agent resolves domain destinations through the suffix
+	// search, per the paper's mailer procedure.
+	db := mustDB(t, ".edu\tseismo!%s\n")
+	rw := &Rewriter{DB: db, Local: "unc", Mode: OptimizeFirstHop}
+	out, err := rw.Route("caip.rutgers.edu!pleasant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "seismo!caip.rutgers.edu!pleasant" {
+		t.Errorf("Route = %q", out)
+	}
+}

@@ -1,0 +1,74 @@
+package mapper
+
+import "pathalias/internal/cost"
+
+// Default penalty values. The paper gives qualitative sizes ("a heavy
+// penalty", "severely penalized", "essentially infinite"); the concrete
+// numbers here are our calibration, chosen so that each penalty dwarfs any
+// realistic regional path cost while preserving the orderings the paper's
+// examples rely on. All are Options fields so the ablation benchmarks can
+// vary them.
+const (
+	// DefaultMixedPenalty is charged for each ambiguous syntax
+	// alternation: a LEFT-style hop (host!user) appearing after a
+	// RIGHT-style hop (user@host) on the same path. The resulting
+	// addresses (b!user@gw) are exactly the forms that RFC822 and UUCP
+	// mailers split differently ("they consistently make the wrong choice
+	// on selected inputs"). The common benign form — bang path with a
+	// final @host — alternates LEFT→RIGHT and is not charged, which is
+	// why the paper's own 1981 example shows no penalty and why only "a
+	// fraction of a percent of the generated routes" pay it.
+	DefaultMixedPenalty = 4 * cost.Weekly
+
+	// DefaultGatewayPenalty is charged for entering a gatewayed network
+	// through a member that is not a declared gateway ("Any path that
+	// enters such a network through a host not declared as a gateway is
+	// severely penalized").
+	DefaultGatewayPenalty = cost.Infinity / 2
+
+	// DefaultDomainRelayPenalty is charged for every real (non-member,
+	// non-alias) hop taken after a path has entered a domain — the
+	// ARPANET relay restriction. The PROBLEMS figure labels this
+	// "cost = 425+∞".
+	DefaultDomainRelayPenalty = cost.Infinity
+
+	// DefaultDeadPenalty is charged for traversing a dead link or
+	// reaching a dead host: avoided at (nearly) all cost but still
+	// routable as a last resort.
+	DefaultDeadPenalty = cost.Infinity / 2
+)
+
+// Options control a mapping run.
+type Options struct {
+	// MixedPenalty per ambiguous RIGHT→LEFT syntax alternation.
+	MixedPenalty cost.Cost
+	// GatewayPenalty for off-gateway entry to a gatewayed network.
+	GatewayPenalty cost.Cost
+	// DomainRelayPenalty per real hop after entering a domain.
+	DomainRelayPenalty cost.Cost
+	// DeadPenalty for dead links and dead hosts.
+	DeadPenalty cost.Cost
+	// BackLinks controls the unreachable-host pass: "we examine the
+	// connections out of each unreachable host, invent links from its
+	// neighbors back to the host, and continue".
+	BackLinks bool
+	// SecondBest enables the paper's experimental "modified algorithm
+	// that maintains the second-best path when the shortest path to a
+	// host goes by way of a domain": each host tracks its best
+	// domain-free path alongside its best path, so hosts beyond it are
+	// not committed to a domain-tainted route.
+	SecondBest bool
+}
+
+// DefaultOptions returns the paper's production configuration: all
+// heuristics on, back links on, second-best off (it was experimental).
+func DefaultOptions() Options {
+	return Options{
+		MixedPenalty:       DefaultMixedPenalty,
+		GatewayPenalty:     DefaultGatewayPenalty,
+		DomainRelayPenalty: DefaultDomainRelayPenalty,
+		DeadPenalty:        DefaultDeadPenalty,
+		BackLinks:          true,
+		SecondBest:         false,
+	}
+}

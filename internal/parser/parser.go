@@ -1,0 +1,530 @@
+// Package parser builds the connectivity graph from pathalias map text.
+//
+// The original used yacc with syntax-directed translation ("We use
+// syntax-directed translation to support a rich syntax with edge weights
+// and labels, aliases, networks, and accommodation of host name
+// collisions"). This is the equivalent hand-written recursive-descent
+// parser over the hand-built scanner of package lexer. The grammar is
+// specified in DESIGN.md §2:
+//
+//	statement := hostdecl | netdecl | aliasdecl | command
+//	hostdecl  := host link {"," link}
+//	link      := host [netchar] [(cost)] | netchar host [(cost)]
+//	netdecl   := name "=" [netchar] "{" member {"," member} "}" [(cost)]
+//	aliasdecl := host "=" host {"," host}
+//	command   := ("private"|"dead"|"delete"|"adjust"|"file"|
+//	              "gatewayed"|"gateway") "{" items "}"
+//
+// Command words are keywords only at statement start when followed by '{',
+// so hosts may still be named "private" or "dead".
+//
+// File boundaries are semantic: private declarations scope to the end of
+// their file, and duplicate links across files fold into one edge with the
+// cheaper cost (handled by graph.AddLink).
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"pathalias/internal/cost"
+	"pathalias/internal/graph"
+	"pathalias/internal/lexer"
+)
+
+// Input is one named map source.
+type Input struct {
+	Name string
+	Src  []byte
+}
+
+// MaxErrors is how many syntax errors the parser accumulates before giving
+// up on an input.
+const MaxErrors = 20
+
+// A ParseError aggregates the syntax errors found in the inputs.
+type ParseError struct {
+	Errors []string
+}
+
+func (e *ParseError) Error() string {
+	switch len(e.Errors) {
+	case 0:
+		return "parser: unspecified error"
+	case 1:
+		return e.Errors[0]
+	default:
+		return fmt.Sprintf("%s (and %d more errors)", e.Errors[0], len(e.Errors)-1)
+	}
+}
+
+// Result carries the parsed graph plus diagnostics that are not fatal.
+type Result struct {
+	Graph    *graph.Graph
+	Warnings []string
+}
+
+// Options adjust parsing behavior.
+type Options struct {
+	// FoldCase makes host names case-insensitive (the -i flag). Cost
+	// symbols remain case-sensitive; only names fold.
+	FoldCase bool
+}
+
+// Parse parses the inputs in order into one graph. Syntax errors are
+// recovered by skipping to the next statement; if any occurred, the error
+// is a *ParseError listing them, and the returned Result still holds
+// whatever parsed cleanly.
+func Parse(inputs ...Input) (*Result, error) {
+	return ParseWith(Options{}, inputs...)
+}
+
+// ParseWith parses with explicit options.
+func ParseWith(opts Options, inputs ...Input) (*Result, error) {
+	g := graph.New()
+	g.SetFoldCase(opts.FoldCase)
+	p := &parser{g: g}
+	for _, in := range inputs {
+		p.parseFile(in)
+		if len(p.errors) >= MaxErrors {
+			break
+		}
+	}
+	p.finish()
+	res := &Result{Graph: g, Warnings: p.warnings}
+	if len(p.errors) > 0 {
+		return res, &ParseError{Errors: p.errors}
+	}
+	return res, nil
+}
+
+// ParseString parses a single in-memory map, for tests and examples.
+func ParseString(name, src string) (*Result, error) {
+	return Parse(Input{Name: name, Src: []byte(src)})
+}
+
+// pendingLinkOp is a dead/delete on a link that may not exist yet; they
+// apply after all input is read.
+type pendingLinkOp struct {
+	from, to string
+	file     string // scope for private resolution
+	pos      string
+	deadNot  bool // true = delete, false = dead
+}
+
+type parser struct {
+	g        *graph.Graph
+	sc       *lexer.Scanner
+	tok      lexer.Token
+	errors   []string
+	warnings []string
+	pending  []pendingLinkOp
+}
+
+func (p *parser) errorf(format string, args ...any) {
+	p.errors = append(p.errors, fmt.Sprintf("%s: %s", p.tok.Pos(), fmt.Sprintf(format, args...)))
+}
+
+func (p *parser) warnf(format string, args ...any) {
+	p.warnings = append(p.warnings, fmt.Sprintf("%s: %s", p.tok.Pos(), fmt.Sprintf(format, args...)))
+}
+
+// next advances to the next token; scan errors are recorded and surface as
+// a synthetic EOF so parsing stops cleanly.
+func (p *parser) next() {
+	t, err := p.sc.Next()
+	if err != nil {
+		p.errors = append(p.errors, err.Error())
+		p.tok = lexer.Token{Kind: lexer.EOF, File: p.tok.File, Line: p.tok.Line, Col: p.tok.Col}
+		return
+	}
+	p.tok = t
+}
+
+// skipStatement consumes tokens through the next Newline, for error
+// recovery.
+func (p *parser) skipStatement() {
+	for p.tok.Kind != lexer.Newline && p.tok.Kind != lexer.EOF {
+		p.next()
+	}
+}
+
+func (p *parser) parseFile(in Input) {
+	p.g.BeginFile(in.Name)
+	p.sc = lexer.NewScanner(in.Name, in.Src)
+	p.next()
+	for p.tok.Kind != lexer.EOF && len(p.errors) < MaxErrors {
+		switch p.tok.Kind {
+		case lexer.Newline:
+			p.next() // empty statement
+		case lexer.Name:
+			p.parseStatement()
+		default:
+			p.errorf("statement must begin with a name, got %s", p.tok)
+			p.skipStatement()
+		}
+	}
+}
+
+// commandWords maps keyword text to handler dispatch. Recognized only at
+// statement start when the following token is '{'.
+var commandWords = map[string]bool{
+	"private":   true,
+	"dead":      true,
+	"delete":    true,
+	"adjust":    true,
+	"file":      true,
+	"gatewayed": true,
+	"gateway":   true,
+}
+
+func (p *parser) parseStatement() {
+	name := p.tok.Text
+	p.next()
+
+	if commandWords[name] && p.tok.Kind == lexer.LBrace {
+		p.parseCommand(name)
+		return
+	}
+
+	switch p.tok.Kind {
+	case lexer.Equals:
+		p.next()
+		p.parseEqualsRest(name)
+	case lexer.Name, lexer.NetChar:
+		p.parseHostDecl(name)
+	case lexer.Newline:
+		// A bare name declares the host with no links; harmless and
+		// present in real map data.
+		p.g.Ref(name)
+		p.next()
+	default:
+		p.errorf("expected links, '=', or end of statement after %q, got %s", name, p.tok)
+		p.skipStatement()
+		p.expectNewline()
+	}
+}
+
+// parseEqualsRest handles both network declarations and alias lists after
+// "name = ".
+func (p *parser) parseEqualsRest(name string) {
+	switch p.tok.Kind {
+	case lexer.LBrace:
+		p.parseNetDecl(name, graph.DefaultOp)
+	case lexer.NetChar:
+		op := graph.OpFor(p.tok.Text[0])
+		p.next()
+		if p.tok.Kind != lexer.LBrace {
+			p.errorf("expected '{' after network routing character, got %s", p.tok)
+			p.skipStatement()
+			p.expectNewline()
+			return
+		}
+		p.parseNetDecl(name, op)
+	case lexer.Name:
+		p.parseAliasDecl(name)
+	default:
+		p.errorf("expected '{', routing character, or alias name after '=', got %s", p.tok)
+		p.skipStatement()
+		p.expectNewline()
+	}
+}
+
+// parseHostDecl parses "host link, link, ...".
+func (p *parser) parseHostDecl(name string) {
+	from := p.g.Ref(name)
+	for {
+		if !p.parseLink(from) {
+			p.skipStatement()
+			break
+		}
+		if p.tok.Kind != lexer.Comma {
+			break
+		}
+		p.next()
+	}
+	p.expectNewline()
+}
+
+// parseLink parses one link: host[netchar][(cost)] or netchar host[(cost)].
+// It reports whether parsing can continue within the statement.
+func (p *parser) parseLink(from *graph.Node) bool {
+	op := graph.DefaultOp
+	explicitPrefix := false
+
+	if p.tok.Kind == lexer.NetChar {
+		op = graph.OpFor(p.tok.Text[0])
+		explicitPrefix = true
+		p.next()
+	}
+	if p.tok.Kind != lexer.Name {
+		p.errorf("expected destination host name, got %s", p.tok)
+		return false
+	}
+	toName := p.tok.Text
+	p.next()
+
+	if p.tok.Kind == lexer.NetChar {
+		if explicitPrefix {
+			p.errorf("routing character on both sides of %q", toName)
+			return false
+		}
+		// Suffix operator: host on the left (b! form). The direction is
+		// positional — the host name was written left of the operator —
+		// regardless of which character it is.
+		op = graph.Op{Char: p.tok.Text[0], Dir: graph.DirLeft}
+		p.next()
+	}
+
+	linkCost := cost.DefaultCost
+	if p.tok.Kind == lexer.CostText {
+		c, err := cost.Eval(p.tok.Text)
+		if err != nil {
+			p.errorf("bad cost for link to %q: %v", toName, err)
+			return false
+		}
+		linkCost = c
+		p.next()
+	}
+
+	to := p.g.Ref(toName)
+	if to == from {
+		p.warnf("ignoring self link %q", toName)
+		return true
+	}
+	if to.IsDomain() {
+		// Declaring a direct link into a domain is the administrative
+		// act of offering entry: it makes the declarer a gateway of the
+		// domain (seismo's link to .edu makes seismo the .edu gateway).
+		// Named networks are different — their gateways come only from
+		// explicit gateway{NET!host} declarations, since the recognition
+		// of a network name as a network may postdate this link.
+		p.g.AddGateway(to, from)
+	}
+	p.g.AddLink(from, to, linkCost, op, 0)
+	return true
+}
+
+// parseNetDecl parses "{member, ...}[(cost)]" after "name = [netchar]".
+func (p *parser) parseNetDecl(name string, op graph.Op) {
+	p.next() // consume '{'
+	var members []string
+	for {
+		if p.tok.Kind != lexer.Name {
+			p.errorf("expected network member name, got %s", p.tok)
+			p.skipStatement()
+			p.expectNewline()
+			return
+		}
+		members = append(members, p.tok.Text)
+		p.next()
+		if p.tok.Kind == lexer.Comma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.tok.Kind != lexer.RBrace {
+		p.errorf("expected '}' to close network %q, got %s", name, p.tok)
+		p.skipStatement()
+		p.expectNewline()
+		return
+	}
+	p.next()
+
+	netCost := cost.DefaultCost
+	if p.tok.Kind == lexer.CostText {
+		c, err := cost.Eval(p.tok.Text)
+		if err != nil {
+			p.errorf("bad cost for network %q: %v", name, err)
+			p.skipStatement()
+			p.expectNewline()
+			return
+		}
+		netCost = c
+		p.next()
+	}
+
+	net := p.g.Ref(name)
+	nodes := make([]*graph.Node, 0, len(members))
+	for _, m := range members {
+		nodes = append(nodes, p.g.Ref(m))
+	}
+	p.g.AddNet(net, nodes, netCost, op)
+	p.expectNewline()
+}
+
+// parseAliasDecl parses "host = alias, alias, ...".
+func (p *parser) parseAliasDecl(name string) {
+	primary := p.g.Ref(name)
+	for {
+		if p.tok.Kind != lexer.Name {
+			p.errorf("expected alias name, got %s", p.tok)
+			p.skipStatement()
+			break
+		}
+		alias := p.g.Ref(p.tok.Text)
+		if alias == primary {
+			p.warnf("ignoring self alias %q", p.tok.Text)
+		} else {
+			p.g.AddAlias(primary, alias)
+		}
+		p.next()
+		if p.tok.Kind == lexer.Comma {
+			p.next()
+			continue
+		}
+		break
+	}
+	p.expectNewline()
+}
+
+// parseCommand parses "keyword { items }".
+func (p *parser) parseCommand(word string) {
+	p.next() // consume '{'
+	for {
+		if p.tok.Kind != lexer.Name {
+			p.errorf("expected name in %s{...}, got %s", word, p.tok)
+			p.skipStatement()
+			p.expectNewline()
+			return
+		}
+		if !p.parseCommandItem(word) {
+			p.skipStatement()
+			p.expectNewline()
+			return
+		}
+		if p.tok.Kind == lexer.Comma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.tok.Kind != lexer.RBrace {
+		p.errorf("expected '}' to close %s{...}, got %s", word, p.tok)
+		p.skipStatement()
+	} else {
+		p.next()
+	}
+	p.expectNewline()
+}
+
+// parseCommandItem handles one item inside a command's braces. The item
+// forms are: name, name!name (a link), name(expr) for adjust.
+func (p *parser) parseCommandItem(word string) bool {
+	first := p.tok.Text
+	pos := p.tok.Pos()
+	p.next()
+
+	// Link form: a!b (any netchar separates, '!' conventional).
+	if p.tok.Kind == lexer.NetChar {
+		p.next()
+		if p.tok.Kind != lexer.Name {
+			p.errorf("expected host after link operator in %s{...}", word)
+			return false
+		}
+		second := p.tok.Text
+		p.next()
+		switch word {
+		case "dead":
+			p.pending = append(p.pending, pendingLinkOp{
+				from: first, to: second, file: p.g.CurrentFile(), pos: pos, deadNot: false})
+		case "delete":
+			p.pending = append(p.pending, pendingLinkOp{
+				from: first, to: second, file: p.g.CurrentFile(), pos: pos, deadNot: true})
+		case "gateway":
+			net := p.g.Ref(first)
+			host := p.g.Ref(second)
+			p.g.AddGateway(net, host)
+		default:
+			p.errorf("%s{...} does not accept link items", word)
+			return false
+		}
+		return true
+	}
+
+	// Adjust form: name(expr).
+	if p.tok.Kind == lexer.CostText {
+		if word != "adjust" {
+			p.errorf("%s{...} does not accept cost items", word)
+			return false
+		}
+		delta, err := cost.EvalSigned(p.tok.Text)
+		if err != nil {
+			p.errorf("bad adjustment for %q: %v", first, err)
+			return false
+		}
+		p.next()
+		p.g.AdjustNode(p.g.Ref(first), delta)
+		return true
+	}
+
+	// Bare name form.
+	switch word {
+	case "private":
+		p.g.DeclarePrivate(first)
+	case "dead":
+		p.g.MarkDead(p.g.Ref(first))
+	case "delete":
+		p.g.Delete(p.g.Ref(first))
+	case "gatewayed":
+		p.g.MarkGatewayed(p.g.Ref(first))
+	case "adjust":
+		p.errorf("adjust item %q needs a (cost) adjustment", first)
+		return false
+	case "gateway":
+		p.errorf("gateway item %q must be net!host", first)
+		return false
+	case "file":
+		// Switch the private-scoping file boundary mid-stream, for
+		// concatenated input on stdin.
+		p.g.BeginFile(first)
+	}
+	return true
+}
+
+// expectNewline consumes the statement terminator, reporting anything else.
+func (p *parser) expectNewline() {
+	switch p.tok.Kind {
+	case lexer.Newline:
+		p.next()
+	case lexer.EOF:
+	default:
+		p.errorf("unexpected %s at end of statement", p.tok)
+		p.skipStatement()
+		if p.tok.Kind == lexer.Newline {
+			p.next()
+		}
+	}
+}
+
+// finish applies deferred link operations now that all links exist.
+func (p *parser) finish() {
+	for _, op := range p.pending {
+		p.g.BeginFile(op.file) // resolve names in the declaring file's scope
+		from := p.g.Ref(op.from)
+		to := p.g.Ref(op.to)
+		var ok bool
+		if op.deadNot {
+			ok = p.g.DeleteLink(from, to)
+		} else {
+			ok = p.g.MarkDeadLink(from, to)
+		}
+		if !ok {
+			verb := "dead"
+			if op.deadNot {
+				verb = "delete"
+			}
+			p.warnings = append(p.warnings,
+				fmt.Sprintf("%s: %s{%s!%s}: no such link", op.pos, verb, op.from, op.to))
+		}
+	}
+}
+
+// FormatWarnings renders warnings one per line for stderr output.
+func FormatWarnings(ws []string) string {
+	if len(ws) == 0 {
+		return ""
+	}
+	return "pathalias: " + strings.Join(ws, "\npathalias: ") + "\n"
+}

@@ -1,0 +1,535 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"pathalias/internal/cost"
+	"pathalias/internal/graph"
+)
+
+// mustParse parses src as a single file and fails the test on error.
+func mustParse(t *testing.T, src string) *graph.Graph {
+	t.Helper()
+	res, err := ParseString("test.map", src)
+	if err != nil {
+		t.Fatalf("parse failed: %v", err)
+	}
+	return res.Graph
+}
+
+// link fetches an ordinary link or fails.
+func link(t *testing.T, g *graph.Graph, from, to string) *graph.Link {
+	t.Helper()
+	f, ok := g.Lookup(from)
+	if !ok {
+		t.Fatalf("no node %q", from)
+	}
+	tn, ok := g.Lookup(to)
+	if !ok {
+		t.Fatalf("no node %q", to)
+	}
+	l := g.FindLink(f, tn)
+	if l == nil {
+		t.Fatalf("no link %s -> %s", from, to)
+	}
+	return l
+}
+
+func TestPaperExampleBasic(t *testing.T) {
+	// "a b(10), c(20)"
+	g := mustParse(t, "a b(10), c(20)\n")
+	if g.Len() != 3 {
+		t.Fatalf("nodes = %d want 3", g.Len())
+	}
+	lb := link(t, g, "a", "b")
+	if lb.Cost != 10 || lb.Op != graph.DefaultOp {
+		t.Errorf("a->b = cost %v op %v", lb.Cost, lb.Op)
+	}
+	lc := link(t, g, "a", "c")
+	if lc.Cost != 20 {
+		t.Errorf("a->c cost = %v", lc.Cost)
+	}
+}
+
+func TestPaperExampleArpanetSyntax(t *testing.T) {
+	// "a @b(10), @c(20)" — host on the right of '@'.
+	g := mustParse(t, "a @b(10), @c(20)\n")
+	lb := link(t, g, "a", "b")
+	if lb.Op.Char != '@' || lb.Op.Dir != graph.DirRight {
+		t.Errorf("a->b op = %v, want @/RIGHT", lb.Op)
+	}
+}
+
+func TestPaperExampleExplicitUUCP(t *testing.T) {
+	// "a b!(10), c!(20)" — the default written explicitly.
+	g := mustParse(t, "a b!(10), c!(20)\n")
+	lb := link(t, g, "a", "b")
+	if lb.Op.Char != '!' || lb.Op.Dir != graph.DirLeft {
+		t.Errorf("a->b op = %v, want !/LEFT", lb.Op)
+	}
+}
+
+func TestEquivalentSpellings(t *testing.T) {
+	// The three spellings of experiment E2 produce identical graphs.
+	texts := []string{
+		"a b(10), c(20)\n",
+		"a b!(10), c!(20)\n",
+	}
+	for _, src := range texts {
+		g := mustParse(t, src)
+		lb := link(t, g, "a", "b")
+		if lb.Cost != 10 || lb.Op.Char != '!' || lb.Op.Dir != graph.DirLeft {
+			t.Errorf("%q: a->b = %v %v", src, lb.Cost, lb.Op)
+		}
+	}
+}
+
+func TestSuffixOperatorPositional(t *testing.T) {
+	// "b@" puts the host on the LEFT of '@' (position decides direction,
+	// not the character).
+	g := mustParse(t, "a b@(10)\n")
+	lb := link(t, g, "a", "b")
+	if lb.Op.Char != '@' || lb.Op.Dir != graph.DirLeft {
+		t.Errorf("a->b op = %v, want @/LEFT", lb.Op)
+	}
+}
+
+func TestDefaultCost(t *testing.T) {
+	g := mustParse(t, "a b\n")
+	if lb := link(t, g, "a", "b"); lb.Cost != cost.DefaultCost {
+		t.Errorf("default cost = %v want %v", lb.Cost, cost.DefaultCost)
+	}
+}
+
+func TestSymbolicCosts(t *testing.T) {
+	g := mustParse(t, "unc duke(HOURLY), phs(HOURLY*4)\n")
+	if l := link(t, g, "unc", "duke"); l.Cost != 500 {
+		t.Errorf("unc->duke = %v", l.Cost)
+	}
+	if l := link(t, g, "unc", "phs"); l.Cost != 2000 {
+		t.Errorf("unc->phs = %v", l.Cost)
+	}
+}
+
+func TestNetworkDecl(t *testing.T) {
+	// UNC-dwarf = {dopey, grumpy, sleepy}(10)
+	g := mustParse(t, "UNC-dwarf = {dopey, grumpy, sleepy}(10)\n")
+	net, ok := g.Lookup("UNC-dwarf")
+	if !ok || !net.IsNet() {
+		t.Fatal("network node missing or unflagged")
+	}
+	if g.Stats().Links != 6 {
+		t.Errorf("links = %d want 6", g.Stats().Links)
+	}
+	dopey, _ := g.Lookup("dopey")
+	var entry *graph.Link
+	dopey.Links(func(l *graph.Link) bool {
+		if l.To == net {
+			entry = l
+		}
+		return true
+	})
+	if entry == nil || entry.Cost != 10 || entry.Flags&graph.LNetEntry == 0 {
+		t.Errorf("dopey->net = %v", entry)
+	}
+}
+
+func TestNetworkWithRoutingChar(t *testing.T) {
+	// ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+	g := mustParse(t, "ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)\n")
+	arpa, _ := g.Lookup("ARPA")
+	ucb, _ := g.Lookup("ucbvax")
+	var entry *graph.Link
+	ucb.Links(func(l *graph.Link) bool {
+		if l.To == arpa {
+			entry = l
+		}
+		return true
+	})
+	if entry == nil {
+		t.Fatal("no entry edge")
+	}
+	if entry.Cost != cost.Dedicated {
+		t.Errorf("entry cost = %v want DEDICATED", entry.Cost)
+	}
+	if entry.Op.Char != '@' || entry.Op.Dir != graph.DirRight {
+		t.Errorf("entry op = %v want @/RIGHT", entry.Op)
+	}
+}
+
+func TestNetworkDefaultCost(t *testing.T) {
+	g := mustParse(t, "NET = {a, b}\n")
+	a, _ := g.Lookup("a")
+	net, _ := g.Lookup("NET")
+	var entry *graph.Link
+	a.Links(func(l *graph.Link) bool {
+		if l.To == net {
+			entry = l
+		}
+		return true
+	})
+	if entry == nil || entry.Cost != cost.DefaultCost {
+		t.Errorf("entry = %v", entry)
+	}
+}
+
+func TestAliasDecl(t *testing.T) {
+	g := mustParse(t, "princeton = fun, tiger\n")
+	p, _ := g.Lookup("princeton")
+	f, _ := g.Lookup("fun")
+	var found *graph.Link
+	p.Links(func(l *graph.Link) bool {
+		if l.To == f && l.Flags&graph.LAlias != 0 {
+			found = l
+		}
+		return true
+	})
+	if found == nil || found.Cost != 0 {
+		t.Error("princeton/fun alias edge missing or nonzero")
+	}
+	if g.Stats().AliasEdges != 4 { // two pairs
+		t.Errorf("AliasEdges = %d want 4", g.Stats().AliasEdges)
+	}
+}
+
+func TestPrivateCommand(t *testing.T) {
+	res, err := Parse(
+		Input{Name: "f1", Src: []byte("bilbo princeton(10)\n")},
+		Input{Name: "f2", Src: []byte("private {bilbo}\nbilbo wiretap(10)\n")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if g.Stats().Privates != 1 {
+		t.Fatalf("Privates = %d", g.Stats().Privates)
+	}
+	global, _ := g.Lookup("bilbo")
+	wiretap, _ := g.Lookup("wiretap")
+	if g.FindLink(global, wiretap) != nil {
+		t.Error("global bilbo linked to wiretap; private scoping failed")
+	}
+	var private *graph.Node
+	for _, n := range g.Nodes() {
+		if n.Name == "bilbo" && n.IsPrivate() {
+			private = n
+		}
+	}
+	if private == nil {
+		t.Fatal("no private bilbo")
+	}
+	if g.FindLink(private, wiretap) == nil {
+		t.Error("private bilbo not linked to wiretap")
+	}
+}
+
+func TestDeadHostAndLink(t *testing.T) {
+	g := mustParse(t, "a b(10)\nb c(10)\ndead {c, a!b}\n")
+	c, _ := g.Lookup("c")
+	if !c.IsDead() {
+		t.Error("dead host not marked")
+	}
+	if l := link(t, g, "a", "b"); l.Flags&graph.LDead == 0 {
+		t.Error("dead link not marked")
+	}
+}
+
+func TestDeadLinkForwardReference(t *testing.T) {
+	// The dead{} command may precede the link declaration.
+	g := mustParse(t, "dead {a!b}\na b(10)\n")
+	if l := link(t, g, "a", "b"); l.Flags&graph.LDead == 0 {
+		t.Error("forward-referenced dead link not marked")
+	}
+}
+
+func TestDeadLinkMissingWarns(t *testing.T) {
+	res, err := ParseString("t", "a b(10)\ndead {x!y}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) != 1 || !strings.Contains(res.Warnings[0], "no such link") {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+}
+
+func TestDeleteCommand(t *testing.T) {
+	g := mustParse(t, "a b(10)\nb c(10)\ndelete {c}\ndelete {a!b}\n")
+	c, _ := g.Lookup("c")
+	if !c.IsDeleted() {
+		t.Error("deleted host not marked")
+	}
+	if l := link(t, g, "a", "b"); l.Flags&graph.LDeleted == 0 {
+		t.Error("deleted link not marked")
+	}
+}
+
+func TestAdjustCommand(t *testing.T) {
+	g := mustParse(t, "adjust {w(+10), x(-5), y(LOW)}\n")
+	w, _ := g.Lookup("w")
+	x, _ := g.Lookup("x")
+	y, _ := g.Lookup("y")
+	if w.Adjust != 10 {
+		t.Errorf("w.Adjust = %v", w.Adjust)
+	}
+	if x.Adjust != -5 {
+		t.Errorf("x.Adjust = %v", x.Adjust)
+	}
+	if y.Adjust != cost.Low {
+		t.Errorf("y.Adjust = %v", y.Adjust)
+	}
+}
+
+func TestGatewayedAndGateway(t *testing.T) {
+	g := mustParse(t, "ARPA = @{a, b, seismo}(DEDICATED)\ngatewayed {ARPA}\ngateway {ARPA!seismo}\n")
+	arpa, _ := g.Lookup("ARPA")
+	seismo, _ := g.Lookup("seismo")
+	a, _ := g.Lookup("a")
+	if arpa.Flags&graph.FGatewayed == 0 {
+		t.Error("ARPA not gatewayed")
+	}
+	if !arpa.IsGateway(seismo) {
+		t.Error("seismo not a gateway")
+	}
+	if arpa.IsGateway(a) {
+		t.Error("a wrongly a gateway")
+	}
+}
+
+func TestFileCommand(t *testing.T) {
+	// file{} switches the private-scoping boundary mid-stream.
+	g := mustParse(t, "private {x}\nx a(10)\nfile {part2}\nx b(10)\n")
+	global, ok := g.Lookup("x")
+	if !ok {
+		t.Fatal("no global x")
+	}
+	b, _ := g.Lookup("b")
+	if g.FindLink(global, b) == nil {
+		t.Error("after file{}, x should resolve globally")
+	}
+	a, _ := g.Lookup("a")
+	if g.FindLink(global, a) != nil {
+		t.Error("before file{}, x should have been private")
+	}
+}
+
+func TestDomainLinkDeclaresGateway(t *testing.T) {
+	g := mustParse(t, "seismo .edu(DEDICATED)\n")
+	edu, _ := g.Lookup(".edu")
+	seismo, _ := g.Lookup("seismo")
+	if !edu.IsDomain() {
+		t.Fatal(".edu not a domain")
+	}
+	if !edu.IsGateway(seismo) {
+		t.Error("seismo not gateway of .edu")
+	}
+}
+
+func TestHostNamedPrivateIsAllowed(t *testing.T) {
+	// "private" is only a keyword before '{'.
+	g := mustParse(t, "private other(10)\n")
+	if _, ok := g.Lookup("private"); !ok {
+		t.Error("host named private not created")
+	}
+	if l := link(t, g, "private", "other"); l.Cost != 10 {
+		t.Errorf("link cost = %v", l.Cost)
+	}
+}
+
+func TestBareHostDeclaration(t *testing.T) {
+	g := mustParse(t, "lonely\n")
+	if _, ok := g.Lookup("lonely"); !ok {
+		t.Error("bare host not created")
+	}
+}
+
+func TestMultiFileDuplicateLinks(t *testing.T) {
+	// Duplicate across files: cheaper cost wins.
+	res, err := Parse(
+		Input{Name: "f1", Src: []byte("a b(500)\n")},
+		Input{Name: "f2", Src: []byte("a b(300)\n")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l := link(t, res.Graph, "a", "b"); l.Cost != 300 {
+		t.Errorf("dup cost = %v want 300", l.Cost)
+	}
+	if res.Graph.Stats().DupLinks != 1 {
+		t.Errorf("DupLinks = %d", res.Graph.Stats().DupLinks)
+	}
+}
+
+func TestContinuationLines(t *testing.T) {
+	g := mustParse(t, "a b(10),\n  c(20), \\\n  d(30)\n")
+	for _, to := range []string{"b", "c", "d"} {
+		link(t, g, "a", to)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	g := mustParse(t, "# header\n\na b(10) # trailing\n\n# footer\n")
+	link(t, g, "a", "b")
+}
+
+func TestPaper1981Map(t *testing.T) {
+	// The full E4 input parses into the expected shape.
+	src := `unc	duke(HOURLY), phs(HOURLY*4)
+duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs	unc(HOURLY*4), duke(HOURLY)
+research	duke(DEMAND), ucbvax(DEMAND)
+ucbvax	research(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+`
+	g := mustParse(t, src)
+	st := g.Stats()
+	if st.Nodes != 8 { // unc duke phs research ucbvax ARPA mit-ai stanford
+		t.Errorf("nodes = %d want 8", st.Nodes)
+	}
+	if l := link(t, g, "duke", "research"); l.Cost != 2500 {
+		t.Errorf("duke->research = %v want DAILY/2 = 2500", l.Cost)
+	}
+	arpa, _ := g.Lookup("ARPA")
+	if !arpa.IsNet() {
+		t.Error("ARPA not a network")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"a ,\n", "expected links, '=', or end of statement"},
+		{"a @@\n", "expected destination host"},
+		{"a @b!\n", "routing character on both sides"},
+		{"a b(BOGUS)\n", "bad cost"},
+		{"n = \n", "expected '{', routing character, or alias name"},
+		{"n = @ x\n", "expected '{' after network routing character"},
+		{"n = {a, }\n", "expected network member name"},
+		{"n = {a\n", "expected '}' to close network"},
+		{"adjust {x}\n", "needs a (cost) adjustment"},
+		{"gateway {x}\n", "must be net!host"},
+		{"private {a(5)}\n", "does not accept cost items"},
+		{"private {a!b}\n", "does not accept link items"},
+		{"= b\n", "statement must begin with a name"},
+		{"a b } c\n", "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := ParseString("t", c.src)
+		if err == nil {
+			t.Errorf("parse %q: no error, want %q", c.src, c.want)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("parse %q: error type %T", c.src, err)
+			continue
+		}
+		found := false
+		for _, msg := range pe.Errors {
+			if strings.Contains(msg, c.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("parse %q: errors %v, want one containing %q", c.src, pe.Errors, c.want)
+		}
+	}
+}
+
+func TestErrorRecoveryContinues(t *testing.T) {
+	// An error on one line must not lose the next line.
+	res, err := ParseString("t", "a @@(10)\nc d(10)\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if l := link(t, res.Graph, "c", "d"); l.Cost != 10 {
+		t.Error("statement after error not parsed")
+	}
+}
+
+func TestMaxErrorsCap(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("a @@\n")
+	}
+	_, err := ParseString("t", sb.String())
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if len(pe.Errors) > MaxErrors {
+		t.Errorf("errors = %d, want capped at %d", len(pe.Errors), MaxErrors)
+	}
+	if !strings.Contains(pe.Error(), "more errors") {
+		t.Errorf("aggregate message %q", pe.Error())
+	}
+}
+
+func TestWriteToParseRoundTrip(t *testing.T) {
+	src := `a	b(10), @c(20), d!(30)
+NET	= {a, b}(5)
+ARPA	= @{c, d}(95)
+a	= alias-a
+dead	{d, a!b}
+gatewayed	{NET}
+gateway	{NET!a}
+adjust	{b(25)}
+`
+	g1 := mustParse(t, src)
+	var sb strings.Builder
+	if _, err := g1.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	g2 := mustParse(t, sb.String())
+
+	s1, s2 := g1.Stats(), g2.Stats()
+	s1.HashStats = s2.HashStats // ignore hash details in the comparison
+	if s1 != s2 {
+		t.Errorf("round-trip stats differ:\n%+v\n%+v\noutput:\n%s", s1, s2, sb.String())
+	}
+	// Spot-check semantics survived.
+	if l := link(t, g2, "a", "b"); l.Cost != 10 || l.Flags&graph.LDead == 0 {
+		t.Errorf("round-trip a->b = %v flags %b", l.Cost, l.Flags)
+	}
+	d2, _ := g2.Lookup("d")
+	if !d2.IsDead() {
+		t.Error("round-trip lost dead host")
+	}
+	b2, _ := g2.Lookup("b")
+	if b2.Adjust != 25 {
+		t.Error("round-trip lost adjust")
+	}
+	net2, _ := g2.Lookup("NET")
+	a2, _ := g2.Lookup("a")
+	if !net2.IsGateway(a2) {
+		t.Error("round-trip lost gateway")
+	}
+}
+
+func TestParseWarningsFormat(t *testing.T) {
+	if FormatWarnings(nil) != "" {
+		t.Error("empty warnings should render empty")
+	}
+	out := FormatWarnings([]string{"w1", "w2"})
+	if !strings.Contains(out, "pathalias: w1\npathalias: w2\n") {
+		t.Errorf("FormatWarnings = %q", out)
+	}
+}
+
+func BenchmarkParsePaperMap(b *testing.B) {
+	src := []byte(`unc	duke(HOURLY), phs(HOURLY*4)
+duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs	unc(HOURLY*4), duke(HOURLY)
+research	duke(DEMAND), ucbvax(DEMAND)
+ucbvax	research(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(Input{Name: "bench", Src: src}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package pqueue implements the implicit binary heap the mapper uses as its
+// priority queue.
+//
+// From "CALCULATING SHORTEST PATHS": "For the priority queue itself, we use
+// an implicit binary heap. This requires a large contiguous array, but since
+// the hash table is no longer needed and is guaranteed to be large enough,
+// we use that space instead of allocating a new array." Safe Go cannot
+// retype the hash table's slots, so the capacity guarantee survives instead:
+// the mapper sizes the heap once from hash.Table.DonatedCapacity and the
+// heap never reallocates during a mapping run (see DESIGN.md §3).
+//
+// The heap supports the decrease-key operation the paper's relaxation step
+// needs: "If some neighbor of v is already queued, but the path through v is
+// shorter, we reduce the cost to this neighbor, unmark the 'old' edge, mark
+// the 'new' edge, and restore the heap property." Position tracking is done
+// through a caller-supplied callback so elements can record their own heap
+// index, as the C original did with a pointer into the heap.
+package pqueue
+
+// Heap is a binary min-heap over elements of type V. Ordering comes from
+// the less function; the optional move callback is invoked whenever an
+// element changes position (including on insertion), so callers can track
+// indices for Fix. The zero value is not usable; call New.
+type Heap[V any] struct {
+	items []V
+	less  func(a, b V) bool
+	move  func(v V, i int)
+}
+
+// New returns an empty heap with the given ordering. move may be nil if the
+// caller never needs Fix or Remove.
+func New[V any](less func(a, b V) bool, move func(v V, i int)) *Heap[V] {
+	if less == nil {
+		panic("pqueue: nil less function")
+	}
+	return &Heap[V]{less: less, move: move}
+}
+
+// NewWithCapacity returns an empty heap with preallocated space for n
+// elements, the mapper's "guaranteed large enough" array.
+func NewWithCapacity[V any](n int, less func(a, b V) bool, move func(v V, i int)) *Heap[V] {
+	h := New(less, move)
+	h.items = make([]V, 0, n)
+	return h
+}
+
+// Len returns the number of queued elements.
+func (h *Heap[V]) Len() int { return len(h.items) }
+
+// Cap returns the capacity of the backing array.
+func (h *Heap[V]) Cap() int { return cap(h.items) }
+
+// Push inserts v and sifts it into place.
+func (h *Heap[V]) Push(v V) {
+	h.items = append(h.items, v)
+	i := len(h.items) - 1
+	h.notify(i)
+	h.siftUp(i)
+}
+
+// Peek returns the minimum element without removing it.
+// It panics on an empty heap.
+func (h *Heap[V]) Peek() V {
+	if len(h.items) == 0 {
+		panic("pqueue: Peek on empty heap")
+	}
+	return h.items[0]
+}
+
+// Pop removes and returns the minimum element.
+// It panics on an empty heap.
+func (h *Heap[V]) Pop() V {
+	if len(h.items) == 0 {
+		panic("pqueue: Pop on empty heap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	var zero V
+	h.items[last] = zero // release for GC
+	h.items = h.items[:last]
+	if last > 0 {
+		h.notify(0)
+		h.siftDown(0)
+	}
+	if h.move != nil {
+		h.move(top, -1) // element has left the heap
+	}
+	return top
+}
+
+// Fix restores the heap property after the element at index i has had its
+// key reduced (or, generally, changed). This is the paper's "restore the
+// heap property" step after reducing a queued neighbor's cost.
+func (h *Heap[V]) Fix(i int) {
+	if i < 0 || i >= len(h.items) {
+		panic("pqueue: Fix index out of range")
+	}
+	if !h.siftUp(i) {
+		h.siftDown(i)
+	}
+}
+
+// notify reports the element at index i now lives at i.
+func (h *Heap[V]) notify(i int) {
+	if h.move != nil {
+		h.move(h.items[i], i)
+	}
+}
+
+// siftUp moves items[i] toward the root until the heap property holds.
+// It reports whether the element moved.
+func (h *Heap[V]) siftUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		h.notify(i)
+		h.notify(parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// siftDown moves items[i] toward the leaves until the heap property holds.
+func (h *Heap[V]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(h.items[right], h.items[left]) {
+			least = right
+		}
+		if !h.less(h.items[least], h.items[i]) {
+			return
+		}
+		h.items[i], h.items[least] = h.items[least], h.items[i]
+		h.notify(i)
+		h.notify(least)
+		i = least
+	}
+}

@@ -1,0 +1,260 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intHeap() *Heap[int] {
+	return New[int](func(a, b int) bool { return a < b }, nil)
+}
+
+func TestPushPopOrdering(t *testing.T) {
+	h := intHeap()
+	in := []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for _, v := range in {
+		h.Push(v)
+	}
+	if h.Len() != len(in) {
+		t.Fatalf("Len = %d want %d", h.Len(), len(in))
+	}
+	for want := 0; want < len(in); want++ {
+		if got := h.Pop(); got != want {
+			t.Fatalf("Pop = %d want %d", got, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Errorf("Len after draining = %d", h.Len())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	h := intHeap()
+	h.Push(5)
+	h.Push(1)
+	h.Push(3)
+	if got := h.Peek(); got != 1 {
+		t.Errorf("Peek = %d want 1", got)
+	}
+	if h.Len() != 3 {
+		t.Errorf("Peek consumed an element")
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	h := intHeap()
+	for _, v := range []int{2, 2, 1, 1, 3, 3} {
+		h.Push(v)
+	}
+	want := []int{1, 1, 2, 2, 3, 3}
+	for _, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("Pop = %d want %d", got, w)
+		}
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	h := intHeap()
+	for name, fn := range map[string]func(){
+		"Pop":  func() { h.Pop() },
+		"Peek": func() { h.Peek() },
+		"Fix":  func() { h.Fix(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty heap did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNilLessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(nil, nil) did not panic")
+		}
+	}()
+	New[int](nil, nil)
+}
+
+// elem is a heap element that tracks its own index, as the mapper's nodes do.
+type elem struct {
+	key int
+	idx int
+}
+
+func trackedHeap() *Heap[*elem] {
+	return New[*elem](
+		func(a, b *elem) bool { return a.key < b.key },
+		func(e *elem, i int) { e.idx = i },
+	)
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := trackedHeap()
+	elems := make([]*elem, 10)
+	for i := range elems {
+		elems[i] = &elem{key: 100 + i}
+		h.Push(elems[i])
+	}
+	// Decrease the key of the last-pushed element to the global minimum.
+	e := elems[9]
+	e.key = 1
+	h.Fix(e.idx)
+	if got := h.Pop(); got != e {
+		t.Fatalf("Pop after decrease-key = key %d, want the decreased element", got.key)
+	}
+	// The rest still drain in order.
+	prev := -1
+	for h.Len() > 0 {
+		v := h.Pop()
+		if v.key < prev {
+			t.Fatalf("heap order violated: %d after %d", v.key, prev)
+		}
+		prev = v.key
+	}
+}
+
+func TestIndexTrackingConsistency(t *testing.T) {
+	h := trackedHeap()
+	rng := rand.New(rand.NewSource(42))
+	var live []*elem
+	for op := 0; op < 5000; op++ {
+		switch {
+		case len(live) == 0 || rng.Intn(3) != 0:
+			e := &elem{key: rng.Intn(1000)}
+			h.Push(e)
+			live = append(live, e)
+		case rng.Intn(2) == 0:
+			min := h.Pop()
+			if min.idx != -1 {
+				t.Fatalf("popped element has idx %d, want -1", min.idx)
+			}
+			for i, e := range live {
+				if e == min {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		default:
+			e := live[rng.Intn(len(live))]
+			e.key = rng.Intn(1000) // may increase or decrease
+			h.Fix(e.idx)
+		}
+		// Every live element's recorded index must point at itself.
+		for _, e := range live {
+			if e.idx < 0 || e.idx >= h.Len() || h.items[e.idx] != e {
+				t.Fatalf("index tracking broken after op %d", op)
+			}
+		}
+	}
+}
+
+func TestFixOutOfRangePanics(t *testing.T) {
+	h := trackedHeap()
+	h.Push(&elem{key: 1})
+	for _, i := range []int{-1, 1, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Fix(%d) did not panic", i)
+				}
+			}()
+			h.Fix(i)
+		}()
+	}
+}
+
+func TestNewWithCapacityDoesNotGrow(t *testing.T) {
+	const n = 1000
+	h := NewWithCapacity[int](n, func(a, b int) bool { return a < b }, nil)
+	if h.Cap() < n {
+		t.Fatalf("Cap = %d want >= %d", h.Cap(), n)
+	}
+	base := h.Cap()
+	for i := n; i > 0; i-- {
+		h.Push(i)
+	}
+	if h.Cap() != base {
+		t.Errorf("heap reallocated: cap %d -> %d", base, h.Cap())
+	}
+}
+
+// Property: heap sort equals sort.Ints for arbitrary inputs.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(in []int) bool {
+		h := intHeap()
+		for _, v := range in {
+			h.Push(v)
+		}
+		out := make([]int, 0, len(in))
+		for h.Len() > 0 {
+			out = append(out, h.Pop())
+		}
+		want := append([]int(nil), in...)
+		sort.Ints(want)
+		if len(out) != len(want) {
+			return false
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved pushes and pops still yield globally consistent
+// minimums (model check against a sorted slice).
+func TestInterleavedModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		h := intHeap()
+		var model []int
+		for _, op := range ops {
+			if op >= 0 {
+				h.Push(int(op))
+				model = append(model, int(op))
+				sort.Ints(model)
+			} else if len(model) > 0 {
+				got := h.Pop()
+				if got != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return h.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, 8500)
+	for i := range keys {
+		keys[i] = rng.Intn(1 << 20)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := NewWithCapacity[int](len(keys), func(a, b int) bool { return a < b }, nil)
+		for _, k := range keys {
+			h.Push(k)
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	}
+}

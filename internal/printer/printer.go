@@ -1,0 +1,216 @@
+// Package printer emits routes from the shortest-path tree — the third of
+// pathalias's three phases.
+//
+// From "PRINTING THE ROUTES": routes are printf format strings built by a
+// preorder traversal of the tree. The root (the local host) is labeled
+// "%s"; a child's route is the parent's route with %s replaced by
+// "host!%s" (LEFT operators) or "%s@host" (RIGHT operators). Routes are
+// computed during the recursion and passed as parameters, never stored in
+// nodes — the paper's memory argument for keeping the mapping and printing
+// phases separate.
+//
+// Special cases, all from the paper:
+//
+//   - Networks take the route of their parent and are not printed; the
+//     operator used for network→member edges is the one "encountered when
+//     entering the network" (the mapper precomputes this as TreeNode.ViaOp).
+//   - Domains accrete names downward: caip under .rutgers under .edu is
+//     printed as caip.rutgers.edu. Subdomain routes are not printed; a
+//     top-level domain (parent not a domain) is printed with its parent's
+//     route.
+//   - Private hosts are labeled but not printed, though their names may
+//     appear inside other hosts' routes.
+//   - Aliases ride along at zero cost: each alias name is printed with the
+//     route of the machine it names.
+package printer
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pathalias/internal/cost"
+	"pathalias/internal/graph"
+	"pathalias/internal/mapper"
+)
+
+// Options control output format.
+type Options struct {
+	// Costs prepends the path cost column, the format of the paper's
+	// example output ("0 unc %s").
+	Costs bool
+	// SortByCost orders output by (cost, name) as in the paper's example;
+	// the default is by name, the useful order for database builds.
+	SortByCost bool
+	// DomainsOnly restricts output to top-level domains (-D).
+	DomainsOnly bool
+	// FirstHopCost reports the cost of the first hop out of the local
+	// host instead of the full path cost (the -f flag): useful when the
+	// first hop dominates, which the paper's per-hop-overhead argument
+	// says it often does.
+	FirstHopCost bool
+}
+
+// Entry is one output line: a reachable name and the route to it.
+type Entry struct {
+	Host  string
+	Route string
+	Cost  cost.Cost
+}
+
+// frame is the traversal state passed down the recursion: the route to the
+// current tree node, the name it is known by (qualified for domain
+// members), the accreted domain suffix in force, and whether the node was
+// reached from inside a domain chain (making a domain a subdomain).
+type frame struct {
+	route       string
+	displayName string
+	suffix      string
+	subdomain   bool
+	firstHop    cost.Cost // cost of the first link out of the root
+}
+
+// Routes flattens the mapping result into output entries, applying the
+// paper's traversal rules.
+func Routes(res *mapper.Result, opts Options) []Entry {
+	p := &printCtx{opts: opts}
+	if res.Tree != nil {
+		root := frame{route: "%s", displayName: res.Tree.Node.Name}
+		p.visit(res.Tree, root)
+	}
+	if opts.SortByCost {
+		sort.Slice(p.entries, func(i, j int) bool {
+			a, b := p.entries[i], p.entries[j]
+			if a.Cost != b.Cost {
+				return a.Cost < b.Cost
+			}
+			return a.Host < b.Host
+		})
+	} else {
+		sort.Slice(p.entries, func(i, j int) bool {
+			return p.entries[i].Host < p.entries[j].Host
+		})
+	}
+	return p.entries
+}
+
+// Write renders the routes to w, one per line: "host\troute" or, with
+// Costs, "cost\thost\troute".
+func Write(w io.Writer, res *mapper.Result, opts Options) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range Routes(res, opts) {
+		var err error
+		if opts.Costs {
+			_, err = fmt.Fprintf(bw, "%d\t%s\t%s\n", int64(e.Cost), e.Host, e.Route)
+		} else {
+			_, err = fmt.Fprintf(bw, "%s\t%s\n", e.Host, e.Route)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+type printCtx struct {
+	opts    Options
+	entries []Entry
+}
+
+func (p *printCtx) visit(tn *mapper.TreeNode, f frame) {
+	p.emit(tn, f)
+	atRoot := tn.Via == nil // root iff no incoming edge
+	for _, c := range tn.Children {
+		cf := p.extend(tn, c, f)
+		if atRoot && c.Via != nil {
+			cf.firstHop = c.Via.Cost
+		} else {
+			cf.firstHop = f.firstHop
+		}
+		p.visit(c, cf)
+	}
+}
+
+// extend computes a child's frame from its parent's, implementing the
+// paper's labeling rules.
+func (p *printCtx) extend(parent, c *mapper.TreeNode, f frame) frame {
+	l := c.Via
+	switch {
+	case l == nil:
+		return frame{route: f.route, displayName: c.Node.Name}
+
+	case l.Flags&graph.LAlias != 0:
+		// Same machine, another name: identical route, own name.
+		return frame{route: f.route, displayName: c.Node.Name}
+
+	case c.Node.IsNet():
+		// Entering a network or domain: "the route to a network is
+		// identical to the route to its parent." A domain starts (or,
+		// under another domain, continues) a name-accretion chain.
+		nf := frame{route: f.route, displayName: c.Node.Name}
+		if c.Node.IsDomain() {
+			if l.Flags&graph.LNetMember != 0 && parent.Node.IsDomain() {
+				// Subdomain: .rutgers under .edu accretes to .rutgers.edu.
+				nf.suffix = c.Node.Name + f.suffix
+				nf.displayName = nf.suffix
+				nf.subdomain = true
+			} else {
+				nf.suffix = c.Node.Name
+			}
+		}
+		return nf
+
+	case l.Flags&graph.LNetMember != 0 && parent.Node.IsDomain():
+		// Host member of a domain: splice its fully qualified name.
+		name := c.Node.Name + f.suffix
+		return frame{route: splice(f.route, name, c.ViaOp), displayName: name}
+
+	default:
+		// Ordinary hop (including members of plain networks and plain
+		// links out of domains): splice the host's own name with the
+		// effective operator.
+		return frame{route: splice(f.route, c.Node.Name, c.ViaOp), displayName: c.Node.Name}
+	}
+}
+
+// emit records an output line for tn if the paper's rules call for one.
+func (p *printCtx) emit(tn *mapper.TreeNode, f frame) {
+	if !tn.Winning {
+		return // second-best non-winning label: carries children only
+	}
+	n := tn.Node
+	if n.IsPrivate() || n.IsDeleted() {
+		return
+	}
+	c := tn.Cost
+	if p.opts.FirstHopCost {
+		c = f.firstHop
+	}
+	if n.IsNet() {
+		// Networks are placeholders. Only a top-level domain — one whose
+		// parent is not a domain — is printed, with its parent's route.
+		if !n.IsDomain() || f.subdomain {
+			return
+		}
+		p.entries = append(p.entries, Entry{Host: f.displayName, Route: f.route, Cost: c})
+		return
+	}
+	if p.opts.DomainsOnly {
+		return
+	}
+	p.entries = append(p.entries, Entry{Host: f.displayName, Route: f.route, Cost: c})
+}
+
+// splice builds the child route: LEFT gives host!%s in place of %s, RIGHT
+// gives %s@host.
+func splice(route, host string, op graph.Op) string {
+	var repl string
+	if op.Dir == graph.DirRight {
+		repl = "%s" + string(op.Char) + host
+	} else {
+		repl = host + string(op.Char) + "%s"
+	}
+	return strings.Replace(route, "%s", repl, 1)
+}

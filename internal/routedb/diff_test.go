@@ -1,0 +1,128 @@
+package routedb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pathalias/internal/printer"
+)
+
+func db(t *testing.T, lines string) *DB {
+	t.Helper()
+	d, err := Load(strings.NewReader(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiffEmpty(t *testing.T) {
+	a := db(t, "100\tduke\tduke!%s\n")
+	if changes := Diff(a, a); len(changes) != 0 {
+		t.Errorf("self-diff = %v", changes)
+	}
+}
+
+func TestDiffKinds(t *testing.T) {
+	old := db(t, `100	duke	duke!%s
+200	gone	gone!%s
+300	moved	a!moved!%s
+400	pricier	p!%s
+`)
+	new := db(t, `100	duke	duke!%s
+300	moved	b!moved!%s
+500	pricier	p!%s
+50	fresh	fresh!%s
+`)
+	changes := Diff(old, new)
+	want := map[string]ChangeKind{
+		"fresh":   Added,
+		"gone":    Removed,
+		"moved":   Rerouted,
+		"pricier": Recosted,
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("changes = %v", changes)
+	}
+	for _, c := range changes {
+		if want[c.Host] != c.Kind {
+			t.Errorf("%s: kind %v want %v", c.Host, c.Kind, want[c.Host])
+		}
+	}
+	st := Summarize(changes)
+	if st.Added != 1 || st.Removed != 1 || st.Rerouted != 1 || st.Recosted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDiffOrdering(t *testing.T) {
+	old := db(t, "1\tzed\tz!%s\n1\talpha\ta!%s\n")
+	new := db(t, "1\tmid\tm!%s\n")
+	changes := Diff(old, new)
+	var hosts []string
+	for _, c := range changes {
+		hosts = append(hosts, c.Host)
+	}
+	if strings.Join(hosts, " ") != "alpha mid zed" {
+		t.Errorf("order = %v", hosts)
+	}
+}
+
+func TestWriteChanges(t *testing.T) {
+	old := db(t, "100\tduke\tduke!%s\n")
+	new := db(t, "100\tduke\tphs!duke!%s\n1\tnewbie\tn!%s\n")
+	var sb strings.Builder
+	if err := WriteChanges(&sb, Diff(old, new)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "rerouted\tduke\tduke!%s (100) -> phs!duke!%s (100)") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "added\tnewbie\tn!%s (1)") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	kinds := map[ChangeKind]string{Added: "added", Removed: "removed",
+		Rerouted: "rerouted", Recosted: "recosted"}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+// Property: Diff against an empty DB lists everything as added (or
+// removed, in the other direction), and diff is size-consistent.
+func TestDiffProperties(t *testing.T) {
+	empty := Build(nil)
+	f := func(keys []uint8) bool {
+		var es []printer.Entry
+		for _, k := range keys {
+			es = append(es, printer.Entry{
+				Host:  fmt.Sprintf("h%d", k),
+				Route: "r!%s",
+				Cost:  10,
+			})
+		}
+		d := Build(es)
+		adds := Diff(empty, d)
+		rems := Diff(d, empty)
+		if len(adds) != d.Len() || len(rems) != d.Len() {
+			return false
+		}
+		for i := range adds {
+			if adds[i].Kind != Added || rems[i].Kind != Removed {
+				return false
+			}
+		}
+		return len(Diff(d, d)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

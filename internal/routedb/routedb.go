@@ -1,0 +1,185 @@
+// Package routedb turns pathalias output into a queryable route database.
+//
+// The paper: "output from pathalias is a simple linear file, in the UNIX
+// tradition. If desired, a separate program may be used to convert this
+// file into a format appropriate for rapid database retrieval." This
+// package is that program's library: it loads the linear file (or takes
+// entries directly), sorts them, and answers lookups by binary search.
+//
+// It also implements the paper's domain resolution procedure: "To route to
+// caip.rutgers.edu!pleasant, a mailer first searches the route list for
+// caip.rutgers.edu; if found, the mailer uses argument pleasant ....
+// Otherwise, a search for .rutgers.edu, followed by a search for .edu,
+// produces seismo!%s, the route to the .edu gateway. The argument here is
+// not pleasant ..., it is caip.rutgers.edu!pleasant."
+package routedb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pathalias/internal/cost"
+	"pathalias/internal/printer"
+)
+
+// Entry is one route: a destination name and the printf-style format
+// string that reaches it.
+type Entry struct {
+	Host  string
+	Route string
+	Cost  cost.Cost
+}
+
+// DB is an immutable, sorted route database.
+type DB struct {
+	entries []Entry // sorted by Host
+}
+
+// Build constructs a database from printer output entries.
+func Build(entries []printer.Entry) *DB {
+	es := make([]Entry, len(entries))
+	for i, e := range entries {
+		es[i] = Entry{Host: e.Host, Route: e.Route, Cost: e.Cost}
+	}
+	return fromEntries(es)
+}
+
+func fromEntries(es []Entry) *DB {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Host != es[j].Host {
+			return es[i].Host < es[j].Host
+		}
+		return es[i].Cost < es[j].Cost
+	})
+	// Deduplicate on host, keeping the cheapest.
+	out := es[:0]
+	for _, e := range es {
+		if len(out) > 0 && out[len(out)-1].Host == e.Host {
+			continue
+		}
+		out = append(out, e)
+	}
+	return &DB{entries: out}
+}
+
+// Load reads a linear route file: either "host\troute" or
+// "cost\thost\troute" lines (the two pathalias output formats). Blank
+// lines and #-comments are ignored.
+func Load(r io.Reader) (*DB, error) {
+	var es []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		var e Entry
+		switch len(fields) {
+		case 2:
+			e = Entry{Host: fields[0], Route: fields[1]}
+		case 3:
+			c, err := strconv.ParseInt(fields[0], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("routedb: line %d: bad cost %q", lineno, fields[0])
+			}
+			e = Entry{Host: fields[1], Route: fields[2], Cost: cost.Cost(c)}
+		default:
+			return nil, fmt.Errorf("routedb: line %d: want 2 or 3 tab-separated fields, got %d", lineno, len(fields))
+		}
+		if !strings.Contains(e.Route, "%s") {
+			return nil, fmt.Errorf("routedb: line %d: route %q has no %%s marker", lineno, e.Route)
+		}
+		es = append(es, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("routedb: %w", err)
+	}
+	return fromEntries(es), nil
+}
+
+// Len returns the number of routes.
+func (db *DB) Len() int { return len(db.entries) }
+
+// Entries returns the sorted entries; callers must not modify the slice.
+func (db *DB) Entries() []Entry { return db.entries }
+
+// Lookup finds the route for an exact name by binary search.
+func (db *DB) Lookup(host string) (Entry, bool) {
+	i := sort.Search(len(db.entries), func(i int) bool {
+		return db.entries[i].Host >= host
+	})
+	if i < len(db.entries) && db.entries[i].Host == host {
+		return db.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Resolution explains how a destination was resolved.
+type Resolution struct {
+	Entry     Entry  // the route used
+	Matched   string // the database key that matched
+	Argument  string // what to substitute for %s
+	ViaSuffix bool   // true if a domain-suffix search was used
+}
+
+// Address renders the finished address.
+func (r Resolution) Address() string {
+	return strings.Replace(r.Entry.Route, "%s", r.Argument, 1)
+}
+
+// Resolve routes user mail to dest: exact match first, then the domain
+// suffix search. With a suffix match the argument becomes "dest!user",
+// a route relative to the domain gateway.
+func (db *DB) Resolve(dest, user string) (Resolution, error) {
+	if e, ok := db.Lookup(dest); ok {
+		return Resolution{Entry: e, Matched: dest, Argument: user}, nil
+	}
+	// Walk the domain suffixes: caip.rutgers.edu → .rutgers.edu → .edu.
+	rest := dest
+	for {
+		dot := strings.IndexByte(rest, '.')
+		if dot < 0 {
+			break
+		}
+		if dot == 0 {
+			// A leading dot: the suffix itself (".rutgers.edu").
+			if e, ok := db.Lookup(rest); ok {
+				return Resolution{
+					Entry:     e,
+					Matched:   rest,
+					Argument:  dest + "!" + user,
+					ViaSuffix: true,
+				}, nil
+			}
+			rest = rest[1:]
+			dot = strings.IndexByte(rest, '.')
+			if dot < 0 {
+				break
+			}
+		}
+		rest = rest[dot:]
+	}
+	return Resolution{}, fmt.Errorf("routedb: no route to %q", dest)
+}
+
+// WriteTo emits the database as a linear route file with costs.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	for _, e := range db.entries {
+		n, err := fmt.Fprintf(bw, "%d\t%s\t%s\n", int64(e.Cost), e.Host, e.Route)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}

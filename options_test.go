@@ -1,0 +1,102 @@
+package pathalias
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIgnoreCase(t *testing.T) {
+	// Mixed-case spellings of one host merge; cost symbols stay intact.
+	src := "Alpha Beta(HOURLY)\nBETA gamma(HOURLY)\n"
+	res, err := RunString(Options{LocalHost: "alpha", IgnoreCase: true}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Hosts != 3 {
+		t.Errorf("hosts = %d want 3 (alpha, beta, gamma)", res.Stats.Hosts)
+	}
+	rt, ok := res.Lookup("gamma")
+	if !ok {
+		t.Fatal("no route to gamma")
+	}
+	if rt.Format != "beta!gamma!%s" || rt.Cost != 1000 {
+		t.Errorf("gamma = %+v", rt)
+	}
+	// Without folding, Beta and BETA are distinct and gamma needs a back
+	// link through the second one.
+	res2, err := RunString(Options{LocalHost: "Alpha"}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Hosts != 4 {
+		t.Errorf("case-sensitive hosts = %d want 4", res2.Stats.Hosts)
+	}
+}
+
+func TestIgnoreCaseCostSymbolsSurvive(t *testing.T) {
+	// The -i flag must not break the symbolic cost vocabulary — this is
+	// the regression the naive lowercase-the-input approach causes.
+	src := "A B(HOURLY*4)\n"
+	res, err := RunString(Options{LocalHost: "a", IgnoreCase: true}, src)
+	if err != nil {
+		t.Fatalf("IgnoreCase broke cost symbols: %v", err)
+	}
+	rt, _ := res.Lookup("b")
+	if rt.Cost != 2000 {
+		t.Errorf("cost = %d want 2000", rt.Cost)
+	}
+}
+
+func TestFirstHopCost(t *testing.T) {
+	src := "a b(10)\nb c(20)\nc d(30)\n"
+	res, err := RunString(Options{LocalHost: "a", FirstHopCost: true}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every route out of a starts with the a->b link: first-hop cost 10.
+	for _, host := range []string{"b", "c", "d"} {
+		rt, _ := res.Lookup(host)
+		if rt.Cost != 10 {
+			t.Errorf("first-hop cost(%s) = %d want 10", host, rt.Cost)
+		}
+	}
+	// The root itself reports zero.
+	rt, _ := res.Lookup("a")
+	if rt.Cost != 0 {
+		t.Errorf("first-hop cost(a) = %d want 0", rt.Cost)
+	}
+}
+
+func TestFirstHopCostDifferentBranches(t *testing.T) {
+	src := "a b(10), x(99)\nb c(20)\nx y(1)\n"
+	res, err := RunString(Options{LocalHost: "a", FirstHopCost: true}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]int64{"b": 10, "c": 10, "x": 99, "y": 99}
+	for host, want := range cases {
+		rt, _ := res.Lookup(host)
+		if rt.Cost != want {
+			t.Errorf("first-hop cost(%s) = %d want %d", host, rt.Cost, want)
+		}
+	}
+}
+
+func TestWarningsSurfacedInResult(t *testing.T) {
+	res, err := RunString(Options{LocalHost: "a"}, "a a(10)\na b(10)\ndead {x!y}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var selfLink, noLink bool
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "self link") {
+			selfLink = true
+		}
+		if strings.Contains(w, "no such link") {
+			noLink = true
+		}
+	}
+	if !selfLink || !noLink {
+		t.Errorf("warnings = %v", res.Warnings)
+	}
+}

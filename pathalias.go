@@ -1,0 +1,291 @@
+// Package pathalias computes electronic mail routes in environments that
+// mix explicit and implicit routing, as well as syntax styles.
+//
+// It is a complete Go implementation of the system described in Peter
+// Honeyman and Steven M. Bellovin, "PATHALIAS or The Care and Feeding of
+// Relative Addresses" (Proc. Summer USENIX Conference, 1986). Given a
+// textual description of a network's connectivity — hosts, links with
+// symbolic costs, networks, domains, aliases, private hosts — it produces
+// a least-cost route to every known destination as a printf-style format
+// string:
+//
+//	res, err := pathalias.RunString(pathalias.Options{LocalHost: "unc"}, `
+//	unc    duke(HOURLY), phs(HOURLY*4)
+//	duke   unc(DEMAND), research(DAILY/2), phs(DEMAND)
+//	`)
+//	// res.Routes[1] == {Host: "duke", Format: "duke!%s", Cost: 500}
+//
+// The resulting routes can be packed into a Database for the lookups a
+// delivery agent performs, including the paper's domain-suffix search.
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of every table and figure in the paper.
+package pathalias
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"pathalias/internal/core"
+	"pathalias/internal/cost"
+	"pathalias/internal/mapper"
+	"pathalias/internal/parser"
+	"pathalias/internal/printer"
+	"pathalias/internal/routedb"
+)
+
+// Input is one named map source. The name matters: private declarations
+// scope to the file that made them.
+type Input struct {
+	Name string
+	Text string
+}
+
+// Options configure a run. The zero value is NOT runnable: LocalHost is
+// required.
+type Options struct {
+	// LocalHost is the host routes originate from (required).
+	LocalHost string
+
+	// PrintCosts includes path costs in WriteRoutes output, and
+	// SortByCost orders routes by cost as in the paper's example output.
+	PrintCosts bool
+	SortByCost bool
+	// DomainsOnly restricts output to top-level domains.
+	DomainsOnly bool
+
+	// SecondBest enables the paper's experimental domain-aware
+	// second-best route selection.
+	SecondBest bool
+	// NoBackLinks disables the invention of reverse links for
+	// unreachable hosts.
+	NoBackLinks bool
+	// Avoid lists hosts to route around when possible.
+	Avoid []string
+	// IgnoreCase folds host names to lower case (-i).
+	IgnoreCase bool
+	// FirstHopCost reports the cost of the first hop instead of the full
+	// path cost (-f).
+	FirstHopCost bool
+
+	// Penalty overrides; zero means the documented default.
+	MixedPenalty       int64
+	GatewayPenalty     int64
+	DomainRelayPenalty int64
+	DeadPenalty        int64
+}
+
+// Route is one computed route: a reachable name and the format string
+// that reaches it, with %s marking where the user name goes.
+type Route struct {
+	Host   string
+	Format string
+	Cost   int64
+}
+
+// Address substitutes a user name into the route, yielding a complete
+// address.
+func (r Route) Address(user string) string {
+	return strings.Replace(r.Format, "%s", user, 1)
+}
+
+// Stats summarize what a run saw and did.
+type Stats struct {
+	Hosts       int
+	Nets        int
+	Domains     int
+	Links       int
+	Reached     int
+	BackLinked  int
+	Penalized   int
+	Extractions int64
+	Relaxations int64
+}
+
+// Result is a completed run.
+type Result struct {
+	Routes      []Route
+	Warnings    []string
+	Unreachable []string
+	Stats       Stats
+
+	opts Options
+}
+
+// Run parses the inputs and computes routes from opts.LocalHost.
+func Run(opts Options, inputs ...Input) (*Result, error) {
+	cfg, err := buildConfig(opts, inputs)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return buildResult(opts, rep), nil
+}
+
+// RunString runs over a single in-memory map.
+func RunString(opts Options, mapText string) (*Result, error) {
+	return Run(opts, Input{Name: "<string>", Text: mapText})
+}
+
+// RunFiles loads the named files and runs over them.
+func RunFiles(opts Options, paths ...string) (*Result, error) {
+	ins, err := core.ReadInputs(paths)
+	if err != nil {
+		return nil, err
+	}
+	ginputs := make([]Input, len(ins))
+	for i, in := range ins {
+		ginputs[i] = Input{Name: in.Name, Text: string(in.Src)}
+	}
+	return Run(opts, ginputs...)
+}
+
+func buildConfig(opts Options, inputs []Input) (core.Config, error) {
+	if opts.LocalHost == "" {
+		return core.Config{}, fmt.Errorf("pathalias: Options.LocalHost is required")
+	}
+	if len(inputs) == 0 {
+		return core.Config{}, fmt.Errorf("pathalias: no inputs")
+	}
+	mopts := mapper.DefaultOptions()
+	mopts.SecondBest = opts.SecondBest
+	mopts.BackLinks = !opts.NoBackLinks
+	if opts.MixedPenalty != 0 {
+		mopts.MixedPenalty = cost.Cost(opts.MixedPenalty)
+	}
+	if opts.GatewayPenalty != 0 {
+		mopts.GatewayPenalty = cost.Cost(opts.GatewayPenalty)
+	}
+	if opts.DomainRelayPenalty != 0 {
+		mopts.DomainRelayPenalty = cost.Cost(opts.DomainRelayPenalty)
+	}
+	if opts.DeadPenalty != 0 {
+		mopts.DeadPenalty = cost.Cost(opts.DeadPenalty)
+	}
+
+	cfg := core.Config{
+		LocalHost: opts.LocalHost,
+		Mapper:    &mopts,
+		Printer: printer.Options{
+			Costs:        opts.PrintCosts,
+			SortByCost:   opts.SortByCost,
+			DomainsOnly:  opts.DomainsOnly,
+			FirstHopCost: opts.FirstHopCost,
+		},
+		Avoid:    opts.Avoid,
+		FoldCase: opts.IgnoreCase,
+	}
+	for _, in := range inputs {
+		cfg.Inputs = append(cfg.Inputs, parser.Input{Name: in.Name, Src: []byte(in.Text)})
+	}
+	return cfg, nil
+}
+
+func buildResult(opts Options, rep *core.Report) *Result {
+	res := &Result{
+		Warnings:    rep.Warnings,
+		Unreachable: rep.Unreachable,
+		opts:        opts,
+	}
+	for _, e := range rep.Entries {
+		res.Routes = append(res.Routes, Route{Host: e.Host, Format: e.Route, Cost: int64(e.Cost)})
+	}
+	gs := rep.Graph.Stats()
+	res.Stats = Stats{
+		Hosts:   gs.Hosts,
+		Nets:    gs.Nets,
+		Domains: gs.Domains,
+		Links:   gs.Links,
+	}
+	if mr := rep.MapResult; mr != nil {
+		res.Stats.Reached = mr.Reached
+		res.Stats.BackLinked = mr.BackLinked
+		res.Stats.Penalized = mr.Penalized
+		res.Stats.Extractions = mr.Extractions
+		res.Stats.Relaxations = mr.Relaxations
+	}
+	return res
+}
+
+// Lookup finds the route for an exact host name.
+func (r *Result) Lookup(host string) (Route, bool) {
+	for _, rt := range r.Routes {
+		if rt.Host == host {
+			return rt, true
+		}
+	}
+	return Route{}, false
+}
+
+// WriteRoutes emits the routes as the classic linear file: "host\tformat"
+// lines, or "cost\thost\tformat" when Options.PrintCosts is set.
+func (r *Result) WriteRoutes(w io.Writer) error {
+	for _, rt := range r.Routes {
+		var err error
+		if r.opts.PrintCosts {
+			_, err = fmt.Fprintf(w, "%d\t%s\t%s\n", rt.Cost, rt.Host, rt.Format)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\t%s\n", rt.Host, rt.Format)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Database is a queryable route database built from a run's routes, with
+// the paper's exact-then-domain-suffix resolution procedure.
+type Database struct {
+	db *routedb.DB
+}
+
+// NewDatabase packs the result's routes for rapid retrieval.
+func (r *Result) NewDatabase() *Database {
+	es := make([]printer.Entry, len(r.Routes))
+	for i, rt := range r.Routes {
+		es[i] = printer.Entry{Host: rt.Host, Route: rt.Format, Cost: cost.Cost(rt.Cost)}
+	}
+	return &Database{db: routedb.Build(es)}
+}
+
+// LoadDatabase reads a route database from a linear route file.
+func LoadDatabase(rd io.Reader) (*Database, error) {
+	db, err := routedb.Load(rd)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
+}
+
+// Len returns the number of routes in the database.
+func (d *Database) Len() int { return d.db.Len() }
+
+// Lookup finds an exact route.
+func (d *Database) Lookup(host string) (Route, bool) {
+	e, ok := d.db.Lookup(host)
+	if !ok {
+		return Route{}, false
+	}
+	return Route{Host: e.Host, Format: e.Route, Cost: int64(e.Cost)}, true
+}
+
+// Resolve routes user mail to dest, applying the domain-suffix search when
+// there is no exact match: mail to caip.rutgers.edu!pleasant with only
+// ".edu" in the database becomes seismo!caip.rutgers.edu!pleasant.
+func (d *Database) Resolve(dest, user string) (string, error) {
+	res, err := d.db.Resolve(dest, user)
+	if err != nil {
+		return "", err
+	}
+	return res.Address(), nil
+}
+
+// WriteTo emits the database as a linear route file.
+func (d *Database) WriteTo(w io.Writer) (int64, error) {
+	return d.db.WriteTo(w)
+}
