@@ -9,6 +9,7 @@ package pathalias
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"pathalias/internal/arena"
@@ -19,6 +20,7 @@ import (
 	"pathalias/internal/mapper"
 	"pathalias/internal/parser"
 	"pathalias/internal/printer"
+	"pathalias/internal/routedb"
 )
 
 // --- E1: cost expression evaluation -----------------------------------
@@ -415,6 +417,146 @@ func BenchmarkE17PrintPhase(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if entries := printer.Routes(mres, printer.Options{}); len(entries) < 8000 {
 			b.Fatalf("only %d routes", len(entries))
+		}
+	}
+}
+
+// --- E18: the serving layer — route retrieval on a 50k-host database ----
+//
+// The retrieval side of the paper ("rapid database retrieval") at modern
+// scale: a route database built from a mapgen 50k-core-host map, queried
+// through the resolver's exact hash index and domain-suffix trie.
+
+var e18 struct {
+	once   sync.Once
+	err    error // setup failure, reported by every E18 benchmark
+	db     *routedb.DB
+	exact  []string // known host names, sampled across the database
+	suffix []string // destinations that resolve via the suffix trie
+	miss   []string // destinations with no route
+}
+
+func e18DB(b *testing.B) {
+	e18.once.Do(func() {
+		inputs, local := mapgen.Generate(mapgen.Scaled(50000, 18))
+		res, err := parser.Parse(inputs...)
+		if err != nil {
+			e18.err = err
+			return
+		}
+		src, _ := res.Graph.Lookup(local)
+		mres, err := mapper.Run(res.Graph, src, mapper.DefaultOptions())
+		if err != nil {
+			e18.err = err
+			return
+		}
+		db := routedb.Build(printer.Routes(mres, printer.Options{}))
+		if db.Len() < 50000 {
+			e18.err = fmt.Errorf("only %d routes in the E18 database", db.Len())
+			return
+		}
+		var exact, suffix, miss []string
+		for i, e := range db.Entries() {
+			if i%97 == 0 && e.Host[0] != '.' {
+				exact = append(exact, e.Host)
+			}
+			if e.Host[0] == '.' && len(suffix) < 256 {
+				suffix = append(suffix, "relay"+fmt.Sprint(len(suffix))+".deep"+e.Host)
+			}
+		}
+		if len(exact) == 0 || len(suffix) == 0 {
+			e18.err = fmt.Errorf("E18 database has no exact/suffix query material")
+			return
+		}
+		for i := 0; i < 256; i++ {
+			miss = append(miss, fmt.Sprintf("unknown%d.nowhere.invalid", i))
+		}
+		e18.db, e18.exact, e18.suffix, e18.miss = db, exact, suffix, miss
+	})
+	if e18.err != nil {
+		b.Fatal(e18.err)
+	}
+}
+
+func BenchmarkE18ResolverExact(b *testing.B) {
+	e18DB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dest := e18.exact[i%len(e18.exact)]
+		if _, err := e18.db.Resolve(dest, "user"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE18ResolverSuffix(b *testing.B) {
+	e18DB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dest := e18.suffix[i%len(e18.suffix)]
+		res, err := e18.db.Resolve(dest, "user")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.ViaSuffix {
+			b.Fatalf("%q resolved without the suffix trie", dest)
+		}
+	}
+}
+
+func BenchmarkE18ResolverMiss(b *testing.B) {
+	e18DB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e18.db.Resolve(e18.miss[i%len(e18.miss)], "user"); err == nil {
+			b.Fatal("miss query resolved")
+		}
+	}
+}
+
+func BenchmarkE18ResolverParallel(b *testing.B) {
+	e18DB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			switch i % 3 {
+			case 0:
+				e18.db.Resolve(e18.exact[i%len(e18.exact)], "user")
+			case 1:
+				e18.db.Resolve(e18.suffix[i%len(e18.suffix)], "user")
+			default:
+				e18.db.Resolve(e18.miss[i%len(e18.miss)], "user")
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkE18ResolveBatch(b *testing.B) {
+	e18DB(b)
+	dests := make([]string, 4096)
+	for i := range dests {
+		switch i % 3 {
+		case 0:
+			dests[i] = e18.exact[i%len(e18.exact)]
+		case 1:
+			dests[i] = e18.suffix[i%len(e18.suffix)]
+		default:
+			dests[i] = e18.miss[i%len(e18.miss)]
+		}
+	}
+	db := &Database{db: e18.db}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := db.ResolveBatch("user", dests)
+		if len(out) != len(dests) {
+			b.Fatal("short batch")
 		}
 	}
 }

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pathalias/internal/routedb"
+)
+
+// daemon serves one route file: a hot-swappable store, the line
+// protocol, the HTTP endpoints, and the mtime watcher that reloads the
+// store when the file changes.
+type daemon struct {
+	path  string
+	opts  routedb.Options
+	store *routedb.Store
+	logw  io.Writer
+
+	mu       sync.Mutex // guards reloads (watch loop + explicit reload)
+	mtime    time.Time
+	loadedAt time.Time
+	swaps    atomic.Uint64
+}
+
+// newDaemon loads path into a fresh store.
+func newDaemon(path string, opts routedb.Options, logw io.Writer) (*daemon, error) {
+	d := &daemon{path: path, opts: opts, store: routedb.NewStore(nil), logw: logw}
+	if err := d.reload(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *daemon) logf(format string, args ...any) {
+	fmt.Fprintf(d.logw, "routed: "+format+"\n", args...)
+}
+
+// reload rebuilds the database from the route file and swaps it in.
+// Lookups proceed against the old database until the swap. The observed
+// mtime is recorded even when parsing fails, so a persistently malformed
+// file is not re-parsed on every watch tick — only when it changes
+// again.
+func (d *daemon) reload() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := os.Open(d.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	d.mtime = fi.ModTime()
+	db, err := routedb.LoadWith(f, d.opts)
+	if err != nil {
+		return err
+	}
+	d.store.Swap(db)
+	d.loadedAt = time.Now()
+	d.swaps.Add(1)
+	d.logf("loaded %d routes from %s", db.Len(), d.path)
+	return nil
+}
+
+// watch polls the route file's mtime and hot-swaps the store when it
+// changes. A vanished or malformed file is logged and the old database
+// keeps serving.
+func (d *daemon) watch(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			fi, err := os.Stat(d.path)
+			if err != nil {
+				d.logf("watch: %v", err)
+				continue
+			}
+			d.mu.Lock()
+			changed := !fi.ModTime().Equal(d.mtime)
+			d.mu.Unlock()
+			if !changed {
+				continue
+			}
+			if err := d.reload(); err != nil {
+				d.logf("reload: %v (still serving previous database)", err)
+			}
+		}
+	}
+}
+
+// handleLine answers one request line of the line-oriented protocol:
+//
+//	dest [user]   resolve a destination (user defaults to the %s marker)
+//	stats         one-line counter dump
+//	quit          close the connection
+//
+// Replies are "ok <payload>" or "err <message>". The single-token
+// commands shadow hosts literally named "stats"/"quit"; query those with
+// an explicit user argument.
+func (d *daemon) handleLine(line string) (reply string, closing bool) {
+	fields := strings.Fields(line)
+	switch {
+	case len(fields) == 0:
+		return "err empty request", false
+	case len(fields) == 1 && fields[0] == "quit":
+		return "ok bye", true
+	case len(fields) == 1 && fields[0] == "stats":
+		return "ok " + d.statsLine(), false
+	case len(fields) > 2:
+		return "err want: dest [user]", false
+	}
+	user := "%s"
+	if len(fields) == 2 {
+		user = fields[1]
+	}
+	res, err := d.store.Resolve(fields[0], user)
+	if err != nil {
+		return "err " + err.Error(), false
+	}
+	return "ok " + res.Address(), false
+}
+
+// serveConn runs the line protocol over one connection (or any
+// read/write pair, e.g. stdin/stdout).
+func (d *daemon) serveConn(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	bw := bufio.NewWriter(w)
+	for sc.Scan() {
+		reply, closing := d.handleLine(sc.Text())
+		if _, err := bw.WriteString(reply + "\n"); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if closing {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// serveTCP accepts line-protocol connections until ctx is done.
+func (d *daemon) serveTCP(ctx context.Context, ln net.Listener) {
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			d.logf("accept: %v", err)
+			continue
+		}
+		go func() {
+			defer conn.Close()
+			if err := d.serveConn(conn, conn); err != nil {
+				d.logf("conn %s: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// statsSnapshot is the JSON shape of /stats.
+type statsSnapshot struct {
+	Routes     int       `json:"routes"`
+	Swaps      uint64    `json:"swaps"`
+	LoadedAt   time.Time `json:"loaded_at"`
+	Lookups    uint64    `json:"lookups"`
+	Resolves   uint64    `json:"resolves"`
+	Hits       uint64    `json:"hits"`
+	SuffixHits uint64    `json:"suffix_hits"`
+	Misses     uint64    `json:"misses"`
+}
+
+func (d *daemon) snapshot() statsSnapshot {
+	db := d.store.DB()
+	s := db.Stats()
+	d.mu.Lock()
+	loadedAt := d.loadedAt
+	d.mu.Unlock()
+	return statsSnapshot{
+		Routes:     db.Len(),
+		Swaps:      d.swaps.Load(),
+		LoadedAt:   loadedAt,
+		Lookups:    s.Lookups,
+		Resolves:   s.Resolves,
+		Hits:       s.Hits,
+		SuffixHits: s.SuffixHits,
+		Misses:     s.Misses,
+	}
+}
+
+func (d *daemon) statsLine() string {
+	s := d.snapshot()
+	return fmt.Sprintf("routes=%d swaps=%d lookups=%d resolves=%d hits=%d suffix_hits=%d misses=%d",
+		s.Routes, s.Swaps, s.Lookups, s.Resolves, s.Hits, s.SuffixHits, s.Misses)
+}
+
+// handler builds the HTTP mux: GET /route?dest=...&user=..., /stats,
+// /healthz.
+func (d *daemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /route", func(w http.ResponseWriter, r *http.Request) {
+		dest := r.URL.Query().Get("dest")
+		if dest == "" {
+			http.Error(w, "missing dest parameter", http.StatusBadRequest)
+			return
+		}
+		user := r.URL.Query().Get("user")
+		if user == "" {
+			user = "%s"
+		}
+		res, err := d.store.Resolve(dest, user)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, res.Address())
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(d.snapshot())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// serveHTTP runs the HTTP endpoints until ctx is done.
+func (d *daemon) serveHTTP(ctx context.Context, ln net.Listener) {
+	srv := &http.Server{Handler: d.handler()}
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(shutCtx)
+	}()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		d.logf("http: %v", err)
+	}
+}

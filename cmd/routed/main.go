@@ -1,0 +1,108 @@
+// Command routed serves a pathalias route database to delivery agents —
+// the serving side of the paper's "format appropriate for rapid database
+// retrieval". Where mkdb converts and uupath answers one query, routed
+// keeps the database resident, answers queries over a line-oriented
+// protocol (TCP or stdin) and HTTP, and hot-swaps the in-memory index
+// when the route file changes, without dropping in-flight lookups.
+//
+// Usage:
+//
+//	routed -d routes.db [-tcp addr] [-http addr] [-watch 2s] [-i]
+//	routed -d routes.db -stdin
+//
+// Examples:
+//
+//	$ routed -d routes.db -tcp :7411 -http :7412 &
+//	$ printf 'caip.rutgers.edu pleasant\n' | nc localhost 7411
+//	ok seismo!caip.rutgers.edu!pleasant
+//	$ curl 'http://localhost:7412/route?dest=caip.rutgers.edu&user=pleasant'
+//	seismo!caip.rutgers.edu!pleasant
+//
+// See README.md in this directory for the protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pathalias/internal/routedb"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("routed", flag.ContinueOnError)
+	var (
+		dbPath   = fs.String("d", "", "route database file (required)")
+		tcpAddr  = fs.String("tcp", "", "serve the line protocol on this TCP address (e.g. :7411)")
+		httpAddr = fs.String("http", "", "serve HTTP on this address (e.g. :7412)")
+		useStdin = fs.Bool("stdin", false, "serve the line protocol on stdin/stdout and exit at EOF")
+		watch    = fs.Duration("watch", 2*time.Second, "route-file mtime poll interval (0 disables hot reload)")
+		fold     = fs.Bool("i", false, "case-fold queries (for maps computed with pathalias -i)")
+	)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dbPath == "" || (!*useStdin && *tcpAddr == "" && *httpAddr == "") {
+		fmt.Fprintln(stderr, "usage: routed -d routes.db [-tcp addr] [-http addr] [-watch 2s] [-i] | -stdin")
+		return 2
+	}
+
+	d, err := newDaemon(*dbPath, routedb.Options{FoldCase: *fold}, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "routed: %v\n", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *watch > 0 {
+		go d.watch(ctx, *watch)
+	}
+
+	if *useStdin {
+		if err := d.serveConn(stdin, stdout); err != nil {
+			fmt.Fprintf(stderr, "routed: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	done := make(chan struct{})
+	serving := 0
+	if *tcpAddr != "" {
+		ln, err := net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "routed: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "routed: line protocol on %s\n", ln.Addr())
+		serving++
+		go func() { d.serveTCP(ctx, ln); done <- struct{}{} }()
+	}
+	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "routed: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "routed: http on %s\n", ln.Addr())
+		serving++
+		go func() { d.serveHTTP(ctx, ln); done <- struct{}{} }()
+	}
+	for i := 0; i < serving; i++ {
+		<-done
+	}
+	return 0
+}

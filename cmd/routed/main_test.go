@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pathalias/internal/routedb"
+)
+
+func writeRoutes(t *testing.T, dir, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, "routes.db")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testRoutes = "500\tduke\tduke!%s\n10\t.edu\tseismo!%s\n0\tunc\t%s\n"
+
+func TestStdinProtocol(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	in := strings.NewReader("duke honey\ncaip.rutgers.edu pleasant\nnowhere u\nstats\nbogus line here\nquit\n")
+	var out, errw strings.Builder
+	if code := run([]string{"-d", path, "-stdin", "-watch", "0"}, in, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, stderr: %s", code, errw.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	want := []string{
+		"ok duke!honey",
+		"ok seismo!caip.rutgers.edu!pleasant",
+		`err routedb: no route to "nowhere"`,
+		"ok routes=3 swaps=1 lookups=0 resolves=3 hits=1 suffix_hits=1 misses=1",
+		"err want: dest [user]",
+		"ok bye",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d reply lines: %q", len(lines), lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("reply %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run(nil, strings.NewReader(""), &out, &errw); code != 2 {
+		t.Errorf("no args: run = %d", code)
+	}
+	if code := run([]string{"-d", "nosuch.db", "-stdin"}, strings.NewReader(""), &out, &errw); code != 1 {
+		t.Errorf("missing file: run = %d", code)
+	}
+}
+
+func TestTCPProtocol(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	d, err := newDaemon(path, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.serveTCP(ctx, ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := bufio.NewScanner(conn)
+	ask := func(req string) string {
+		t.Helper()
+		if _, err := fmt.Fprintln(conn, req); err != nil {
+			t.Fatal(err)
+		}
+		if !rd.Scan() {
+			t.Fatalf("no reply to %q: %v", req, rd.Err())
+		}
+		return rd.Text()
+	}
+	if got := ask("duke honey"); got != "ok duke!honey" {
+		t.Errorf("resolve = %q", got)
+	}
+	if got := ask("x.dept.edu"); got != "ok seismo!x.dept.edu!%s" {
+		t.Errorf("default-user resolve = %q", got)
+	}
+	if got := ask("quit"); got != "ok bye" {
+		t.Errorf("quit = %q", got)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	d, err := newDaemon(path, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.handler())
+	defer srv.Close()
+
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(srv.URL + "/route?dest=caip.rutgers.edu&user=pleasant"); code != 200 || strings.TrimSpace(body) != "seismo!caip.rutgers.edu!pleasant" {
+		t.Errorf("/route = %d %q", code, body)
+	}
+	if code, _ := get(srv.URL + "/route?dest=nowhere"); code != 404 {
+		t.Errorf("/route miss = %d", code)
+	}
+	if code, _ := get(srv.URL + "/route"); code != 400 {
+		t.Errorf("/route without dest = %d", code)
+	}
+	if code, body := get(srv.URL + "/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	code, body := get(srv.URL + "/stats")
+	if code != 200 {
+		t.Fatalf("/stats = %d", code)
+	}
+	var s statsSnapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("/stats body %q: %v", body, err)
+	}
+	if s.Routes != 3 || s.Swaps != 1 || s.Resolves != 2 || s.SuffixHits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestWatchHotSwapsOnChange(t *testing.T) {
+	dir := t.TempDir()
+	path := writeRoutes(t, dir, testRoutes)
+	d, err := newDaemon(path, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.watch(ctx, 5*time.Millisecond)
+
+	// Rewrite the file with a different route and an mtime guaranteed to
+	// differ even on coarse filesystem clocks.
+	writeRoutes(t, dir, "500\tduke\tVIA-NEW!%s\n")
+	future := time.Now().Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if e, ok := d.store.Lookup("duke"); ok && e.Route == "VIA-NEW!%s" {
+			break
+		}
+		if time.Now().After(deadline) {
+			e, ok := d.store.Lookup("duke")
+			t.Fatalf("hot swap never happened; duke = %+v, %v", e, ok)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if d.store.Len() != 1 {
+		t.Errorf("Len after swap = %d", d.store.Len())
+	}
+
+	// A broken rewrite must not take down the serving database.
+	if err := os.WriteFile(path, []byte("not\ta\tvalid\tdb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future = future.Add(2 * time.Second)
+	if err := os.Chtimes(path, future, future); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if e, ok := d.store.Lookup("duke"); !ok || e.Route != "VIA-NEW!%s" {
+		t.Errorf("broken reload dropped the database: %+v, %v", e, ok)
+	}
+}

@@ -43,6 +43,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mode    = fs.String("m", "firsthop", "rewrite mode: off, firsthop, rightmost")
 		local   = fs.String("local", "localhost", "local host name for rewriting")
 		guess   = fs.String("guess", "", "disambiguate a mixed-syntax address against the database")
+		fold    = fs.Bool("i", false, "case-fold queries (for maps computed with pathalias -i)")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -58,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "uupath: %v\n", err)
 		return 1
 	}
-	db, err := routedb.Load(f)
+	db, err := routedb.LoadWith(f, routedb.Options{FoldCase: *fold})
 	f.Close()
 	if err != nil {
 		fmt.Fprintf(stderr, "uupath: %v\n", err)

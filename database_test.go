@@ -1,0 +1,155 @@
+package pathalias
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const dbTestMap = `unc	duke(HOURLY), phs(HOURLY*4)
+duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs	unc(HOURLY*4), duke(HOURLY)
+research	duke(DEMAND), ucbvax(DEMAND)
+ucbvax	research(DAILY)
+.edu	= {caip.rutgers.edu}
+research	.edu(DEMAND)
+`
+
+func dbTestDatabase(t *testing.T) *Database {
+	t.Helper()
+	res, err := RunString(Options{LocalHost: "unc"}, dbTestMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.NewDatabase()
+}
+
+func TestResolveBatchGolden(t *testing.T) {
+	db := dbTestDatabase(t)
+	dests := []string{
+		"duke",             // exact
+		"mit.edu",          // domain suffix via .edu
+		"nowhere",          // miss
+		"research",         // exact, deeper
+		"caip.rutgers.edu", // exact (domain member)
+	}
+	got := db.ResolveBatch("honey", dests)
+	want := []struct {
+		addr  string
+		isErr bool
+	}{
+		{"duke!honey", false},
+		{"duke!research!mit.edu!honey", false},
+		{"", true},
+		{"duke!research!honey", false},
+		{"duke!research!caip.rutgers.edu!honey", false},
+	}
+	if len(got) != len(dests) {
+		t.Fatalf("got %d results for %d dests", len(got), len(dests))
+	}
+	for i, w := range want {
+		if got[i].Dest != dests[i] {
+			t.Errorf("[%d] Dest = %q, want %q", i, got[i].Dest, dests[i])
+		}
+		if (got[i].Err != nil) != w.isErr {
+			t.Errorf("[%d] Err = %v, want error %v", i, got[i].Err, w.isErr)
+		}
+		if got[i].Address != w.addr {
+			t.Errorf("[%d] Address = %q, want %q", i, got[i].Address, w.addr)
+		}
+	}
+	// Batch results agree with one-at-a-time Resolve.
+	for _, dest := range dests {
+		addr, err := db.Resolve(dest, "honey")
+		br := db.ResolveBatch("honey", []string{dest})[0]
+		if br.Address != addr || (br.Err != nil) != (err != nil) {
+			t.Errorf("batch/single mismatch for %q: %+v vs %q, %v", dest, br, addr, err)
+		}
+	}
+}
+
+// The parallel path must produce byte-identical output to the serial
+// path, in order, for batches past the fan-out threshold.
+func TestResolveBatchLargeMatchesSerial(t *testing.T) {
+	db := dbTestDatabase(t)
+	var dests []string
+	pool := []string{"duke", "phs", "x.edu", "deep.sub.edu", "missing", "ucbvax", "research"}
+	for i := 0; i < 4*resolveBatchParallelMin; i++ {
+		dests = append(dests, pool[i%len(pool)])
+	}
+	got := db.ResolveBatch("u", dests)
+	for i, dest := range dests {
+		addr, err := db.Resolve(dest, "u")
+		if got[i].Dest != dest || got[i].Address != addr || (got[i].Err == nil) != (err == nil) {
+			t.Fatalf("[%d] %q: batch %+v, single %q %v", i, dest, got[i], addr, err)
+		}
+	}
+}
+
+func TestDatabaseStats(t *testing.T) {
+	db := dbTestDatabase(t)
+	db.Lookup("duke")
+	db.ResolveBatch("u", []string{"duke", "far.away.edu", "missing"})
+	s := db.Stats()
+	if s.Lookups != 1 || s.Resolves != 3 || s.Hits != 1 || s.SuffixHits != 1 || s.Misses != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}
+
+func TestDatabaseIgnoreCaseFolding(t *testing.T) {
+	res, err := RunString(Options{LocalHost: "unc", IgnoreCase: true},
+		"unc\tDuke(HOURLY)\nDuke\tunc(DEMAND)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := res.NewDatabase()
+	if _, ok := db.Lookup("DUKE"); !ok {
+		t.Error("IgnoreCase database missed DUKE")
+	}
+	if _, err := db.Resolve("dUkE", "u"); err != nil {
+		t.Errorf("IgnoreCase Resolve: %v", err)
+	}
+	// Result.Lookup folds too.
+	if _, ok := res.Lookup("DUKE"); !ok {
+		t.Error("IgnoreCase Result.Lookup missed DUKE")
+	}
+}
+
+// Result.Lookup's lazy index and the Database are safe for concurrent
+// first use (run under -race).
+func TestConcurrentResultAndDatabase(t *testing.T) {
+	var src strings.Builder
+	src.WriteString("hub h0(10)\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&src, "hub\th%d(HOURLY)\n", i)
+	}
+	res, err := RunString(Options{LocalHost: "hub"}, src.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := res.NewDatabase()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				host := fmt.Sprintf("h%d", (g*37+i)%300)
+				if _, ok := res.Lookup(host); !ok {
+					t.Errorf("Result.Lookup(%q) missed", host)
+					return
+				}
+				if _, ok := db.Lookup(host); !ok {
+					t.Errorf("Database.Lookup(%q) missed", host)
+					return
+				}
+				if _, err := db.Resolve(host, "u"); err != nil {
+					t.Errorf("Resolve(%q): %v", host, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

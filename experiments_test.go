@@ -389,6 +389,9 @@ func TestExperiment11Winner(t *testing.T) {
 	}
 	t.Logf("v≈%d: heap=%v array=%v ratio=%.1fx", g.Len(), heapTime, arrTime,
 		float64(arrTime)/float64(heapTime))
+	if testing.Short() {
+		t.Skip("wall-clock ratio assertion skipped under -short (noisy on shared runners)")
+	}
 	if heapTime*2 >= arrTime {
 		t.Errorf("heap variant (%v) not decisively faster than array (%v) at v=%d",
 			heapTime, arrTime, g.Len())

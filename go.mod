@@ -1,0 +1,3 @@
+module pathalias
+
+go 1.24

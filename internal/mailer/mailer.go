@@ -201,10 +201,19 @@ const (
 	OptimizeRightmost
 )
 
+// RouteSource is the retrieval interface a rewriter needs. Both
+// *routedb.DB (an immutable snapshot) and *routedb.Store (a live,
+// hot-swappable serving cell) satisfy it, so a delivery agent can share
+// one retrieval path with every other consumer.
+type RouteSource interface {
+	Lookup(host string) (routedb.Entry, bool)
+	Resolve(dest, user string) (routedb.Resolution, error)
+}
+
 // Rewriter resolves relative addresses to transmittable ones using a
 // route database, the way a pathalias-integrated delivery agent would.
 type Rewriter struct {
-	DB    *routedb.DB
+	DB    RouteSource
 	Local string // this host's name
 	Mode  OptimizeMode
 }

@@ -312,3 +312,19 @@ func TestRouteWithDomainSuffix(t *testing.T) {
 		t.Errorf("Route = %q", out)
 	}
 }
+
+func TestRewriterServesFromLiveStore(t *testing.T) {
+	// A Rewriter wired to a Store keeps working across a hot swap — the
+	// shared retrieval path a long-lived delivery agent uses.
+	store := routedb.NewStore(mustDB(t, "duke\tduke!%s\n"))
+	rw := &Rewriter{DB: store, Local: "unc", Mode: OptimizeFirstHop}
+	out, err := rw.Route("duke!honey")
+	if err != nil || out != "duke!honey" {
+		t.Fatalf("before swap: %q, %v", out, err)
+	}
+	store.Swap(mustDB(t, "duke\tvia-phs!duke!%s\n"))
+	out, err = rw.Route("duke!honey")
+	if err != nil || out != "via-phs!duke!honey" {
+		t.Errorf("after swap: %q, %v", out, err)
+	}
+}

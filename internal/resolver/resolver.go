@@ -1,0 +1,271 @@
+// Package resolver is the retrieval side of pathalias: an immutable,
+// concurrency-safe route index with the paper's exact-then-domain-suffix
+// resolution procedure.
+//
+// The paper: "To route to caip.rutgers.edu!pleasant, a mailer first
+// searches the route list for caip.rutgers.edu; if found, the mailer uses
+// argument pleasant .... Otherwise, a search for .rutgers.edu, followed by
+// a search for .edu, produces seismo!%s, the route to the .edu gateway.
+// The argument here is not pleasant ..., it is caip.rutgers.edu!pleasant."
+//
+// Where the classic implementation re-searches the sorted route list once
+// per candidate suffix, this package indexes the leading-dot entries in a
+// reversed-label suffix trie, so the whole ".rutgers.edu → .edu" cascade
+// is a single trie descent over the destination's labels. Exact matches
+// use a hash index; the sorted entry slice is kept for ordered iteration
+// (WriteTo, Diff) and as the canonical storage.
+//
+// A Resolver is immutable after New and safe for any number of concurrent
+// readers with no locking. Per-resolver counters (see Stats) are updated
+// atomically and are the only mutable state.
+package resolver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"pathalias/internal/cost"
+)
+
+// Entry is one route: a destination name and the printf-style format
+// string that reaches it. Names beginning with '.' are domain-suffix
+// entries (gateways).
+type Entry struct {
+	Host  string
+	Route string
+	Cost  cost.Cost
+}
+
+// Options configure index construction.
+type Options struct {
+	// FoldCase lower-cases entry names at build time and lookup keys at
+	// query time, matching a map built with pathalias -i (IgnoreCase).
+	FoldCase bool
+}
+
+// Resolution explains how a destination was resolved.
+type Resolution struct {
+	Entry     Entry  // the route used
+	Matched   string // the database key that matched
+	Argument  string // what to substitute for %s
+	ViaSuffix bool   // true if a domain-suffix search was used
+}
+
+// Address renders the finished address.
+func (r Resolution) Address() string {
+	return strings.Replace(r.Entry.Route, "%s", r.Argument, 1)
+}
+
+// Stats is a snapshot of a resolver's query counters.
+type Stats struct {
+	Lookups    uint64 // exact Lookup calls
+	Resolves   uint64 // Resolve calls
+	Hits       uint64 // resolves answered by an exact match
+	SuffixHits uint64 // resolves answered by the suffix trie
+	Misses     uint64 // resolves with no route
+}
+
+// padCounter is an atomic counter on its own cache line, so concurrent
+// readers bumping different counters don't false-share.
+type padCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Resolver is an immutable route index.
+type Resolver struct {
+	opts    Options
+	entries []Entry        // sorted by Host, unique
+	exact   map[string]int // Host -> index into entries
+	suffix  *trieNode      // reversed-label trie over leading-dot entries
+
+	// Each query does exactly one counter increment (Resolves is derived
+	// in Stats), and each counter is cache-line padded, to keep the
+	// concurrent hot path free of shared-line contention.
+	nLookups    padCounter
+	nHits       padCounter
+	nSuffixHits padCounter
+	nMisses     padCounter
+}
+
+// trieNode is one level of the reversed-label suffix trie. The entry
+// ".rutgers.edu" lives at children["edu"].children["rutgers"].
+type trieNode struct {
+	children map[string]*trieNode
+	entry    int // index into entries, or -1
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{entry: -1}
+}
+
+// New builds a resolver from entries. The slice is not retained; entry
+// names are normalized like query keys (one trailing dot dropped, case
+// folded under FoldCase), then sorted and deduplicated keeping the
+// cheapest route per name (ties keep the first seen, matching the
+// classic sort order).
+func New(entries []Entry, opts Options) *Resolver {
+	es := make([]Entry, len(entries))
+	copy(es, entries)
+	for i := range es {
+		es[i].Host = normalizeKey(es[i].Host, opts.FoldCase)
+	}
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Host != es[j].Host {
+			return es[i].Host < es[j].Host
+		}
+		return es[i].Cost < es[j].Cost
+	})
+	out := es[:0]
+	for _, e := range es {
+		if len(out) > 0 && out[len(out)-1].Host == e.Host {
+			continue
+		}
+		out = append(out, e)
+	}
+	es = out
+
+	r := &Resolver{
+		opts:    opts,
+		entries: es,
+		exact:   make(map[string]int, len(es)),
+		suffix:  newTrieNode(),
+	}
+	for i, e := range es {
+		r.exact[e.Host] = i
+		if strings.HasPrefix(e.Host, ".") {
+			r.insertSuffix(e.Host, i)
+		}
+	}
+	return r
+}
+
+// insertSuffix threads a leading-dot entry into the trie by its labels,
+// last label first.
+func (r *Resolver) insertSuffix(name string, idx int) {
+	labels := strings.Split(name[1:], ".")
+	n := r.suffix
+	for i := len(labels) - 1; i >= 0; i-- {
+		if n.children == nil {
+			n.children = make(map[string]*trieNode)
+		}
+		child := n.children[labels[i]]
+		if child == nil {
+			child = newTrieNode()
+			n.children[labels[i]] = child
+		}
+		n = child
+	}
+	n.entry = idx
+}
+
+// Len returns the number of routes.
+func (r *Resolver) Len() int { return len(r.entries) }
+
+// Entries returns the sorted entries; callers must not modify the slice.
+func (r *Resolver) Entries() []Entry { return r.entries }
+
+// Options returns the options the resolver was built with.
+func (r *Resolver) Options() Options { return r.opts }
+
+// normalizeKey canonicalizes a name on both sides of the index — entry
+// names at build time and query keys at lookup time: one trailing dot is
+// dropped ("rutgers.edu." is the absolute spelling of "rutgers.edu"),
+// and case is folded if requested.
+func normalizeKey(name string, fold bool) string {
+	if strings.HasSuffix(name, ".") && len(name) > 1 {
+		name = name[:len(name)-1]
+	}
+	if fold {
+		name = strings.ToLower(name)
+	}
+	return name
+}
+
+func (r *Resolver) normalize(name string) string {
+	return normalizeKey(name, r.opts.FoldCase)
+}
+
+// Lookup finds the route for an exact name.
+func (r *Resolver) Lookup(host string) (Entry, bool) {
+	r.nLookups.n.Add(1)
+	i, ok := r.exact[r.normalize(host)]
+	if !ok {
+		return Entry{}, false
+	}
+	return r.entries[i], true
+}
+
+// lookupSuffix finds the longest proper domain suffix of dest with a
+// route: for "caip.rutgers.edu" it considers ".rutgers.edu" then ".edu"
+// (never ".caip.rutgers.edu" — the whole name is the exact match's job).
+// dest must already be normalized; a leading dot is ignored for label
+// splitting, matching the classic walk.
+func (r *Resolver) lookupSuffix(dest string) (Entry, string, bool) {
+	name := strings.TrimPrefix(dest, ".")
+	labels := strings.Split(name, ".")
+	if len(labels) < 2 {
+		return Entry{}, "", false
+	}
+	best := -1
+	bestDepth := 0
+	n := r.suffix
+	// Descend by labels from the right; the deepest node with an entry
+	// wins, and the full-label-count depth is excluded (proper suffixes
+	// only).
+	for depth := 1; depth < len(labels); depth++ {
+		n = n.children[labels[len(labels)-depth]]
+		if n == nil {
+			break
+		}
+		if n.entry >= 0 {
+			best, bestDepth = n.entry, depth
+		}
+	}
+	if best < 0 {
+		return Entry{}, "", false
+	}
+	return r.entries[best], "." + strings.Join(labels[len(labels)-bestDepth:], "."), true
+}
+
+// Resolve routes user mail to dest: exact match first, then the domain
+// suffix search. With a suffix match the argument becomes "dest!user", a
+// route relative to the domain gateway. Destinations are normalized the
+// same way as Lookup keys, and the normalized form is what appears in the
+// suffix argument.
+func (r *Resolver) Resolve(dest, user string) (Resolution, error) {
+	key := r.normalize(dest)
+	if i, ok := r.exact[key]; ok {
+		r.nHits.n.Add(1)
+		return Resolution{Entry: r.entries[i], Matched: key, Argument: user}, nil
+	}
+	if e, matched, ok := r.lookupSuffix(key); ok {
+		r.nSuffixHits.n.Add(1)
+		return Resolution{
+			Entry:     e,
+			Matched:   matched,
+			Argument:  key + "!" + user,
+			ViaSuffix: true,
+		}, nil
+	}
+	r.nMisses.n.Add(1)
+	return Resolution{}, fmt.Errorf("routedb: no route to %q", dest)
+}
+
+// Stats returns a snapshot of the query counters. Resolves is derived
+// from the outcome counters, so a snapshot taken mid-query is internally
+// consistent.
+func (r *Resolver) Stats() Stats {
+	hits := r.nHits.n.Load()
+	suffix := r.nSuffixHits.n.Load()
+	misses := r.nMisses.n.Load()
+	return Stats{
+		Lookups:    r.nLookups.n.Load(),
+		Resolves:   hits + suffix + misses,
+		Hits:       hits,
+		SuffixHits: suffix,
+		Misses:     misses,
+	}
+}

@@ -1,0 +1,313 @@
+package resolver
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"pathalias/internal/cost"
+)
+
+func build(t *testing.T, opts Options, pairs ...string) *Resolver {
+	t.Helper()
+	if len(pairs)%2 != 0 {
+		t.Fatal("pairs must be host,route,...")
+	}
+	var es []Entry
+	for i := 0; i < len(pairs); i += 2 {
+		es = append(es, Entry{Host: pairs[i], Route: pairs[i+1]})
+	}
+	return New(es, opts)
+}
+
+func TestLookupExact(t *testing.T) {
+	r := build(t, Options{}, "duke", "duke!%s", "phs", "duke!phs!%s")
+	e, ok := r.Lookup("duke")
+	if !ok || e.Route != "duke!%s" {
+		t.Errorf("Lookup(duke) = %+v, %v", e, ok)
+	}
+	if _, ok := r.Lookup("nosuch"); ok {
+		t.Error("Lookup of missing host succeeded")
+	}
+}
+
+func TestNewSortsAndDedups(t *testing.T) {
+	es := []Entry{
+		{Host: "z", Route: "z!%s", Cost: 30},
+		{Host: "a", Route: "expensive!%s", Cost: 90},
+		{Host: "a", Route: "a!%s", Cost: 10},
+	}
+	r := New(es, Options{})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	got := r.Entries()
+	if got[0].Host != "a" || got[0].Route != "a!%s" || got[1].Host != "z" {
+		t.Errorf("entries = %+v", got)
+	}
+	// The input slice must not be reordered (callers may still own it).
+	if es[0].Host != "z" {
+		t.Error("New mutated its input slice")
+	}
+}
+
+func TestResolvePaperExample(t *testing.T) {
+	r := build(t, Options{}, ".edu", "seismo!%s")
+	res, err := r.Resolve("caip.rutgers.edu", "pleasant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ViaSuffix || res.Matched != ".edu" {
+		t.Errorf("resolution = %+v", res)
+	}
+	if got := res.Address(); got != "seismo!caip.rutgers.edu!pleasant" {
+		t.Errorf("Address = %q", got)
+	}
+}
+
+func TestResolvePrefersLongestSuffix(t *testing.T) {
+	r := build(t, Options{}, ".edu", "seismo!%s", ".rutgers.edu", "caip!%s")
+	res, err := r.Resolve("blue.rutgers.edu", "user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched != ".rutgers.edu" {
+		t.Errorf("matched %q, want .rutgers.edu", res.Matched)
+	}
+}
+
+func TestResolveExactBeatsSuffix(t *testing.T) {
+	r := build(t, Options{}, ".edu", "seismo!%s", "caip.rutgers.edu", "direct!%s")
+	res, err := r.Resolve("caip.rutgers.edu", "user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViaSuffix || res.Entry.Route != "direct!%s" {
+		t.Errorf("resolution = %+v", res)
+	}
+}
+
+// The whole destination is never a suffix candidate: "rutgers.edu" must
+// not match a ".rutgers.edu" entry (the paper's walk starts at the first
+// interior dot).
+func TestResolveWholeNameIsNotASuffix(t *testing.T) {
+	r := build(t, Options{}, ".rutgers.edu", "caip!%s")
+	if _, err := r.Resolve("rutgers.edu", "u"); err == nil {
+		t.Error("whole-name suffix match should miss")
+	}
+}
+
+func TestResolveTrailingDot(t *testing.T) {
+	r := build(t, Options{}, ".edu", "seismo!%s", "duke", "duke!%s")
+	res, err := r.Resolve("caip.rutgers.edu.", "pleasant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Address(); got != "seismo!caip.rutgers.edu!pleasant" {
+		t.Errorf("Address = %q", got)
+	}
+	// Exact matches also see through the absolute spelling.
+	res, err = r.Resolve("duke.", "honey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViaSuffix || res.Address() != "duke!honey" {
+		t.Errorf("resolution = %+v", res)
+	}
+}
+
+// Entry names are normalized like query keys, so an absolute spelling in
+// the route file ("gate.") is reachable under either spelling.
+func TestEntryNameTrailingDotNormalized(t *testing.T) {
+	r := build(t, Options{}, "gate.", "gate!%s", ".edu.", "seismo!%s")
+	for _, q := range []string{"gate", "gate."} {
+		if _, ok := r.Lookup(q); !ok {
+			t.Errorf("Lookup(%q) missed", q)
+		}
+	}
+	res, err := r.Resolve("caip.rutgers.edu", "u")
+	if err != nil || res.Matched != ".edu" {
+		t.Errorf("suffix entry with trailing dot: %+v, %v", res, err)
+	}
+}
+
+func TestResolveBareLeadingDot(t *testing.T) {
+	r := build(t, Options{}, ".edu", "seismo!%s")
+	// A bare suffix destination resolves as the gateway entry itself.
+	res, err := r.Resolve(".edu", "pleasant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViaSuffix || res.Matched != ".edu" || res.Address() != "seismo!pleasant" {
+		t.Errorf("resolution = %+v", res)
+	}
+	// A leading-dot destination that is not itself an entry still walks
+	// its proper suffixes.
+	res, err = r.Resolve(".caip.rutgers.edu", "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ViaSuffix || res.Matched != ".edu" {
+		t.Errorf("resolution = %+v", res)
+	}
+}
+
+func TestResolveFoldCase(t *testing.T) {
+	es := []Entry{
+		{Host: "Duke", Route: "duke!%s"},
+		{Host: ".EDU", Route: "seismo!%s"},
+	}
+	r := New(es, Options{FoldCase: true})
+	if _, ok := r.Lookup("DUKE"); !ok {
+		t.Error("case-folded Lookup missed")
+	}
+	res, err := r.Resolve("CAIP.Rutgers.EDU", "Pleasant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Address(); got != "seismo!caip.rutgers.edu!Pleasant" {
+		t.Errorf("Address = %q", got)
+	}
+	// Without FoldCase the same queries miss.
+	r = New(es, Options{})
+	if _, ok := r.Lookup("DUKE"); ok {
+		t.Error("case-sensitive Lookup matched the wrong case")
+	}
+}
+
+func TestResolveMiss(t *testing.T) {
+	r := build(t, Options{}, "duke", "duke!%s")
+	for _, dest := range []string{"unknown.host.arpa", "plainhost", ".", ""} {
+		if _, err := r.Resolve(dest, "u"); err == nil {
+			t.Errorf("Resolve(%q) succeeded, want error", dest)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	r := build(t, Options{}, "duke", "duke!%s", ".edu", "seismo!%s")
+	r.Lookup("duke")
+	r.Resolve("duke", "u")             // hit
+	r.Resolve("caip.rutgers.edu", "u") // suffix hit
+	r.Resolve("nowhere", "u")          // miss
+	s := r.Stats()
+	want := Stats{Lookups: 1, Resolves: 3, Hits: 1, SuffixHits: 1, Misses: 1}
+	if s != want {
+		t.Errorf("Stats = %+v, want %+v", s, want)
+	}
+}
+
+// referenceResolve is the seed implementation's resolution procedure,
+// verbatim: binary search for the exact name, then the byte-walking
+// domain-suffix loop. The trie resolver must agree with it on every
+// destination that has no trailing dot (the seed mishandled those; see
+// TestResolveTrailingDot for the fixed behavior).
+func referenceResolve(entries []Entry, dest, user string) (Resolution, bool) {
+	lookup := func(host string) (Entry, bool) {
+		i := sort.Search(len(entries), func(i int) bool {
+			return entries[i].Host >= host
+		})
+		if i < len(entries) && entries[i].Host == host {
+			return entries[i], true
+		}
+		return Entry{}, false
+	}
+	if e, ok := lookup(dest); ok {
+		return Resolution{Entry: e, Matched: dest, Argument: user}, true
+	}
+	rest := dest
+	for {
+		dot := strings.IndexByte(rest, '.')
+		if dot < 0 {
+			break
+		}
+		if dot == 0 {
+			if e, ok := lookup(rest); ok {
+				return Resolution{Entry: e, Matched: rest, Argument: dest + "!" + user, ViaSuffix: true}, true
+			}
+			rest = rest[1:]
+			dot = strings.IndexByte(rest, '.')
+			if dot < 0 {
+				break
+			}
+		}
+		rest = rest[dot:]
+	}
+	return Resolution{}, false
+}
+
+// Property: the trie resolver and the seed's walk agree on arbitrary
+// databases and destinations built from a small label vocabulary.
+func TestResolveMatchesReferenceWalk(t *testing.T) {
+	labels := []string{"a", "b", "edu", "com", "rutgers", "x"}
+	name := func(rng *rand.Rand, leadingDot bool) string {
+		n := 1 + rng.Intn(3)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = labels[rng.Intn(len(labels))]
+		}
+		s := strings.Join(parts, ".")
+		if leadingDot {
+			return "." + s
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var es []Entry
+		for i, n := 0, rng.Intn(12); i < n; i++ {
+			h := name(rng, rng.Intn(2) == 0)
+			es = append(es, Entry{Host: h, Route: fmt.Sprintf("via%d!%%s", i)})
+		}
+		r := New(es, Options{})
+		sorted := r.Entries()
+		for probe := 0; probe < 24; probe++ {
+			dest := name(rng, rng.Intn(4) == 0)
+			got, gerr := r.Resolve(dest, "user")
+			want, ok := referenceResolve(sorted, dest, "user")
+			if ok != (gerr == nil) {
+				t.Logf("dest %q: got err %v, reference ok %v (db %v)", dest, gerr, ok, sorted)
+				return false
+			}
+			if ok && got != want {
+				t.Logf("dest %q: got %+v want %+v (db %v)", dest, got, want, sorted)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The resolver is safe for unsynchronized concurrent readers (run under
+// -race).
+func TestConcurrentReaders(t *testing.T) {
+	var es []Entry
+	for i := 0; i < 500; i++ {
+		es = append(es, Entry{Host: fmt.Sprintf("h%d", i), Route: fmt.Sprintf("h%d!%%s", i), Cost: cost.Cost(i)})
+	}
+	es = append(es, Entry{Host: ".edu", Route: "gw!%s"})
+	r := New(es, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Lookup(fmt.Sprintf("h%d", (g*31+i)%600))
+				r.Resolve(fmt.Sprintf("h%d.dept.edu", i%97), "u")
+				r.Resolve("missing", "u")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := r.Stats(); s.Resolves != 8*2000*2 {
+		t.Errorf("Resolves = %d, want %d", s.Resolves, 8*2000*2)
+	}
+}

@@ -51,7 +51,7 @@ type Change struct {
 func Diff(old, new *DB) []Change {
 	var changes []Change
 	i, j := 0, 0
-	oe, ne := old.entries, new.entries
+	oe, ne := old.Entries(), new.Entries()
 	for i < len(oe) && j < len(ne) {
 		switch {
 		case oe[i].Host < ne[j].Host:

@@ -4,72 +4,77 @@
 // tradition. If desired, a separate program may be used to convert this
 // file into a format appropriate for rapid database retrieval." This
 // package is that program's library: it loads the linear file (or takes
-// entries directly), sorts them, and answers lookups by binary search.
+// entries directly) and serves lookups from an immutable resolver index
+// (package resolver): a hash index for exact matches and a reversed-label
+// suffix trie for the paper's domain resolution procedure — "a search for
+// .rutgers.edu, followed by a search for .edu, produces seismo!%s, the
+// route to the .edu gateway" — in a single trie descent.
 //
-// It also implements the paper's domain resolution procedure: "To route to
-// caip.rutgers.edu!pleasant, a mailer first searches the route list for
-// caip.rutgers.edu; if found, the mailer uses argument pleasant ....
-// Otherwise, a search for .rutgers.edu, followed by a search for .edu,
-// produces seismo!%s, the route to the .edu gateway. The argument here is
-// not pleasant ..., it is caip.rutgers.edu!pleasant."
+// A DB is immutable and safe for concurrent readers. Store adds the
+// serving-side lifecycle: an atomically swappable current database, so a
+// rebuilt map can be hot-swapped under live traffic.
 package routedb
 
 import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"pathalias/internal/cost"
 	"pathalias/internal/printer"
+	"pathalias/internal/resolver"
 )
 
 // Entry is one route: a destination name and the printf-style format
 // string that reaches it.
-type Entry struct {
-	Host  string
-	Route string
-	Cost  cost.Cost
-}
+type Entry = resolver.Entry
 
-// DB is an immutable, sorted route database.
+// Resolution explains how a destination was resolved.
+type Resolution = resolver.Resolution
+
+// Options configure database construction; see resolver.Options.
+type Options = resolver.Options
+
+// Stats is a snapshot of a database's query counters.
+type Stats = resolver.Stats
+
+// DB is an immutable route database: any number of goroutines may call
+// its query methods concurrently with no locking.
 type DB struct {
-	entries []Entry // sorted by Host
+	r *resolver.Resolver
 }
 
 // Build constructs a database from printer output entries.
 func Build(entries []printer.Entry) *DB {
+	return BuildWith(entries, Options{})
+}
+
+// BuildWith constructs a database from printer output entries with
+// explicit options (FoldCase for maps computed under -i).
+func BuildWith(entries []printer.Entry, opts Options) *DB {
 	es := make([]Entry, len(entries))
 	for i, e := range entries {
 		es[i] = Entry{Host: e.Host, Route: e.Route, Cost: e.Cost}
 	}
-	return fromEntries(es)
+	return &DB{r: resolver.New(es, opts)}
 }
 
-func fromEntries(es []Entry) *DB {
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].Host != es[j].Host {
-			return es[i].Host < es[j].Host
-		}
-		return es[i].Cost < es[j].Cost
-	})
-	// Deduplicate on host, keeping the cheapest.
-	out := es[:0]
-	for _, e := range es {
-		if len(out) > 0 && out[len(out)-1].Host == e.Host {
-			continue
-		}
-		out = append(out, e)
-	}
-	return &DB{entries: out}
+func fromEntries(es []Entry, opts Options) *DB {
+	return &DB{r: resolver.New(es, opts)}
 }
 
 // Load reads a linear route file: either "host\troute" or
 // "cost\thost\troute" lines (the two pathalias output formats). Blank
 // lines and #-comments are ignored.
 func Load(r io.Reader) (*DB, error) {
+	return LoadWith(r, Options{})
+}
+
+// LoadWith reads a linear route file with explicit options.
+func LoadWith(r io.Reader, opts Options) (*DB, error) {
 	var es []Entry
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
@@ -102,79 +107,33 @@ func Load(r io.Reader) (*DB, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("routedb: %w", err)
 	}
-	return fromEntries(es), nil
+	return fromEntries(es, opts), nil
 }
 
 // Len returns the number of routes.
-func (db *DB) Len() int { return len(db.entries) }
+func (db *DB) Len() int { return db.r.Len() }
 
 // Entries returns the sorted entries; callers must not modify the slice.
-func (db *DB) Entries() []Entry { return db.entries }
+func (db *DB) Entries() []Entry { return db.r.Entries() }
 
-// Lookup finds the route for an exact name by binary search.
-func (db *DB) Lookup(host string) (Entry, bool) {
-	i := sort.Search(len(db.entries), func(i int) bool {
-		return db.entries[i].Host >= host
-	})
-	if i < len(db.entries) && db.entries[i].Host == host {
-		return db.entries[i], true
-	}
-	return Entry{}, false
-}
-
-// Resolution explains how a destination was resolved.
-type Resolution struct {
-	Entry     Entry  // the route used
-	Matched   string // the database key that matched
-	Argument  string // what to substitute for %s
-	ViaSuffix bool   // true if a domain-suffix search was used
-}
-
-// Address renders the finished address.
-func (r Resolution) Address() string {
-	return strings.Replace(r.Entry.Route, "%s", r.Argument, 1)
-}
+// Lookup finds the route for an exact name.
+func (db *DB) Lookup(host string) (Entry, bool) { return db.r.Lookup(host) }
 
 // Resolve routes user mail to dest: exact match first, then the domain
 // suffix search. With a suffix match the argument becomes "dest!user",
 // a route relative to the domain gateway.
 func (db *DB) Resolve(dest, user string) (Resolution, error) {
-	if e, ok := db.Lookup(dest); ok {
-		return Resolution{Entry: e, Matched: dest, Argument: user}, nil
-	}
-	// Walk the domain suffixes: caip.rutgers.edu → .rutgers.edu → .edu.
-	rest := dest
-	for {
-		dot := strings.IndexByte(rest, '.')
-		if dot < 0 {
-			break
-		}
-		if dot == 0 {
-			// A leading dot: the suffix itself (".rutgers.edu").
-			if e, ok := db.Lookup(rest); ok {
-				return Resolution{
-					Entry:     e,
-					Matched:   rest,
-					Argument:  dest + "!" + user,
-					ViaSuffix: true,
-				}, nil
-			}
-			rest = rest[1:]
-			dot = strings.IndexByte(rest, '.')
-			if dot < 0 {
-				break
-			}
-		}
-		rest = rest[dot:]
-	}
-	return Resolution{}, fmt.Errorf("routedb: no route to %q", dest)
+	return db.r.Resolve(dest, user)
 }
+
+// Stats returns a snapshot of this database's query counters.
+func (db *DB) Stats() Stats { return db.r.Stats() }
 
 // WriteTo emits the database as a linear route file with costs.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var total int64
-	for _, e := range db.entries {
+	for _, e := range db.r.Entries() {
 		n, err := fmt.Fprintf(bw, "%d\t%s\t%s\n", int64(e.Cost), e.Host, e.Route)
 		total += int64(n)
 		if err != nil {
@@ -183,3 +142,62 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	}
 	return total, bw.Flush()
 }
+
+// Store is an atomically swappable current database: the copy-on-write
+// serving cell a long-lived process keeps while map recomputations happen
+// in the background. Readers call the query methods (or take a DB
+// snapshot) with no locking; a writer builds a complete replacement DB
+// and Swaps it in. Both sides are safe from any number of goroutines.
+type Store struct {
+	cur atomic.Pointer[DB]
+}
+
+// emptyDB is what a zero-value or nil-seeded Store serves.
+var emptyDB = fromEntries(nil, Options{})
+
+// NewStore returns a store serving db (an empty database if db is nil).
+func NewStore(db *DB) *Store {
+	s := &Store{}
+	if db == nil {
+		db = emptyDB
+	}
+	s.cur.Store(db)
+	return s
+}
+
+// DB returns the current database snapshot. The snapshot is immutable:
+// a reader that needs a consistent view across several queries should
+// take one snapshot and use it for all of them.
+func (s *Store) DB() *DB {
+	if db := s.cur.Load(); db != nil {
+		return db
+	}
+	return emptyDB
+}
+
+// Swap atomically replaces the current database and returns the previous
+// one. In-flight readers holding the old snapshot are unaffected.
+func (s *Store) Swap(db *DB) (old *DB) {
+	if db == nil {
+		db = emptyDB
+	}
+	if old = s.cur.Swap(db); old == nil {
+		old = emptyDB
+	}
+	return old
+}
+
+// Len returns the current database's route count.
+func (s *Store) Len() int { return s.DB().Len() }
+
+// Lookup finds an exact route in the current database.
+func (s *Store) Lookup(host string) (Entry, bool) { return s.DB().Lookup(host) }
+
+// Resolve resolves against the current database.
+func (s *Store) Resolve(dest, user string) (Resolution, error) {
+	return s.DB().Resolve(dest, user)
+}
+
+// Stats returns the current database's query counters. Counters are
+// per-DB: a Swap starts them over with the new database.
+func (s *Store) Stats() Stats { return s.DB().Stats() }

@@ -25,7 +25,10 @@ package pathalias
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"sort"
 	"strings"
+	"sync"
 
 	"pathalias/internal/core"
 	"pathalias/internal/cost"
@@ -104,6 +107,10 @@ type Stats struct {
 }
 
 // Result is a completed run.
+//
+// A Result is safe for concurrent readers once Run returns: Lookup,
+// WriteRoutes, and NewDatabase may be called from any number of
+// goroutines, provided no caller mutates the exported slices.
 type Result struct {
 	Routes      []Route
 	Warnings    []string
@@ -111,6 +118,9 @@ type Result struct {
 	Stats       Stats
 
 	opts Options
+
+	lookupOnce sync.Once
+	lookupIdx  []int // Routes indices ordered by Host, built on first Lookup
 }
 
 // Run parses the inputs and computes routes from opts.LocalHost.
@@ -211,12 +221,28 @@ func buildResult(opts Options, rep *core.Report) *Result {
 	return res
 }
 
-// Lookup finds the route for an exact host name.
+// Lookup finds the route for an exact host name in O(log n), using an
+// index built lazily on first use (so a Result that is only ever written
+// out pays nothing). When the run used IgnoreCase, the query is folded
+// the same way the map was.
 func (r *Result) Lookup(host string) (Route, bool) {
-	for _, rt := range r.Routes {
-		if rt.Host == host {
-			return rt, true
+	r.lookupOnce.Do(func() {
+		r.lookupIdx = make([]int, len(r.Routes))
+		for i := range r.lookupIdx {
+			r.lookupIdx[i] = i
 		}
+		sort.Slice(r.lookupIdx, func(a, b int) bool {
+			return r.Routes[r.lookupIdx[a]].Host < r.Routes[r.lookupIdx[b]].Host
+		})
+	})
+	if r.opts.IgnoreCase {
+		host = strings.ToLower(host)
+	}
+	i := sort.Search(len(r.lookupIdx), func(i int) bool {
+		return r.Routes[r.lookupIdx[i]].Host >= host
+	})
+	if i < len(r.lookupIdx) && r.Routes[r.lookupIdx[i]].Host == host {
+		return r.Routes[r.lookupIdx[i]], true
 	}
 	return Route{}, false
 }
@@ -239,18 +265,27 @@ func (r *Result) WriteRoutes(w io.Writer) error {
 }
 
 // Database is a queryable route database built from a run's routes, with
-// the paper's exact-then-domain-suffix resolution procedure.
+// the paper's exact-then-domain-suffix resolution procedure. Exact
+// matches are answered from a hash index and suffix matches from a
+// reversed-label trie, so a resolve is O(labels), not O(log n) per
+// candidate suffix.
+//
+// A Database is immutable and safe for concurrent use: any number of
+// goroutines may call Lookup, Resolve, ResolveBatch, Stats, and WriteTo
+// simultaneously with no external locking.
 type Database struct {
 	db *routedb.DB
 }
 
-// NewDatabase packs the result's routes for rapid retrieval.
+// NewDatabase packs the result's routes for rapid retrieval. A result
+// computed with IgnoreCase yields a case-folding database, so queries in
+// any case hit the folded names.
 func (r *Result) NewDatabase() *Database {
 	es := make([]printer.Entry, len(r.Routes))
 	for i, rt := range r.Routes {
 		es[i] = printer.Entry{Host: rt.Host, Route: rt.Format, Cost: cost.Cost(rt.Cost)}
 	}
-	return &Database{db: routedb.Build(es)}
+	return &Database{db: routedb.BuildWith(es, routedb.Options{FoldCase: r.opts.IgnoreCase})}
 }
 
 // LoadDatabase reads a route database from a linear route file.
@@ -283,6 +318,74 @@ func (d *Database) Resolve(dest, user string) (string, error) {
 		return "", err
 	}
 	return res.Address(), nil
+}
+
+// BatchResult is one destination's outcome from ResolveBatch.
+type BatchResult struct {
+	Dest    string
+	Address string // complete address, "" on error
+	Err     error
+}
+
+// resolveBatchParallelMin is the batch size at which ResolveBatch fans
+// out across CPUs; below it the per-goroutine overhead isn't worth it.
+const resolveBatchParallelMin = 512
+
+// ResolveBatch resolves many destinations for one user in a single call,
+// amortizing the per-call overhead and, for large batches, sharding the
+// work across CPUs. Results are in destination order. Unroutable
+// destinations carry their error in the corresponding BatchResult rather
+// than failing the batch.
+func (d *Database) ResolveBatch(user string, dests []string) []BatchResult {
+	out := make([]BatchResult, len(dests))
+	resolveRange := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i].Dest = dests[i]
+			out[i].Address, out[i].Err = d.Resolve(dests[i], user)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if len(dests) < resolveBatchParallelMin || workers < 2 {
+		resolveRange(0, len(dests))
+		return out
+	}
+	if workers > len(dests) {
+		workers = len(dests)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(dests) + workers - 1) / workers
+	for lo := 0; lo < len(dests); lo += chunk {
+		hi := min(lo+chunk, len(dests))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			resolveRange(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// DatabaseStats is a snapshot of a database's query counters.
+type DatabaseStats struct {
+	Lookups    uint64 // exact Lookup calls
+	Resolves   uint64 // Resolve calls (ResolveBatch counts each dest)
+	Hits       uint64 // resolves answered by an exact match
+	SuffixHits uint64 // resolves answered by the domain-suffix trie
+	Misses     uint64 // resolves with no route
+}
+
+// Stats returns a snapshot of the database's query counters. Counters
+// are updated atomically and may be read while queries are in flight.
+func (d *Database) Stats() DatabaseStats {
+	s := d.db.Stats()
+	return DatabaseStats{
+		Lookups:    s.Lookups,
+		Resolves:   s.Resolves,
+		Hits:       s.Hits,
+		SuffixHits: s.SuffixHits,
+		Misses:     s.Misses,
+	}
 }
 
 // WriteTo emits the database as a linear route file.
