@@ -108,8 +108,7 @@ func BenchmarkE5CliqueVsHub(b *testing.B) {
 
 func scannerInput() []byte {
 	inputs, _ := mapgen.Generate(mapgen.Default1986())
-	src := append([]byte{}, inputs[0].Src...)
-	return append(src, inputs[1].Src...)
+	return []byte(inputs[0].Src + inputs[1].Src)
 }
 
 func BenchmarkE8HandScanner(b *testing.B) {
@@ -558,5 +557,82 @@ func BenchmarkE18ResolveBatch(b *testing.B) {
 		if len(out) != len(dests) {
 			b.Fatal("short batch")
 		}
+	}
+}
+
+// --- Map-construction hot path: parse, map, and end-to-end at modern scale.
+//
+// These three benchmarks track the build-side perf trajectory (ISSUE 2):
+// parse thousands of map statements, run the shortest-path mapper, and
+// print routes, on mapgen maps of 50k and 200k core hosts. Results are
+// committed to BENCH_map.json after significant changes.
+
+func hotPathInputs(b *testing.B, hosts int) ([]parser.Input, string) {
+	b.Helper()
+	inputs, local := mapgen.Generate(mapgen.Scaled(hosts, 18))
+	return inputs, local
+}
+
+func BenchmarkParse(b *testing.B) {
+	for _, n := range []int{50000, 200000} {
+		b.Run(fmt.Sprintf("hosts%d", n), func(b *testing.B) {
+			inputs, _ := hotPathInputs(b, n)
+			total := 0
+			for _, in := range inputs {
+				total += len(in.Src)
+			}
+			b.SetBytes(int64(total))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := parser.Parse(inputs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMap(b *testing.B) {
+	for _, n := range []int{50000, 200000} {
+		b.Run(fmt.Sprintf("hosts%d", n), func(b *testing.B) {
+			inputs, local := hotPathInputs(b, n)
+			res, err := parser.Parse(inputs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, _ := res.Graph.Lookup(local)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mapper.Run(res.Graph, src, mapper.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEndToEnd(b *testing.B) {
+	for _, n := range []int{50000, 200000} {
+		b.Run(fmt.Sprintf("hosts%d", n), func(b *testing.B) {
+			inputs, local := hotPathInputs(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := parser.Parse(inputs...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				src, _ := res.Graph.Lookup(local)
+				mres, err := mapper.Run(res.Graph, src, mapper.DefaultOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if entries := printer.Routes(mres, printer.Options{}); len(entries) < n {
+					b.Fatalf("only %d routes", len(entries))
+				}
+			}
+		})
 	}
 }

@@ -6,9 +6,10 @@
 //
 //	mapgen [-hosts n] [-links n] [-seed n] [-scale preset] [-o dir]
 //
-// With -o, the generated files (core.map, overlay.map) are written into
-// the directory; otherwise both are concatenated to standard output with
-// file{} boundaries so the stream stays semantically equivalent.
+// With -o, the generated files (core.map or coreN.map shards, plus
+// overlay.map) are written into the directory; otherwise all are
+// concatenated to standard output with file{} boundaries so the stream
+// stays semantically equivalent.
 //
 // Presets: "1986" (the paper's scale: 5,700+2,800 hosts, 28,000 links),
 // "small" (a few hundred hosts, for experiments).
@@ -61,14 +62,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, in := range inputs {
 			// file{} keeps private scoping correct in the merged stream.
 			fmt.Fprintf(stdout, "file {%s}\n", in.Name)
-			stdout.Write(in.Src)
+			io.WriteString(stdout, in.Src)
 		}
 		fmt.Fprintf(stderr, "mapgen: suggested local host: %s\n", local)
 		return 0
 	}
 	for _, in := range inputs {
 		path := filepath.Join(*out, in.Name)
-		if err := os.WriteFile(path, in.Src, 0o644); err != nil {
+		if err := os.WriteFile(path, []byte(in.Src), 0o644); err != nil {
 			fmt.Fprintf(stderr, "mapgen: %v\n", err)
 			return 1
 		}

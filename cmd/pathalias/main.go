@@ -27,6 +27,12 @@
 //	-B    disable back-link invention for unreachable hosts
 //	-f    report first-hop cost instead of full path cost
 //	-t    trace one host's links, attributes, and path on standard error
+//	-j    number of concurrent input-file scanners (0 = one per CPU)
+//
+// Profiling (see DESIGN.md "Profiling the pipeline"):
+//
+//	-cpuprofile f  write a CPU profile of the run to f
+//	-memprofile f  write a heap profile (after a final GC) to f
 package main
 
 import (
@@ -34,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"pathalias/internal/core"
@@ -58,10 +66,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noBack      = fs.Bool("B", false, "disable back links")
 		firstHop    = fs.Bool("f", false, "report first-hop cost instead of path cost")
 		trace       = fs.String("t", "", "trace a host's links and mapping on stderr")
+		workers     = fs.Int("j", 0, "concurrent input-file scanners (0 = one per CPU)")
+		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to `file`")
+		memprofile  = fs.String("memprofile", "", "write a heap profile to `file`")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "pathalias: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "pathalias: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "pathalias: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "pathalias: %v\n", err)
+			}
+		}()
 	}
 
 	inputs, err := core.ReadInputs(fs.Args())
@@ -78,10 +117,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mopts.BackLinks = !*noBack
 
 	cfg := core.Config{
-		Inputs:    inputs,
-		LocalHost: *local,
-		Mapper:    &mopts,
-		FoldCase:  *ignoreCase,
+		Inputs:       inputs,
+		LocalHost:    *local,
+		Mapper:       &mopts,
+		FoldCase:     *ignoreCase,
+		ParseWorkers: *workers,
 		Printer: printer.Options{
 			Costs:        *costs,
 			SortByCost:   *costs,

@@ -23,7 +23,7 @@ func main() {
 	var pins []pathalias.Input
 	total := 0
 	for _, in := range inputs {
-		pins = append(pins, pathalias.Input{Name: in.Name, Text: string(in.Src)})
+		pins = append(pins, pathalias.Input{Name: in.Name, Text: in.Src})
 		total += len(in.Src)
 	}
 	fmt.Printf("map text: %d bytes\n", total)

@@ -262,7 +262,7 @@ func TestExperiment7PrivateHosts(t *testing.T) {
 // by 40%" by replacing a scanner that consumed half the time).
 func TestExperiment8ScannerSpeedup(t *testing.T) {
 	inputs, _ := mapgen.Generate(mapgen.Small())
-	src := append(append([]byte{}, inputs[0].Src...), inputs[1].Src...)
+	src := []byte(inputs[0].Src + inputs[1].Src)
 
 	timeScan := func(mk func() interface{ Next() (lexer.Token, error) }) time.Duration {
 		start := time.Now()
@@ -362,13 +362,27 @@ func TestExperiment10Growth(t *testing.T) {
 // E11 — the complexity claim: the heap variant beats the O(v²) baseline
 // "both asymptotically and pragmatically" on sparse graphs.
 func TestExperiment11Winner(t *testing.T) {
-	inputs, local := mapgen.Generate(mapgen.Scaled(3000, 11))
+	// 6000 core hosts: big enough that the O(v²) scan's asymptotic cost
+	// dominates the per-run overhead both variants share (snapshot reuse,
+	// labels, write-back), so the ratio assertion is stable.
+	inputs, local := mapgen.Generate(mapgen.Scaled(6000, 11))
 	res, err := parser.Parse(inputs...)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g := res.Graph
 	src, _ := g.Lookup(local)
+
+	// Warm both variants before timing: the first run over a fresh graph
+	// pays one-off costs shared by both strategies (back-link invention,
+	// the CSR snapshot and name-rank build, page faults), and the claim
+	// under test is the steady-state extraction cost, not cold start.
+	if _, err := mapper.Run(g, src, mapper.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapper.RunArray(g, src, mapper.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
 
 	start := time.Now()
 	heapRes, err := mapper.Run(g, src, mapper.DefaultOptions())

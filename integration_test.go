@@ -82,7 +82,7 @@ func TestScannerNeverPanics(t *testing.T) {
 // TestParserNeverPanics feeds arbitrary bytes to the parser.
 func TestParserNeverPanics(t *testing.T) {
 	f := func(src []byte) bool {
-		res, _ := parser.Parse(parser.Input{Name: "fuzz", Src: src})
+		res, _ := parser.Parse(parser.Input{Name: "fuzz", Src: string(src)})
 		return res != nil // a Result is always returned, error or not
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

@@ -1,0 +1,74 @@
+package arena
+
+import "unsafe"
+
+// DefaultByteSlabSize is the byte capacity of each ByteArena slab. Host
+// names average ~12 bytes, so one slab holds a few thousand names.
+const DefaultByteSlabSize = 64 << 10
+
+// ByteArena is a bump allocator for immutable strings — the string-side
+// companion of Pool, used to intern host names into the graph's hash table
+// without a per-name garbage-collected object. Interned strings live in
+// large append-only slabs; nothing is ever freed individually, matching the
+// paper's buffered-sbrk strategy ("very little space [is] freed" during
+// parsing).
+//
+// Interning matters for the serving layer as much as for allocation counts:
+// the zero-allocation scanner returns names as substrings of the raw map
+// source, and storing those in the graph would pin every input file in
+// memory for the graph's lifetime. Intern copies the handful of bytes that
+// are actually needed, so multi-megabyte sources can be collected as soon
+// as parsing ends.
+type ByteArena struct {
+	slab     []byte
+	slabSize int
+	slabs    int
+	bytes    int64
+	strings  int64
+}
+
+// NewByteArena returns an arena whose slabs hold slabSize bytes each.
+func NewByteArena(slabSize int) *ByteArena {
+	if slabSize <= 0 {
+		slabSize = DefaultByteSlabSize
+	}
+	return &ByteArena{slabSize: slabSize}
+}
+
+// Intern copies s into the arena and returns a string aliasing the arena's
+// memory. The region is written exactly once, before the string is formed,
+// and never reused, so the immutability contract of string holds.
+func (a *ByteArena) Intern(s string) string {
+	if len(s) == 0 {
+		return ""
+	}
+	if a.slabSize == 0 {
+		a.slabSize = DefaultByteSlabSize
+	}
+	if len(a.slab)+len(s) > cap(a.slab) {
+		size := a.slabSize
+		if len(s) > size {
+			size = len(s)
+		}
+		a.slab = make([]byte, 0, size)
+		a.slabs++
+	}
+	start := len(a.slab)
+	a.slab = append(a.slab, s...)
+	a.bytes += int64(len(s))
+	a.strings++
+	out := a.slab[start:]
+	return unsafe.String(&out[0], len(s))
+}
+
+// ByteStats reports a ByteArena's allocation behavior.
+type ByteStats struct {
+	Strings int64 // strings interned
+	Bytes   int64 // payload bytes copied
+	Slabs   int   // slabs obtained from the runtime
+}
+
+// Stats returns the arena's counters.
+func (a *ByteArena) Stats() ByteStats {
+	return ByteStats{Strings: a.strings, Bytes: a.bytes, Slabs: a.slabs}
+}

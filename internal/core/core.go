@@ -36,6 +36,9 @@ type Config struct {
 	// FoldCase makes host names case-insensitive (-i). Cost symbols stay
 	// case-sensitive.
 	FoldCase bool
+	// ParseWorkers caps concurrent input scanning (parser.Options.Workers):
+	// 0 = one per CPU, 1 = serial. Output is identical either way.
+	ParseWorkers int
 }
 
 // PhaseTimes records wall-clock time per phase.
@@ -67,7 +70,7 @@ func Run(cfg Config) (*Report, error) {
 
 	rep := &Report{}
 	start := time.Now()
-	pres, err := parser.ParseWith(parser.Options{FoldCase: cfg.FoldCase}, cfg.Inputs...)
+	pres, err := parser.ParseWith(parser.Options{FoldCase: cfg.FoldCase, Workers: cfg.ParseWorkers}, cfg.Inputs...)
 	rep.Times.Parse = time.Since(start)
 	if pres != nil {
 		rep.Graph = pres.Graph
@@ -133,7 +136,7 @@ func ReadInputs(paths []string) ([]parser.Input, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: reading %s: %w", name, err)
 		}
-		ins = append(ins, parser.Input{Name: name, Src: src})
+		ins = append(ins, parser.Input{Name: name, Src: string(src)})
 	}
 	return ins, nil
 }

@@ -13,7 +13,7 @@ import (
 func inputs(srcs ...string) []parser.Input {
 	var ins []parser.Input
 	for i, s := range srcs {
-		ins = append(ins, parser.Input{Name: "f" + string(rune('1'+i)), Src: []byte(s)})
+		ins = append(ins, parser.Input{Name: "f" + string(rune('1'+i)), Src: s})
 	}
 	return ins
 }

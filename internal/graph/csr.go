@@ -1,0 +1,205 @@
+package graph
+
+import (
+	"slices"
+	"strings"
+
+	"pathalias/internal/cost"
+)
+
+// Snapshot is a compressed-sparse-row (CSR) view of the graph, built once
+// before a mapping run. The mapper's relax loop is the hottest code in the
+// pipeline after parsing; walking the pointer-chained adjacency lists there
+// costs a dependent load per edge. The snapshot lays every usable edge out
+// in flat, index-addressed arrays — destination, cost, flags, operator —
+// so the relax loop streams through contiguous memory, and node attributes
+// consulted per relaxation (flags, adjustments, gateway sets) are flat
+// arrays indexed by node ID as well.
+//
+// The snapshot is a read-only mirror: tree marking and result write-back
+// still go through the original *Link values (EdgeLink), so everything
+// downstream of the mapper is unchanged. Unusable edges (deleted links,
+// links touching deleted nodes) are filtered out at build time; the mapper
+// must not consult the snapshot for usability.
+//
+// Back-link invention adds edges mid-run; those go into a small per-node
+// spill area (AddEdge/Extra) rather than forcing a CSR rebuild.
+type Snapshot struct {
+	Nodes []*Node // node ID -> node, aliasing Graph.Nodes()
+
+	// CSR adjacency: the out-edges of node u are the indices
+	// Row[u] <= e < Row[u+1].
+	Row       []int32
+	To        []int32
+	EdgeCost  []cost.Cost
+	EdgeFlags []LinkFlags
+	EdgeOp    []Op
+	EdgeLink  []*Link
+
+	// Per-node attributes consulted in the relax loop.
+	NodeFlags []NodeFlags
+	Adjust    []cost.Cost
+
+	// Rank is each node's position in the sorted order of distinct node
+	// names: Rank[a] < Rank[b] iff Nodes[a].Name < Nodes[b].Name, and
+	// nodes sharing a name (private collisions) share a rank. The mapper
+	// breaks priority ties by rank instead of comparing name strings,
+	// which also makes tie-breaking independent of node creation order.
+	// ByRank lists node IDs in that order, so rank-ordered traversals
+	// need no sort of their own.
+	Rank   []int32
+	ByRank []int32
+
+	gateways map[int32][]int32 // node ID -> declared gateway IDs
+	extra    map[int32][]SpillEdge
+}
+
+// SpillEdge is an edge added after the CSR arrays were built (a back link).
+type SpillEdge struct {
+	To    int32
+	Cost  cost.Cost
+	Flags LinkFlags
+	Op    Op
+	Link  *Link
+}
+
+// Snapshot returns a CSR snapshot of the graph's current usable edges.
+// The snapshot is memoized: every mutating Graph method drops the cache,
+// so repeated mapping runs over an unchanged graph (routed re-resolves,
+// the E11/E13 experiments) pay the build cost once. Callers that mutate
+// exported Node/Link fields directly, bypassing Graph methods, must not
+// rely on the cache seeing those changes.
+func (g *Graph) Snapshot() *Snapshot {
+	if g.snapCache != nil {
+		return g.snapCache
+	}
+	nodes := g.nodes
+	n := len(nodes)
+	s := &Snapshot{
+		Nodes:     nodes,
+		Row:       make([]int32, n+1),
+		NodeFlags: make([]NodeFlags, n),
+		Adjust:    make([]cost.Cost, n),
+		gateways:  make(map[int32][]int32),
+	}
+
+	// Count usable edges per node, then fill — two passes, no growth.
+	edges := 0
+	for id, nd := range nodes {
+		s.NodeFlags[id] = nd.Flags
+		s.Adjust[id] = nd.Adjust
+		if len(nd.gateways) > 0 {
+			gw := make([]int32, len(nd.gateways))
+			for i, h := range nd.gateways {
+				gw[i] = int32(h.ID)
+			}
+			s.gateways[int32(id)] = gw
+		}
+		if nd.IsDeleted() {
+			continue
+		}
+		for l := nd.links; l != nil; l = l.Next {
+			if l.Flags&LDeleted == 0 && l.To.Flags&FDeleted == 0 {
+				edges++
+			}
+		}
+	}
+	s.To = make([]int32, edges)
+	s.EdgeCost = make([]cost.Cost, edges)
+	s.EdgeFlags = make([]LinkFlags, edges)
+	s.EdgeOp = make([]Op, edges)
+	s.EdgeLink = make([]*Link, edges)
+	e := int32(0)
+	for id, nd := range nodes {
+		s.Row[id] = e
+		if nd.IsDeleted() {
+			continue
+		}
+		for l := nd.links; l != nil; l = l.Next {
+			if l.Flags&LDeleted != 0 || l.To.Flags&FDeleted != 0 {
+				continue
+			}
+			s.To[e] = int32(l.To.ID)
+			s.EdgeCost[e] = l.Cost
+			s.EdgeFlags[e] = l.Flags
+			s.EdgeOp[e] = l.Op
+			s.EdgeLink[e] = l
+			e++
+		}
+	}
+	s.Row[n] = e
+
+	// Name ranks: sort node IDs by name, assign one rank per distinct
+	// name. Names are immutable and nodes only ever get added, so the
+	// result is cached on the graph and reused until the node list grows.
+	if len(g.rankCache) != n {
+		// Sort flat (name, id) pairs rather than indirecting through the
+		// node slice per compare; the sort is the dominant cost here.
+		type nameID struct {
+			name string
+			id   int32
+		}
+		arr := make([]nameID, n)
+		for i, nd := range nodes {
+			arr[i] = nameID{nd.Name, int32(i)}
+		}
+		slices.SortFunc(arr, func(a, b nameID) int {
+			return strings.Compare(a.name, b.name)
+		})
+		rank := make([]int32, n)
+		ids := make([]int32, n)
+		r := int32(-1)
+		prev := ""
+		for k := range arr {
+			if k == 0 || arr[k].name != prev {
+				r++
+				prev = arr[k].name
+			}
+			rank[arr[k].id] = r
+			ids[k] = arr[k].id
+		}
+		g.rankCache, g.byRankCache = rank, ids
+	}
+	s.Rank, s.ByRank = g.rankCache, g.byRankCache
+	g.snapCache = s
+	return s
+}
+
+// AddEdge records a link created after the snapshot was built (the
+// mapper's invented back links), so the relax loop sees it without a CSR
+// rebuild.
+func (s *Snapshot) AddEdge(from int32, l *Link) {
+	if s.extra == nil {
+		s.extra = make(map[int32][]SpillEdge)
+	}
+	s.extra[from] = append(s.extra[from], SpillEdge{
+		To:    int32(l.To.ID),
+		Cost:  l.Cost,
+		Flags: l.Flags,
+		Op:    l.Op,
+		Link:  l,
+	})
+}
+
+// Extra returns the spill edges of node u (usually none).
+func (s *Snapshot) Extra(u int32) []SpillEdge {
+	if s.extra == nil {
+		return nil
+	}
+	return s.extra[u]
+}
+
+// IsGateway reports whether host is a declared gateway of net, by ID.
+func (s *Snapshot) IsGateway(net, host int32) bool {
+	for _, g := range s.gateways[net] {
+		if g == host {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the number of snapshot edges out of u, including spills.
+func (s *Snapshot) Degree(u int32) int {
+	return int(s.Row[u+1]-s.Row[u]) + len(s.Extra(u))
+}

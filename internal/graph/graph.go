@@ -143,11 +143,10 @@ func (s MapState) String() string {
 // The C original kept these fields in the node structure; so do we, both
 // for fidelity and because the mapper is the node's only concurrent user.
 type Mapping struct {
-	State   MapState
-	Cost    cost.Cost
-	Parent  *Link // tree edge whose To is this node; nil at the root
-	HeapIdx int   // position in the priority queue, -1 if absent
-	Hops    int32 // path length in edges, for deterministic tie-breaking
+	State  MapState
+	Cost   cost.Cost
+	Parent *Link // tree edge whose To is this node; nil at the root
+	Hops   int32 // path length in edges, for deterministic tie-breaking
 
 	// Path-dependent heuristic state (the paper: "this sullies our
 	// weighted graph model" — costs depend on how a path got here).
@@ -287,20 +286,40 @@ type Stats struct {
 
 // Graph is the connectivity graph under construction and analysis.
 type Graph struct {
-	table    *hash.Table[*nameEntry]
-	nodes    []*Node
-	curFile  string
-	nodePool *arena.Pool[Node]
-	linkPool *arena.Pool[Link]
-	foldCase bool
+	table     *hash.Table[*nameEntry]
+	nodes     []*Node
+	curFile   string
+	nodePool  *arena.Pool[Node]
+	linkPool  *arena.Pool[Link]
+	entryPool *arena.Pool[nameEntry]
+	names     *arena.ByteArena
+	foldCase  bool
+
+	// linkIdx indexes ordinary (non-alias, non-network-bookkeeping) links
+	// by (from,to) node ID, so duplicate-link folding and FindLink are O(1)
+	// instead of an adjacency scan — on hub nodes with thousands of links
+	// the scan made graph construction quadratic.
+	linkIdx *linkTable
 
 	dupLinks  int
 	selfLinks int
+
+	// Name-rank cache for Snapshot: ranks depend only on the node list
+	// (names are immutable after creation), so they are computed once and
+	// refreshed only when nodes have been added since.
+	rankCache   []int32
+	byRankCache []int32
+
+	// snapCache is the memoized CSR snapshot, dropped by any mutating
+	// method (see Snapshot).
+	snapCache *Snapshot
 }
 
 // nameEntry resolves one name to its global node and any file-scoped
-// private nodes.
+// private nodes. name is the interned canonical spelling, the one nodes
+// carry.
 type nameEntry struct {
+	name     string
 	global   *Node
 	privates []*Node // Node.File identifies the binding file
 }
@@ -308,10 +327,32 @@ type nameEntry struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		table:    hash.New[*nameEntry](),
-		nodePool: arena.NewPool[Node](arena.DefaultSlabSize),
-		linkPool: arena.NewPool[Link](arena.DefaultSlabSize),
+		table:     hash.New[*nameEntry](),
+		nodePool:  arena.NewPool[Node](arena.DefaultSlabSize),
+		linkPool:  arena.NewPool[Link](arena.DefaultSlabSize),
+		entryPool: arena.NewPool[nameEntry](arena.DefaultSlabSize),
+		names:     arena.NewByteArena(arena.DefaultByteSlabSize),
+		linkIdx:   newLinkTable(0),
 	}
+}
+
+// ReserveLinks presizes the duplicate-link index for about n ordinary
+// links, avoiding incremental map growth during a large parse. Callers
+// that know the input volume (the parser does) use it as a hint; it is
+// never required for correctness.
+func (g *Graph) ReserveLinks(n int) {
+	g.linkIdx.reserve(n)
+}
+
+// ReserveNames presizes the name table for about n distinct names,
+// skipping the intermediate rehashes of organic growth (hash.Reserve).
+func (g *Graph) ReserveNames(n int) {
+	g.table.Reserve(n)
+}
+
+// linkKey packs a (from, to) node pair into the linkIdx key.
+func linkKey(from, to *Node) uint64 {
+	return uint64(uint32(from.ID))<<32 | uint64(uint32(to.ID))
 }
 
 // SetFoldCase makes host-name resolution case-insensitive (the -i flag:
@@ -343,12 +384,12 @@ func (g *Graph) CurrentFile() string { return g.curFile }
 
 // newNode allocates and registers a node.
 func (g *Graph) newNode(name string, flags NodeFlags) *Node {
+	g.snapCache = nil
 	n := g.nodePool.New()
 	n.Name = name
 	n.ID = len(g.nodes)
 	n.Flags = flags
 	n.File = g.curFile
-	n.M.HeapIdx = -1
 	if strings.HasPrefix(name, ".") {
 		// Domains are networks that require gateways.
 		n.Flags |= FDomain | FGatewayed
@@ -357,9 +398,17 @@ func (g *Graph) newNode(name string, flags NodeFlags) *Node {
 	return n
 }
 
-// entryFor returns the nameEntry for name, creating it if needed.
+// entryFor returns the nameEntry for name, creating it if needed. The name
+// argument may be a transient substring of a map source (the scanner's
+// zero-copy tokens); on first sight it is interned into the graph's byte
+// arena, and e.name is that canonical copy, so the graph never retains a
+// reference into input text.
 func (g *Graph) entryFor(name string) *nameEntry {
-	e, _ := g.table.GetOrInsert(name, func() *nameEntry { return &nameEntry{} })
+	e, _ := g.table.GetOrInsertKeyed(name, g.names.Intern, func(canon string) *nameEntry {
+		e := g.entryPool.New()
+		e.name = canon
+		return e
+	})
 	return e
 }
 
@@ -375,7 +424,7 @@ func (g *Graph) Ref(name string) *Node {
 		}
 	}
 	if e.global == nil {
-		e.global = g.newNode(name, 0)
+		e.global = g.newNode(e.name, 0)
 	}
 	return e.global
 }
@@ -392,7 +441,7 @@ func (g *Graph) DeclarePrivate(name string) *Node {
 			return p
 		}
 	}
-	p := g.newNode(name, FPrivate)
+	p := g.newNode(e.name, FPrivate)
 	e.privates = append(e.privates, p)
 	return p
 }
@@ -414,18 +463,18 @@ func (g *Graph) Nodes() []*Node { return g.nodes }
 func (g *Graph) Len() int { return len(g.nodes) }
 
 // FindLink returns the existing link from one node to another, ignoring
-// alias and network bookkeeping edges, or nil.
+// alias and network bookkeeping edges, or nil. The lookup is O(1) through
+// the link index; at most one such link exists per node pair because
+// AddLink folds duplicates.
 func (g *Graph) FindLink(from, to *Node) *Link {
-	for l := from.links; l != nil; l = l.Next {
-		if l.To == to && l.Flags&(LAlias|LNetMember|LNetEntry) == 0 {
-			return l
-		}
-	}
-	return nil
+	return g.linkIdx.get(linkKey(from, to))
 }
 
 // appendLink allocates a link and appends it to from's adjacency list.
+// Ordinary links are indexed by the caller (AddLink), which has already
+// probed the dedup table.
 func (g *Graph) appendLink(from, to *Node, c cost.Cost, op Op, fl LinkFlags) *Link {
+	g.snapCache = nil
 	l := g.linkPool.New()
 	l.From = from
 	l.To = to
@@ -452,15 +501,23 @@ func (g *Graph) AddLink(from, to *Node, c cost.Cost, op Op, fl LinkFlags) *Link 
 		return nil
 	}
 	if fl&(LAlias|LNetMember|LNetEntry) == 0 {
-		if dup := g.FindLink(from, to); dup != nil {
+		// One probe serves both the duplicate check and the insertion.
+		key := linkKey(from, to)
+		i := g.linkIdx.slot(key)
+		if g.linkIdx.slots[i].key == key {
+			dup := g.linkIdx.slots[i].val
 			g.dupLinks++
 			if c < dup.Cost {
+				g.snapCache = nil
 				dup.Cost = c
 				dup.Op = op
 				dup.Flags = fl
 			}
 			return dup
 		}
+		l := g.appendLink(from, to, c, op, fl)
+		g.linkIdx.putAt(i, key, l)
+		return l
 	}
 	return g.appendLink(from, to, c, op, fl)
 }
@@ -497,6 +554,7 @@ func (g *Graph) AddAlias(a, b *Node) {
 // declaring members of a domain makes those members its gateways (the
 // .rutgers.edu masquerade: "This makes caip a gateway for .rutgers.edu").
 func (g *Graph) AddNet(net *Node, members []*Node, c cost.Cost, op Op) {
+	g.snapCache = nil
 	net.Flags |= FNet
 	for _, m := range members {
 		if m == net {
@@ -517,10 +575,14 @@ func (g *Graph) AddNet(net *Node, members []*Node, c cost.Cost, op Op) {
 
 // MarkGatewayed declares that a network requires an explicit gateway:
 // paths entering it through a non-gateway member are severely penalized.
-func (g *Graph) MarkGatewayed(net *Node) { net.Flags |= FGatewayed }
+func (g *Graph) MarkGatewayed(net *Node) {
+	g.snapCache = nil
+	net.Flags |= FGatewayed
+}
 
 // AddGateway declares host a gateway of network net.
 func (g *Graph) AddGateway(net, host *Node) {
+	g.snapCache = nil
 	if !net.IsGateway(host) {
 		net.gateways = append(net.gateways, host)
 	}
@@ -528,12 +590,16 @@ func (g *Graph) AddGateway(net, host *Node) {
 }
 
 // MarkDead marks a host dead: paths to or through it are penalized.
-func (g *Graph) MarkDead(n *Node) { n.Flags |= FDead }
+func (g *Graph) MarkDead(n *Node) {
+	g.snapCache = nil
+	n.Flags |= FDead
+}
 
 // MarkDeadLink marks the declared link from → to dead. It reports whether
 // such a link exists.
 func (g *Graph) MarkDeadLink(from, to *Node) bool {
 	if l := g.FindLink(from, to); l != nil {
+		g.snapCache = nil
 		l.Flags |= LDead
 		return true
 	}
@@ -541,12 +607,16 @@ func (g *Graph) MarkDeadLink(from, to *Node) bool {
 }
 
 // Delete removes a host from consideration.
-func (g *Graph) Delete(n *Node) { n.Flags |= FDeleted }
+func (g *Graph) Delete(n *Node) {
+	g.snapCache = nil
+	n.Flags |= FDeleted
+}
 
 // DeleteLink removes the declared link from → to. It reports whether such
 // a link existed.
 func (g *Graph) DeleteLink(from, to *Node) bool {
 	if l := g.FindLink(from, to); l != nil {
+		g.snapCache = nil
 		l.Flags |= LDeleted
 		return true
 	}
@@ -555,6 +625,7 @@ func (g *Graph) DeleteLink(from, to *Node) bool {
 
 // AdjustNode accumulates a per-transit cost bias for a host.
 func (g *Graph) AdjustNode(n *Node, delta cost.Cost) {
+	g.snapCache = nil
 	n.Adjust += delta
 }
 
@@ -562,7 +633,7 @@ func (g *Graph) AdjustNode(n *Node, delta cost.Cost) {
 // repeatedly (e.g. from different source hosts).
 func (g *Graph) ResetMapping() {
 	for _, n := range g.nodes {
-		n.M = Mapping{HeapIdx: -1}
+		n.M = Mapping{}
 		for l := n.links; l != nil; l = l.Next {
 			l.Flags &^= LTree
 		}
@@ -598,10 +669,6 @@ func (g *Graph) Stats() Stats {
 	}
 	return st
 }
-
-// DonatedCapacity exposes the hash table's capacity guarantee for the
-// mapper's heap (see pqueue and DESIGN.md §3).
-func (g *Graph) DonatedCapacity() int { return g.table.DonatedCapacity() }
 
 // WriteTo emits the graph as canonical map text that the parser accepts,
 // for round-trip testing and map normalization. Private declarations and

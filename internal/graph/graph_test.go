@@ -383,11 +383,11 @@ func TestResetMapping(t *testing.T) {
 	g := New()
 	a, b := g.Ref("a"), g.Ref("b")
 	l := g.AddLink(a, b, 10, DefaultOp, 0)
-	a.M = Mapping{State: Mapped, Cost: 42, Hops: 3, HeapIdx: 7, InDomain: true}
+	a.M = Mapping{State: Mapped, Cost: 42, Hops: 3, InDomain: true}
 	l.Flags |= LTree
 
 	g.ResetMapping()
-	if a.M.State != Unmapped || a.M.Cost != 0 || a.M.HeapIdx != -1 || a.M.InDomain {
+	if a.M.State != Unmapped || a.M.Cost != 0 || a.M.InDomain {
 		t.Errorf("mapping not reset: %+v", a.M)
 	}
 	if l.Flags&LTree != 0 {
@@ -473,15 +473,6 @@ func TestOpFor(t *testing.T) {
 	}
 }
 
-func TestDonatedCapacity(t *testing.T) {
-	g := New()
-	for i := 0; i < 100; i++ {
-		g.Ref(strings.Repeat("x", i+1))
-	}
-	if g.DonatedCapacity() < g.Len() {
-		t.Errorf("DonatedCapacity %d < nodes %d", g.DonatedCapacity(), g.Len())
-	}
-}
 
 func TestWriteToRoundtripText(t *testing.T) {
 	g := New()

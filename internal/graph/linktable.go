@@ -1,0 +1,85 @@
+package graph
+
+// linkTable is the duplicate-link index: an open-addressed hash table from
+// a packed (from, to) node-ID pair to the ordinary link joining them. The
+// parse loop consults it once per link declaration, so it is built for
+// that access pattern: power-of-two sizing with Fibonacci key mixing, one
+// probe sequence serving both hit and miss (the caller fills the returned
+// slot on miss), key and value interleaved in one slot so a probe touches
+// one cache line, and no deletion — pathalias only ever flags links.
+//
+// Key 0 doubles as the empty-slot sentinel: key 0 would mean a self link
+// from node 0 to node 0, which AddLink rejects before indexing.
+type linkTable struct {
+	slots []linkSlot
+	n     int
+}
+
+type linkSlot struct {
+	key uint64
+	val *Link
+}
+
+const linkTableMinSize = 1024
+
+func newLinkTable(hint int) *linkTable {
+	size := linkTableMinSize
+	for size < hint*2 {
+		size <<= 1
+	}
+	return &linkTable{slots: make([]linkSlot, size)}
+}
+
+// slot returns the index holding key, or the empty index where it belongs.
+func (t *linkTable) slot(key uint64) int {
+	mask := uint64(len(t.slots) - 1)
+	// Fibonacci mixing spreads the low-entropy packed IDs.
+	i := (key * 0x9E3779B97F4A7C15) >> 32 & mask
+	for t.slots[i].key != 0 && t.slots[i].key != key {
+		i = (i + 1) & mask
+	}
+	return int(i)
+}
+
+// get returns the link stored under key, or nil.
+func (t *linkTable) get(key uint64) *Link {
+	if t == nil || key == 0 {
+		return nil
+	}
+	i := t.slot(key)
+	if t.slots[i].key == key {
+		return t.slots[i].val
+	}
+	return nil
+}
+
+// putAt fills the empty slot i — obtained from slot(key) with no
+// intervening mutation — and grows the table when it passes 70% load.
+func (t *linkTable) putAt(i int, key uint64, l *Link) {
+	t.slots[i] = linkSlot{key: key, val: l}
+	t.n++
+	if t.n*10 >= len(t.slots)*7 {
+		t.grow(len(t.slots) * 2)
+	}
+}
+
+// reserve grows the table to hold about hint entries without rehashing.
+func (t *linkTable) reserve(hint int) {
+	size := len(t.slots)
+	for size < hint*2 {
+		size <<= 1
+	}
+	if size > len(t.slots) {
+		t.grow(size)
+	}
+}
+
+func (t *linkTable) grow(size int) {
+	old := t.slots
+	t.slots = make([]linkSlot, size)
+	for _, s := range old {
+		if s.key != 0 {
+			t.slots[t.slot(s.key)] = s
+		}
+	}
+}

@@ -183,10 +183,56 @@ func (t *Table[V]) Stats() Stats {
 	}
 }
 
+// Reserve grows the table, if needed, so that about n entries fit without
+// further rehashing. The paper's position is that "we cannot know a priori
+// how many hosts will be declared" — but a caller re-mapping a known input
+// volume (the parser, a routed reload) often can estimate, and jumping
+// straight to the right Fibonacci-schedule size skips the intermediate
+// rehashes without changing the growth design for anyone else.
+func (t *Table[V]) Reserve(n int) {
+	want := int(float64(n)/HighWater) + 1
+	if want <= len(t.slots) {
+		return
+	}
+	// Advance along the Fibonacci prime schedule until the size fits, so
+	// a Reserve lands on the same sizes organic growth would have used.
+	size := len(t.slots)
+	for size < want {
+		next := nextPrime(t.fibPrev + size)
+		t.fibPrev = size
+		size = next
+	}
+	old := t.slots
+	t.slots = make([]entry[V], size)
+	t.rehashes++
+	for i := range old {
+		if old[i].set {
+			k := Fold(old[i].key)
+			j := int(k % uint64(size))
+			step := 0
+			for {
+				t.rehashProbes++
+				if !t.slots[j].set {
+					t.slots[j] = old[i]
+					break
+				}
+				if step == 0 {
+					step = t.step(k, size)
+				}
+				j += step
+				if j >= size {
+					j -= size
+				}
+			}
+		}
+	}
+	t.retired = append(t.retired, old)
+}
+
 // Lookup finds the value stored under key.
 func (t *Table[V]) Lookup(key string) (V, bool) {
 	t.accesses++
-	i, found := t.probe(key)
+	i, _, found := t.probe(key)
 	if !found {
 		var zero V
 		return zero, false
@@ -198,7 +244,7 @@ func (t *Table[V]) Lookup(key string) (V, bool) {
 // already present.
 func (t *Table[V]) Insert(key string, val V) (prev V, existed bool) {
 	t.accesses++
-	i, found := t.probe(key)
+	i, _, found := t.probe(key)
 	if found {
 		prev = t.slots[i].val
 		t.slots[i].val = val
@@ -217,7 +263,7 @@ func (t *Table[V]) Insert(key string, val V) (prev V, existed bool) {
 // both the hit and the miss.
 func (t *Table[V]) GetOrInsert(key string, mk func() V) (V, bool) {
 	t.accesses++
-	i, found := t.probe(key)
+	i, _, found := t.probe(key)
 	if found {
 		return t.slots[i].val, true
 	}
@@ -230,22 +276,49 @@ func (t *Table[V]) GetOrInsert(key string, mk func() V) (V, bool) {
 	return v, false
 }
 
+// GetOrInsertKeyed is GetOrInsert for callers whose lookup key is a
+// transient byte view (the scanner's zero-copy tokens): on a miss the
+// stored key is intern(key) — typically an arena copy — and mk receives
+// that canonical spelling. The probe itself runs on the transient key, so
+// the hit path costs one probe sequence and no allocation, and the miss
+// path does not probe twice the way Lookup-then-Insert would.
+func (t *Table[V]) GetOrInsertKeyed(key string, intern func(string) string, mk func(canon string) V) (V, bool) {
+	t.accesses++
+	i, _, found := t.probe(key)
+	if found {
+		return t.slots[i].val, true
+	}
+	canon := intern(key)
+	v := mk(canon)
+	t.slots[i] = entry[V]{key: canon, set: true, val: v}
+	t.len++
+	if t.LoadFactor() > HighWater {
+		t.rehash()
+	}
+	return v, false
+}
+
 // probe runs the double-hash probe sequence for key, counting probes.
 // It returns the slot index where the key lives (found=true) or where it
-// should be inserted (found=false).
-func (t *Table[V]) probe(key string) (idx int, found bool) {
+// should be inserted (found=false), plus the folded key. The secondary
+// hash is computed only on the first collision: most accesses resolve at
+// the primary slot, and the step costs an integer division.
+func (t *Table[V]) probe(key string) (idx int, hash uint64, found bool) {
 	k := Fold(key)
 	size := len(t.slots)
 	i := int(k % uint64(size))
-	step := t.step(k, size)
+	step := 0
 	for {
 		t.probes++
 		e := &t.slots[i]
 		if !e.set {
-			return i, false
+			return i, k, false
 		}
 		if e.key == key {
-			return i, true
+			return i, k, true
+		}
+		if step == 0 {
+			step = t.step(k, size)
 		}
 		i += step
 		if i >= size {
@@ -283,12 +356,15 @@ func (t *Table[V]) rehash() {
 			// insertion slot without the public-API accounting.
 			k := Fold(old[i].key)
 			j := int(k % uint64(newSize))
-			step := t.step(k, newSize)
+			step := 0
 			for {
 				t.rehashProbes++
 				if !t.slots[j].set {
 					t.slots[j] = old[i]
 					break
+				}
+				if step == 0 {
+					step = t.step(k, newSize)
 				}
 				j += step
 				if j >= newSize {

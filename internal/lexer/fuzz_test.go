@@ -1,0 +1,72 @@
+package lexer
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzScannerParity asserts that the hand-built Scanner and the
+// generated-style SlowScanner produce identical token streams — same kinds,
+// texts, and positions — and identical errors, on arbitrary input. This is
+// the invariant the E8 benchmark comparison rests on: if the two scanners
+// ever disagree, the benchmark is comparing different languages.
+//
+// Run as a unit test it replays the seed corpus; run with
+//
+//	go test -fuzz=FuzzScannerParity ./internal/lexer
+//
+// it explores the input space.
+func FuzzScannerParity(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n",
+		"a b(10)\n",
+		"unc\tduke(HOURLY), phs(HOURLY*4)\n",
+		"ARPA = @{mit-ai, ucbvax}(DEDICATED)\n",
+		"a = b, c\nprivate {x}\nx y(DAILY/2)\n",
+		"# comment\na \\\nb(5)\n",
+		"a b((HOURLY+(DIRECT*2))/3)\n",
+		"a b(10",
+		"a b(1\n0)\n",
+		"a ;b\n",
+		"gw!host@x%y:z^w\n",
+		"a,\nb(5)\n",
+		"x\ty(5), # trailing comment\n",
+		"\xff\xfe high bytes \x80\n",
+		"(((", ")", "\\", "\\\n", "#", ",\n,\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fast := NewScannerString("f", src)
+		slow := NewSlowScannerString("f", src)
+		for i := 0; ; i++ {
+			ft, ferr := fast.Next()
+			st, serr := slow.Next()
+			if (ferr == nil) != (serr == nil) {
+				t.Fatalf("token %d: error disagreement: fast=%v slow=%v", i, ferr, serr)
+			}
+			if ferr != nil {
+				if ferr.Error() != serr.Error() {
+					t.Fatalf("token %d: fast error %q, slow error %q", i, ferr, serr)
+				}
+				return
+			}
+			if ft != st {
+				t.Fatalf("token %d: fast %s @%s, slow %s @%s",
+					i, describe(ft), ft.Pos(), describe(st), st.Pos())
+			}
+			if ft.Kind == EOF {
+				return
+			}
+			if i > len(src)+2 {
+				t.Fatalf("scanner did not terminate after %d tokens", i)
+			}
+		}
+	})
+}
+
+func describe(t Token) string {
+	return fmt.Sprintf("%v(%q)", t.Kind, t.Text)
+}

@@ -1,11 +1,16 @@
 package lexer
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Scanner is the hand-built scanner: a byte-at-a-time recognizer for the
-// map language. It performs no allocation per token beyond slicing the
-// input for token text, which is what made the original fast enough to
-// displace lex.
+// map language. It is the zero-allocation fast path of the parse phase:
+// the source is held as a string, so every token's Text is a substring
+// sharing the source's backing memory — no per-token allocation at all.
+// (Names are later interned into the graph's hash table, so the source
+// need not stay live once parsing ends; see graph.Ref.)
 //
 // Lexical rules (DESIGN.md §2):
 //
@@ -21,133 +26,162 @@ import "fmt"
 //   - ',', '=', '{', '}' are themselves.
 //   - Anything else that is a name byte starts a Name.
 type Scanner struct {
-	src  []byte
+	src  string
 	file string
 	pos  int
 	line int
-	col  int
+	// lineStart is the byte offset of the current line's first byte;
+	// columns are derived as pos-lineStart+1 only when a token or error is
+	// emitted, so the hot scanning loops do no per-byte column accounting.
+	lineStart int
 
 	lastKind Kind // kind of the last emitted token; Invalid before the first
 	sawEOF   bool
 }
 
 // NewScanner returns a Scanner over src, reporting positions against the
-// given file name.
+// given file name. The byte slice is converted to a string once (one copy
+// per file); callers that already hold a string should use NewScannerString
+// to avoid even that.
 func NewScanner(file string, src []byte) *Scanner {
-	return &Scanner{src: src, file: file, line: 1, col: 1}
+	return NewScannerString(file, string(src))
 }
+
+// NewScannerString returns a Scanner over src without copying it. Token
+// text aliases src.
+func NewScannerString(file string, src string) *Scanner {
+	return &Scanner{src: src, file: file, line: 1}
+}
+
+// col returns the 1-based column of the current position.
+func (s *Scanner) col() int { return s.pos - s.lineStart + 1 }
 
 func (s *Scanner) errorf(format string, args ...any) *ScanError {
-	return &ScanError{File: s.file, Line: s.line, Col: s.col, Msg: fmt.Sprintf(format, args...)}
+	return &ScanError{File: s.file, Line: s.line, Col: s.col(), Msg: fmt.Sprintf(format, args...)}
 }
 
-// advance consumes one byte, maintaining line/col accounting.
-func (s *Scanner) advance() {
-	if s.src[s.pos] == '\n' {
-		s.line++
-		s.col = 1
-	} else {
-		s.col++
+// netCharText maps each routing operator byte to a preallocated one-byte
+// string, so NetChar tokens allocate nothing.
+var netCharText = func() [256]string {
+	var t [256]string
+	for _, c := range []byte{'!', '@', '%', ':', '^'} {
+		t[c] = string(c)
 	}
-	s.pos++
-}
+	return t
+}()
 
-// peek returns the current byte, or 0 at end of input.
-func (s *Scanner) peek() byte {
-	if s.pos < len(s.src) {
-		return s.src[s.pos]
+// nameByte is the isNameByte predicate as a lookup table, for the scanning
+// loop.
+var nameByte = func() [256]bool {
+	var t [256]bool
+	for i := 0; i < 256; i++ {
+		t[i] = isNameByte(byte(i))
 	}
-	return 0
-}
-
-func (s *Scanner) peekAt(off int) byte {
-	if s.pos+off < len(s.src) {
-		return s.src[s.pos+off]
-	}
-	return 0
-}
+	return t
+}()
 
 // Next returns the next token. At end of input it returns one final EOF
 // token, preceded by a synthetic Newline if the input did not end in one,
 // so the parser always sees terminated statements.
 func (s *Scanner) Next() (Token, error) {
-	tok, err := s.next()
-	if err == nil {
-		s.lastKind = tok.Kind
-	}
+	var tok Token
+	err := s.NextTok(&tok)
 	return tok, err
 }
 
-func (s *Scanner) next() (Token, error) {
+// NextTok is Next writing into a caller-provided token, sparing the parser
+// a 56-byte struct copy per token. On error *tok may hold a partially
+// filled token; callers needing the previous token's position must save it
+// before the call.
+func (s *Scanner) NextTok(tok *Token) error {
+	err := s.next(tok)
+	if err == nil {
+		s.lastKind = tok.Kind
+	}
+	return err
+}
+
+func (s *Scanner) next(tok *Token) error {
+	src := s.src
 	for {
 		// Skip horizontal whitespace, comments, and continuations.
-		for s.pos < len(s.src) {
-			c := s.src[s.pos]
+		for s.pos < len(src) {
+			c := src[s.pos]
 			switch {
 			case c == ' ' || c == '\t' || c == '\r':
-				s.advance()
+				s.pos++
 			case c == '#':
-				for s.pos < len(s.src) && s.src[s.pos] != '\n' {
-					s.advance()
+				// Comments cannot contain the newline, so skip to it in
+				// one vectorized search.
+				if i := strings.IndexByte(src[s.pos:], '\n'); i < 0 {
+					s.pos = len(src)
+				} else {
+					s.pos += i
 				}
-			case c == '\\' && s.peekAt(1) == '\n':
-				s.advance() // backslash
-				s.advance() // newline
+			case c == '\\' && s.pos+1 < len(src) && src[s.pos+1] == '\n':
+				s.pos += 2 // backslash + newline
+				s.line++
+				s.lineStart = s.pos
 			default:
 				goto skipped
 			}
 		}
 	skipped:
-		if s.pos >= len(s.src) {
-			if s.sawEOF {
-				return Token{Kind: EOF, File: s.file, Line: s.line, Col: s.col}, nil
+		if s.pos >= len(src) {
+			if !s.sawEOF {
+				s.sawEOF = true
+				if s.lastKind != Newline && s.lastKind != Invalid {
+					*tok = Token{Kind: Newline, File: s.file, Line: s.line, Col: s.col()}
+					return nil
+				}
 			}
-			s.sawEOF = true
-			if s.lastKind != Newline && s.lastKind != Invalid {
-				return Token{Kind: Newline, File: s.file, Line: s.line, Col: s.col}, nil
-			}
-			return Token{Kind: EOF, File: s.file, Line: s.line, Col: s.col}, nil
+			*tok = Token{Kind: EOF, File: s.file, Line: s.line, Col: s.col()}
+			return nil
 		}
 
-		tok := Token{File: s.file, Line: s.line, Col: s.col}
-		c := s.src[s.pos]
+		*tok = Token{File: s.file, Line: s.line, Col: s.col()}
+		c := src[s.pos]
 		switch {
 		case c == '\n':
-			s.advance()
+			s.pos++
+			s.line++
+			s.lineStart = s.pos
 			if s.lastKind == Comma {
 				continue // trailing comma: statement continues on next line
 			}
 			tok.Kind = Newline
-			return tok, nil
+			return nil
 
 		case c == ',':
-			s.advance()
+			s.pos++
 			tok.Kind = Comma
-			return tok, nil
+			return nil
 
 		case c == '=':
-			s.advance()
+			s.pos++
 			tok.Kind = Equals
-			return tok, nil
+			return nil
 
 		case c == '{':
-			s.advance()
+			s.pos++
 			tok.Kind = LBrace
-			return tok, nil
+			return nil
 
 		case c == '}':
-			s.advance()
+			s.pos++
 			tok.Kind = RBrace
-			return tok, nil
+			return nil
 
 		case c == '(':
-			s.advance()
+			s.pos++
 			start := s.pos
 			depth := 1
-			for s.pos < len(s.src) {
-				b := s.src[s.pos]
+			// Newlines are illegal inside a cost expression, so this loop
+			// never crosses a line boundary and needs no line accounting.
+			for s.pos < len(src) {
+				b := src[s.pos]
 				if b == '\n' {
-					return tok, s.errorf("newline inside cost expression")
+					return s.errorf("newline inside cost expression")
 				}
 				if b == '(' {
 					depth++
@@ -158,33 +192,33 @@ func (s *Scanner) next() (Token, error) {
 						break
 					}
 				}
-				s.advance()
+				s.pos++
 			}
 			if depth != 0 {
-				return tok, s.errorf("unterminated cost expression")
+				return s.errorf("unterminated cost expression")
 			}
 			tok.Kind = CostText
-			tok.Text = string(s.src[start:s.pos])
-			s.advance() // closing paren
-			return tok, nil
+			tok.Text = src[start:s.pos]
+			s.pos++ // closing paren
+			return nil
 
 		case IsNetChar(c):
-			s.advance()
+			s.pos++
 			tok.Kind = NetChar
-			tok.Text = string(c)
-			return tok, nil
+			tok.Text = netCharText[c]
+			return nil
 
-		case isNameByte(c):
+		case nameByte[c]:
 			start := s.pos
-			for s.pos < len(s.src) && isNameByte(s.src[s.pos]) {
-				s.advance()
+			for s.pos < len(src) && nameByte[src[s.pos]] {
+				s.pos++
 			}
 			tok.Kind = Name
-			tok.Text = string(s.src[start:s.pos])
-			return tok, nil
+			tok.Text = src[start:s.pos]
+			return nil
 
 		default:
-			return tok, s.errorf("illegal character %q", c)
+			return s.errorf("illegal character %q", c)
 		}
 	}
 }

@@ -14,16 +14,17 @@ import (
 // that architecture in Go: an ordered table of (pattern, action) rules, each
 // pattern a compiled regular expression applied at the current position,
 // longest match wins, earlier rules break ties. It recognizes exactly the
-// same token language as Scanner — the tests require the two token streams
-// (and error messages) to be identical — so benchmarks comparing them
-// measure only the recognition machinery, which is what the paper measured.
+// same token language as Scanner — the tests and the FuzzScannerParity
+// fuzz target require the two token streams (and error messages) to be
+// identical — so benchmarks comparing them measure only the recognition
+// machinery, which is what the paper measured.
 //
 // The one construct the rule table cannot express is the arbitrarily nested
 // cost expression; like real lex specifications, which fell back to
 // hand-written input() loops for balanced constructs, SlowScanner handles
 // '(' with a manual balanced scan.
 type SlowScanner struct {
-	src  []byte
+	src  string
 	file string
 	pos  int
 	line int
@@ -52,17 +53,28 @@ var slowRules = []slowRule{
 	{re: regexp.MustCompile(`^\{`), kind: LBrace},
 	{re: regexp.MustCompile(`^\}`), kind: RBrace},
 	{re: regexp.MustCompile(`^[!@%:^]`), kind: NetChar},
-	{re: regexp.MustCompile(`^[A-Za-z0-9._+\-\x80-\xFF]+`), kind: Name},
+	// Name bytes are ASCII word characters plus any byte >= 0x80. A naive
+	// class like [\x80-\xFF] is wrong here: regexp matches runes, so an
+	// invalid-UTF-8 byte decodes to U+FFFD and escapes the class (found by
+	// FuzzScannerParity). [^\x00-\x7F] matches every non-ASCII rune,
+	// including the replacement rune for stray high bytes, which restores
+	// byte-level agreement with Scanner.
+	{re: regexp.MustCompile(`^(?:[A-Za-z0-9._+\-]|[^\x00-\x7F])+`), kind: Name},
 }
 
 // NewSlowScanner returns a SlowScanner over src.
 func NewSlowScanner(file string, src []byte) *SlowScanner {
+	return NewSlowScannerString(file, string(src))
+}
+
+// NewSlowScannerString returns a SlowScanner over src without copying it.
+func NewSlowScannerString(file string, src string) *SlowScanner {
 	return &SlowScanner{src: src, file: file, line: 1, col: 1}
 }
 
-func (s *SlowScanner) bump(text []byte) {
-	for _, b := range text {
-		if b == '\n' {
+func (s *SlowScanner) bump(text string) {
+	for i := 0; i < len(text); i++ {
+		if text[i] == '\n' {
 			s.line++
 			s.col = 1
 		} else {
@@ -127,14 +139,14 @@ func (s *SlowScanner) next() (Token, error) {
 			text := rest[:i+1]
 			s.bump(text)
 			tok.Kind = CostText
-			tok.Text = string(text[1 : len(text)-1])
+			tok.Text = text[1 : len(text)-1]
 			return tok, nil
 		}
 
 		var best *slowRule
 		var bestLen int
 		for i := range slowRules {
-			loc := slowRules[i].re.FindIndex(rest)
+			loc := slowRules[i].re.FindStringIndex(rest)
 			if loc == nil || loc[0] != 0 {
 				continue
 			}
@@ -165,7 +177,7 @@ func (s *SlowScanner) next() (Token, error) {
 		case NetChar, Name:
 			s.bump(text)
 			tok.Kind = best.kind
-			tok.Text = string(text)
+			tok.Text = text
 			return tok, nil
 		default:
 			s.bump(text)

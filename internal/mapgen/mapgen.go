@@ -38,6 +38,15 @@ type Config struct {
 	Privates  int     // private name collisions (pairs across two files)
 	Passive   int     // hosts that only declare outbound links (need back links)
 	RightFrac float64 // fraction of links using '@' RIGHT syntax
+
+	// CoreFiles splits the core map across this many files (0 or 1: a
+	// single core.map). The historical UUCP map was hundreds of
+	// per-region files, and the parallel parser scans files
+	// concurrently, so multi-file output is both more faithful and the
+	// interesting case for parse benchmarks. Core statements are
+	// one-per-line, so the split at line boundaries is semantically
+	// neutral.
+	CoreFiles int
 }
 
 // Default1986 returns the paper's data scale.
@@ -95,6 +104,7 @@ func Scaled(n int, seed int64) Config {
 		Privates:     max(0, n/250),
 		Passive:      n / 50,
 		RightFrac:    0.02,
+		CoreFiles:    8, // a modern multi-file map set
 	}
 }
 
@@ -244,10 +254,40 @@ func Generate(cfg Config) (inputs []parser.Input, localHost string) {
 		fmt.Fprintf(&f2, "adjust {%s(+%d)}\n", hostName(rng.Intn(passiveStart)), 10+rng.Intn(90))
 	}
 
-	return []parser.Input{
-		{Name: "core.map", Src: []byte(f1.String())},
-		{Name: "overlay.map", Src: []byte(f2.String())},
-	}, localHost
+	inputs = splitCore(f1.String(), cfg.CoreFiles)
+	inputs = append(inputs, parser.Input{Name: "overlay.map", Src: f2.String()})
+	return inputs, localHost
+}
+
+// splitCore shards the core map text across n files at line boundaries.
+// Every core statement occupies exactly one line (no trailing commas or
+// backslash continuations are generated), and nothing in the core is
+// file-scoped, so the split does not change the map's meaning.
+func splitCore(src string, n int) []parser.Input {
+	if n <= 1 {
+		return []parser.Input{{Name: "core.map", Src: src}}
+	}
+	var out []parser.Input
+	target := len(src)/n + 1
+	for start := 0; start < len(src); {
+		end := start + target
+		if end >= len(src) {
+			end = len(src)
+		} else {
+			nl := strings.IndexByte(src[end:], '\n')
+			if nl < 0 {
+				end = len(src)
+			} else {
+				end += nl + 1
+			}
+		}
+		out = append(out, parser.Input{
+			Name: fmt.Sprintf("core%d.map", len(out)),
+			Src:  src[start:end],
+		})
+		start = end
+	}
+	return out
 }
 
 func min(a, b int) int {

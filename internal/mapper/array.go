@@ -4,12 +4,14 @@ import "pathalias/internal/graph"
 
 // This file contains the two extraction strategies behind the mapping loop.
 //
-// The default is the paper's sparse-graph variant: an implicit binary heap
-// giving O(e log v). RunArray is the textbook Dijkstra the paper compares
-// against — "the standard version of Dijkstra's algorithm, which runs in
-// time proportional to v²" — extracting the minimum by scanning all queued
-// vertices. Experiment E11 benchmarks one against the other; a property
-// test requires them to produce identical results.
+// The default is the bucket-queue variant of the paper's sparse-graph
+// algorithm (see pqueue.BucketQueue): extraction and decrease-key are O(1)
+// amortized for costs on the paper's integer scale. RunArray is the
+// textbook Dijkstra the paper compares against — "the standard version of
+// Dijkstra's algorithm, which runs in time proportional to v²" —
+// extracting the minimum by scanning all queued vertices. Experiment E11
+// benchmarks one against the other; a property test requires them to
+// produce identical results.
 
 // RunArray maps the graph with the O(v²) baseline extraction strategy.
 // Results are identical to Run's; only the running time differs.
@@ -22,7 +24,7 @@ func (m *machine) queueLen() int {
 	if m.useArray {
 		return len(m.scanQueue)
 	}
-	return m.heap.Len()
+	return m.queue.Len()
 }
 
 // push enqueues a newly queued label.
@@ -30,7 +32,7 @@ func (m *machine) push(lb *label) {
 	if m.useArray {
 		m.scanQueue = append(m.scanQueue, lb)
 	} else {
-		m.heap.Push(lb)
+		m.queue.Push(lb)
 	}
 	if n := m.queueLen(); n > m.res.MaxQueue {
 		m.res.MaxQueue = n
@@ -41,11 +43,11 @@ func (m *machine) push(lb *label) {
 // v² behavior under test in E11.
 func (m *machine) popMin() *label {
 	if !m.useArray {
-		return m.heap.Pop()
+		return m.queue.Pop()
 	}
 	best := 0
 	for i := 1; i < len(m.scanQueue); i++ {
-		if labelLess(m.scanQueue[i], m.scanQueue[best]) {
+		if m.less(m.scanQueue[i], m.scanQueue[best]) {
 			best = i
 		}
 	}
@@ -58,9 +60,10 @@ func (m *machine) popMin() *label {
 
 // fix restores queue order after a label's cost decreased. The array
 // variant needs no work (the scan always finds the current minimum); the
-// heap restores the heap property, the paper's decrease-key.
+// bucket queue moves the label to its new cost bucket, the paper's
+// decrease-key.
 func (m *machine) fix(lb *label) {
 	if !m.useArray {
-		m.heap.Fix(lb.heapIdx)
+		m.queue.Fix(int(lb.qb), int(lb.qi))
 	}
 }

@@ -21,21 +21,30 @@
 // File boundaries are semantic: private declarations scope to the end of
 // their file, and duplicate links across files fold into one edge with the
 // cheaper cost (handled by graph.AddLink).
+//
+// Parsing is two-phase (DESIGN.md "Hot path"). Phase one — scanning,
+// syntax analysis, and cost evaluation, the bulk of the work — is
+// file-local, so files scan concurrently, each producing a fragment: a
+// flat replay log of graph operations (fragment.go). Phase two merges the
+// fragments into one graph strictly in input order, reproducing the
+// sequential parse operation-for-operation — node creation order,
+// duplicate-link folding, private scoping, error budgets, and diagnostics
+// are byte-identical to a serial parse, whatever the worker count.
 package parser
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 
-	"pathalias/internal/cost"
 	"pathalias/internal/graph"
-	"pathalias/internal/lexer"
 )
 
-// Input is one named map source.
+// Input is one named map source. The name matters: private declarations
+// scope to the file that made them.
 type Input struct {
 	Name string
-	Src  []byte
+	Src  string
 }
 
 // MaxErrors is how many syntax errors the parser accumulates before giving
@@ -69,6 +78,11 @@ type Options struct {
 	// FoldCase makes host names case-insensitive (the -i flag). Cost
 	// symbols remain case-sensitive; only names fold.
 	FoldCase bool
+
+	// Workers caps how many input files are scanned concurrently.
+	// 0 means one worker per CPU; 1 forces the serial path. Output is
+	// identical either way.
+	Workers int
 }
 
 // Parse parses the inputs in order into one graph. Syntax errors are
@@ -83,439 +97,242 @@ func Parse(inputs ...Input) (*Result, error) {
 func ParseWith(opts Options, inputs ...Input) (*Result, error) {
 	g := graph.New()
 	g.SetFoldCase(opts.FoldCase)
-	p := &parser{g: g}
+	total := 0
 	for _, in := range inputs {
-		p.parseFile(in)
-		if len(p.errors) >= MaxErrors {
-			break
+		total += len(in.Src)
+	}
+	// Real map files average ~30 bytes per link declaration and ~75 per
+	// distinct name; the hints spare the link index and name table their
+	// incremental growth. Neither is required for correctness.
+	g.ReserveLinks(total / 30)
+	g.ReserveNames(total / 75)
+	m := &merger{g: g}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	if workers <= 1 {
+		// Serial: stream each file straight into the graph — no replay
+		// log, no buffering. This is the sequential parse, verbatim.
+		for _, in := range inputs {
+			if len(m.errors) >= MaxErrors {
+				break
+			}
+			scanStream(opts, in, m)
+		}
+	} else {
+		// Parallel: files scan concurrently (private declarations are
+		// file-scoped, so scans are independent); the merge consumes
+		// fragments strictly in input order as they complete.
+		frags := make([]*fragment, len(inputs))
+		done := make([]chan struct{}, len(inputs))
+		sem := make(chan struct{}, workers)
+		for i := range inputs {
+			done[i] = make(chan struct{})
+			go func(i int) {
+				defer close(done[i])
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				frags[i] = scanFile(opts, inputs[i])
+			}(i)
+		}
+		for i := range inputs {
+			<-done[i]
+			// merge is a no-op once the error budget is exhausted; keep
+			// receiving so every scanner finishes before we return.
+			m.merge(frags[i])
+			frags[i] = nil
 		}
 	}
-	p.finish()
-	res := &Result{Graph: g, Warnings: p.warnings}
-	if len(p.errors) > 0 {
-		return res, &ParseError{Errors: p.errors}
+
+	m.finish()
+	res := &Result{Graph: g, Warnings: m.warnings}
+	if len(m.errors) > 0 {
+		return res, &ParseError{Errors: m.errors}
 	}
 	return res, nil
 }
 
 // ParseString parses a single in-memory map, for tests and examples.
 func ParseString(name, src string) (*Result, error) {
-	return Parse(Input{Name: name, Src: []byte(src)})
+	return Parse(Input{Name: name, Src: src})
 }
 
-// pendingLinkOp is a dead/delete on a link that may not exist yet; they
-// apply after all input is read.
-type pendingLinkOp struct {
-	from, to string
-	file     string // scope for private resolution
-	pos      string
-	deadNot  bool // true = delete, false = dead
-}
-
-type parser struct {
+// merger applies fragments to the graph in input order (phase two).
+type merger struct {
 	g        *graph.Graph
-	sc       *lexer.Scanner
-	tok      lexer.Token
 	errors   []string
 	warnings []string
 	pending  []pendingLinkOp
+	nodes    []*graph.Node // scratch for network member lists
+
+	// One-entry reference cache: consecutive operations overwhelmingly
+	// name the same host (a declaration line emits one opRef plus one
+	// opLink per link, all with the same left-hand name), and a cache hit
+	// skips a hash probe. Scope changes invalidate it.
+	lastName string
+	lastNode *graph.Node
+
+	// Direct-mapped cache for link destinations: real maps concentrate
+	// links on a small set of hubs (the paper's backbone), so a tiny
+	// cache absorbs a large share of destination resolutions. Cleared on
+	// any scope change, like lastName.
+	dests [256]struct {
+		name string
+		node *graph.Node
+	}
 }
 
-func (p *parser) errorf(format string, args ...any) {
-	p.errors = append(p.errors, fmt.Sprintf("%s: %s", p.tok.Pos(), fmt.Sprintf(format, args...)))
+// destSlot is a cheap direct-mapped hash over a host name.
+func destSlot(name string) int {
+	n := len(name)
+	return (n*131 + int(name[0])*7 + int(name[n-1])) & 255
 }
 
-func (p *parser) warnf(format string, args ...any) {
-	p.warnings = append(p.warnings, fmt.Sprintf("%s: %s", p.tok.Pos(), fmt.Sprintf(format, args...)))
+// refDest resolves a link-destination name with the direct-mapped cache.
+func (m *merger) refDest(name string) *graph.Node {
+	s := &m.dests[destSlot(name)]
+	if s.name == name && s.node != nil {
+		return s.node
+	}
+	n := m.g.Ref(name)
+	s.name, s.node = name, n
+	return n
 }
 
-// next advances to the next token; scan errors are recorded and surface as
-// a synthetic EOF so parsing stops cleanly.
-func (p *parser) next() {
-	t, err := p.sc.Next()
-	if err != nil {
-		p.errors = append(p.errors, err.Error())
-		p.tok = lexer.Token{Kind: lexer.EOF, File: p.tok.File, Line: p.tok.Line, Col: p.tok.Col}
+// clearRefCache drops both reference caches; called whenever the private
+// scope changes, since bindings may differ across scopes.
+func (m *merger) clearRefCache() {
+	m.lastNode = nil
+	clear(m.dests[:])
+}
+
+// ref resolves a name like graph.Ref, memoizing the last resolution.
+func (m *merger) ref(name string) *graph.Node {
+	if name == m.lastName && m.lastNode != nil {
+		return m.lastNode
+	}
+	n := m.g.Ref(name)
+	m.lastName, m.lastNode = name, n
+	return n
+}
+
+// merge replays one file's fragment into the graph, honoring the global
+// error budget exactly as the sequential parser did: a file is skipped
+// entirely once MaxErrors is reached, and within a file, statements that
+// began after the budget ran out are dropped along with their diagnostics.
+func (m *merger) merge(f *fragment) {
+	base := len(m.errors)
+	if base >= MaxErrors {
 		return
 	}
-	p.tok = t
-}
-
-// skipStatement consumes tokens through the next Newline, for error
-// recovery.
-func (p *parser) skipStatement() {
-	for p.tok.Kind != lexer.Newline && p.tok.Kind != lexer.EOF {
-		p.next()
-	}
-}
-
-func (p *parser) parseFile(in Input) {
-	p.g.BeginFile(in.Name)
-	p.sc = lexer.NewScanner(in.Name, in.Src)
-	p.next()
-	for p.tok.Kind != lexer.EOF && len(p.errors) < MaxErrors {
-		switch p.tok.Kind {
-		case lexer.Newline:
-			p.next() // empty statement
-		case lexer.Name:
-			p.parseStatement()
-		default:
-			p.errorf("statement must begin with a name, got %s", p.tok)
-			p.skipStatement()
-		}
-	}
-}
-
-// commandWords maps keyword text to handler dispatch. Recognized only at
-// statement start when the following token is '{'.
-var commandWords = map[string]bool{
-	"private":   true,
-	"dead":      true,
-	"delete":    true,
-	"adjust":    true,
-	"file":      true,
-	"gatewayed": true,
-	"gateway":   true,
-}
-
-func (p *parser) parseStatement() {
-	name := p.tok.Text
-	p.next()
-
-	if commandWords[name] && p.tok.Kind == lexer.LBrace {
-		p.parseCommand(name)
-		return
-	}
-
-	switch p.tok.Kind {
-	case lexer.Equals:
-		p.next()
-		p.parseEqualsRest(name)
-	case lexer.Name, lexer.NetChar:
-		p.parseHostDecl(name)
-	case lexer.Newline:
-		// A bare name declares the host with no links; harmless and
-		// present in real map data.
-		p.g.Ref(name)
-		p.next()
-	default:
-		p.errorf("expected links, '=', or end of statement after %q, got %s", name, p.tok)
-		p.skipStatement()
-		p.expectNewline()
-	}
-}
-
-// parseEqualsRest handles both network declarations and alias lists after
-// "name = ".
-func (p *parser) parseEqualsRest(name string) {
-	switch p.tok.Kind {
-	case lexer.LBrace:
-		p.parseNetDecl(name, graph.DefaultOp)
-	case lexer.NetChar:
-		op := graph.OpFor(p.tok.Text[0])
-		p.next()
-		if p.tok.Kind != lexer.LBrace {
-			p.errorf("expected '{' after network routing character, got %s", p.tok)
-			p.skipStatement()
-			p.expectNewline()
-			return
-		}
-		p.parseNetDecl(name, op)
-	case lexer.Name:
-		p.parseAliasDecl(name)
-	default:
-		p.errorf("expected '{', routing character, or alias name after '=', got %s", p.tok)
-		p.skipStatement()
-		p.expectNewline()
-	}
-}
-
-// parseHostDecl parses "host link, link, ...".
-func (p *parser) parseHostDecl(name string) {
-	from := p.g.Ref(name)
-	for {
-		if !p.parseLink(from) {
-			p.skipStatement()
+	budget := int32(MaxErrors - base)
+	m.clearRefCache()
+	m.g.BeginFile(f.name)
+	for i := range f.stmts {
+		st := &f.stmts[i]
+		if st.errs >= budget {
 			break
 		}
-		if p.tok.Kind != lexer.Comma {
+		m.apply(st, f.members)
+	}
+	for _, n := range f.errors {
+		if n.errs >= budget {
 			break
 		}
-		p.next()
+		m.errors = append(m.errors, n.text)
 	}
-	p.expectNewline()
-}
-
-// parseLink parses one link: host[netchar][(cost)] or netchar host[(cost)].
-// It reports whether parsing can continue within the statement.
-func (p *parser) parseLink(from *graph.Node) bool {
-	op := graph.DefaultOp
-	explicitPrefix := false
-
-	if p.tok.Kind == lexer.NetChar {
-		op = graph.OpFor(p.tok.Text[0])
-		explicitPrefix = true
-		p.next()
-	}
-	if p.tok.Kind != lexer.Name {
-		p.errorf("expected destination host name, got %s", p.tok)
-		return false
-	}
-	toName := p.tok.Text
-	p.next()
-
-	if p.tok.Kind == lexer.NetChar {
-		if explicitPrefix {
-			p.errorf("routing character on both sides of %q", toName)
-			return false
-		}
-		// Suffix operator: host on the left (b! form). The direction is
-		// positional — the host name was written left of the operator —
-		// regardless of which character it is.
-		op = graph.Op{Char: p.tok.Text[0], Dir: graph.DirLeft}
-		p.next()
-	}
-
-	linkCost := cost.DefaultCost
-	if p.tok.Kind == lexer.CostText {
-		c, err := cost.Eval(p.tok.Text)
-		if err != nil {
-			p.errorf("bad cost for link to %q: %v", toName, err)
-			return false
-		}
-		linkCost = c
-		p.next()
-	}
-
-	to := p.g.Ref(toName)
-	if to == from {
-		p.warnf("ignoring self link %q", toName)
-		return true
-	}
-	if to.IsDomain() {
-		// Declaring a direct link into a domain is the administrative
-		// act of offering entry: it makes the declarer a gateway of the
-		// domain (seismo's link to .edu makes seismo the .edu gateway).
-		// Named networks are different — their gateways come only from
-		// explicit gateway{NET!host} declarations, since the recognition
-		// of a network name as a network may postdate this link.
-		p.g.AddGateway(to, from)
-	}
-	p.g.AddLink(from, to, linkCost, op, 0)
-	return true
-}
-
-// parseNetDecl parses "{member, ...}[(cost)]" after "name = [netchar]".
-func (p *parser) parseNetDecl(name string, op graph.Op) {
-	p.next() // consume '{'
-	var members []string
-	for {
-		if p.tok.Kind != lexer.Name {
-			p.errorf("expected network member name, got %s", p.tok)
-			p.skipStatement()
-			p.expectNewline()
-			return
-		}
-		members = append(members, p.tok.Text)
-		p.next()
-		if p.tok.Kind == lexer.Comma {
-			p.next()
-			continue
-		}
-		break
-	}
-	if p.tok.Kind != lexer.RBrace {
-		p.errorf("expected '}' to close network %q, got %s", name, p.tok)
-		p.skipStatement()
-		p.expectNewline()
-		return
-	}
-	p.next()
-
-	netCost := cost.DefaultCost
-	if p.tok.Kind == lexer.CostText {
-		c, err := cost.Eval(p.tok.Text)
-		if err != nil {
-			p.errorf("bad cost for network %q: %v", name, err)
-			p.skipStatement()
-			p.expectNewline()
-			return
-		}
-		netCost = c
-		p.next()
-	}
-
-	net := p.g.Ref(name)
-	nodes := make([]*graph.Node, 0, len(members))
-	for _, m := range members {
-		nodes = append(nodes, p.g.Ref(m))
-	}
-	p.g.AddNet(net, nodes, netCost, op)
-	p.expectNewline()
-}
-
-// parseAliasDecl parses "host = alias, alias, ...".
-func (p *parser) parseAliasDecl(name string) {
-	primary := p.g.Ref(name)
-	for {
-		if p.tok.Kind != lexer.Name {
-			p.errorf("expected alias name, got %s", p.tok)
-			p.skipStatement()
+	for _, n := range f.warnings {
+		if n.errs >= budget {
 			break
 		}
-		alias := p.g.Ref(p.tok.Text)
-		if alias == primary {
-			p.warnf("ignoring self alias %q", p.tok.Text)
-		} else {
-			p.g.AddAlias(primary, alias)
-		}
-		p.next()
-		if p.tok.Kind == lexer.Comma {
-			p.next()
-			continue
-		}
-		break
+		m.warnings = append(m.warnings, n.text)
 	}
-	p.expectNewline()
+	for _, p := range f.pending {
+		if p.errs >= budget {
+			break
+		}
+		m.pending = append(m.pending, p)
+	}
 }
 
-// parseCommand parses "keyword { items }".
-func (p *parser) parseCommand(word string) {
-	p.next() // consume '{'
-	for {
-		if p.tok.Kind != lexer.Name {
-			p.errorf("expected name in %s{...}, got %s", word, p.tok)
-			p.skipStatement()
-			p.expectNewline()
-			return
+// apply performs one replay-log operation. members backs opNet ranges.
+// The graph calls and their order mirror the sequential parser's actions
+// exactly.
+func (m *merger) apply(st *stmt, members []string) {
+	g := m.g
+	switch st.op {
+	case opRef:
+		m.ref(st.a)
+	case opLink:
+		from := m.ref(st.a)
+		to := m.refDest(st.b)
+		if st.dom {
+			// Declaring a direct link into a domain is the administrative
+			// act of offering entry: it makes the declarer a gateway of the
+			// domain (seismo's link to .edu makes seismo the .edu gateway).
+			// Named networks are different — their gateways come only from
+			// explicit gateway{NET!host} declarations, since the recognition
+			// of a network name as a network may postdate this link.
+			g.AddGateway(to, from)
 		}
-		if !p.parseCommandItem(word) {
-			p.skipStatement()
-			p.expectNewline()
-			return
+		g.AddLink(from, to, st.cost, st.linkOp, 0)
+	case opNet:
+		net := m.ref(st.a)
+		m.nodes = m.nodes[:0]
+		for _, name := range members[st.mlo:st.mhi] {
+			m.nodes = append(m.nodes, g.Ref(name))
 		}
-		if p.tok.Kind == lexer.Comma {
-			p.next()
-			continue
-		}
-		break
-	}
-	if p.tok.Kind != lexer.RBrace {
-		p.errorf("expected '}' to close %s{...}, got %s", word, p.tok)
-		p.skipStatement()
-	} else {
-		p.next()
-	}
-	p.expectNewline()
-}
-
-// parseCommandItem handles one item inside a command's braces. The item
-// forms are: name, name!name (a link), name(expr) for adjust.
-func (p *parser) parseCommandItem(word string) bool {
-	first := p.tok.Text
-	pos := p.tok.Pos()
-	p.next()
-
-	// Link form: a!b (any netchar separates, '!' conventional).
-	if p.tok.Kind == lexer.NetChar {
-		p.next()
-		if p.tok.Kind != lexer.Name {
-			p.errorf("expected host after link operator in %s{...}", word)
-			return false
-		}
-		second := p.tok.Text
-		p.next()
-		switch word {
-		case "dead":
-			p.pending = append(p.pending, pendingLinkOp{
-				from: first, to: second, file: p.g.CurrentFile(), pos: pos, deadNot: false})
-		case "delete":
-			p.pending = append(p.pending, pendingLinkOp{
-				from: first, to: second, file: p.g.CurrentFile(), pos: pos, deadNot: true})
-		case "gateway":
-			net := p.g.Ref(first)
-			host := p.g.Ref(second)
-			p.g.AddGateway(net, host)
-		default:
-			p.errorf("%s{...} does not accept link items", word)
-			return false
-		}
-		return true
-	}
-
-	// Adjust form: name(expr).
-	if p.tok.Kind == lexer.CostText {
-		if word != "adjust" {
-			p.errorf("%s{...} does not accept cost items", word)
-			return false
-		}
-		delta, err := cost.EvalSigned(p.tok.Text)
-		if err != nil {
-			p.errorf("bad adjustment for %q: %v", first, err)
-			return false
-		}
-		p.next()
-		p.g.AdjustNode(p.g.Ref(first), delta)
-		return true
-	}
-
-	// Bare name form.
-	switch word {
-	case "private":
-		p.g.DeclarePrivate(first)
-	case "dead":
-		p.g.MarkDead(p.g.Ref(first))
-	case "delete":
-		p.g.Delete(p.g.Ref(first))
-	case "gatewayed":
-		p.g.MarkGatewayed(p.g.Ref(first))
-	case "adjust":
-		p.errorf("adjust item %q needs a (cost) adjustment", first)
-		return false
-	case "gateway":
-		p.errorf("gateway item %q must be net!host", first)
-		return false
-	case "file":
+		g.AddNet(net, m.nodes, st.cost, st.linkOp)
+	case opAlias:
+		a := g.Ref(st.a)
+		b := g.Ref(st.b)
+		g.AddAlias(a, b)
+	case opPrivate:
+		m.clearRefCache() // the private declaration rebinds its name
+		g.DeclarePrivate(st.a)
+	case opDeadHost:
+		g.MarkDead(g.Ref(st.a))
+	case opDeleteHost:
+		g.Delete(g.Ref(st.a))
+	case opGatewayed:
+		g.MarkGatewayed(g.Ref(st.a))
+	case opGateway:
+		net := g.Ref(st.a)
+		host := g.Ref(st.b)
+		g.AddGateway(net, host)
+	case opAdjust:
+		g.AdjustNode(g.Ref(st.a), st.cost)
+	case opFile:
 		// Switch the private-scoping file boundary mid-stream, for
 		// concatenated input on stdin.
-		p.g.BeginFile(first)
-	}
-	return true
-}
-
-// expectNewline consumes the statement terminator, reporting anything else.
-func (p *parser) expectNewline() {
-	switch p.tok.Kind {
-	case lexer.Newline:
-		p.next()
-	case lexer.EOF:
-	default:
-		p.errorf("unexpected %s at end of statement", p.tok)
-		p.skipStatement()
-		if p.tok.Kind == lexer.Newline {
-			p.next()
-		}
+		m.clearRefCache() // private bindings differ across scopes
+		g.BeginFile(st.a)
 	}
 }
 
 // finish applies deferred link operations now that all links exist.
-func (p *parser) finish() {
-	for _, op := range p.pending {
-		p.g.BeginFile(op.file) // resolve names in the declaring file's scope
-		from := p.g.Ref(op.from)
-		to := p.g.Ref(op.to)
+func (m *merger) finish() {
+	for _, op := range m.pending {
+		m.g.BeginFile(op.file) // resolve names in the declaring file's scope
+		from := m.g.Ref(op.from)
+		to := m.g.Ref(op.to)
 		var ok bool
 		if op.deadNot {
-			ok = p.g.DeleteLink(from, to)
+			ok = m.g.DeleteLink(from, to)
 		} else {
-			ok = p.g.MarkDeadLink(from, to)
+			ok = m.g.MarkDeadLink(from, to)
 		}
 		if !ok {
 			verb := "dead"
 			if op.deadNot {
 				verb = "delete"
 			}
-			p.warnings = append(p.warnings,
+			m.warnings = append(m.warnings,
 				fmt.Sprintf("%s: %s{%s!%s}: no such link", op.pos, verb, op.from, op.to))
 		}
 	}

@@ -195,8 +195,8 @@ func TestAliasDecl(t *testing.T) {
 
 func TestPrivateCommand(t *testing.T) {
 	res, err := Parse(
-		Input{Name: "f1", Src: []byte("bilbo princeton(10)\n")},
-		Input{Name: "f2", Src: []byte("private {bilbo}\nbilbo wiretap(10)\n")},
+		Input{Name: "f1", Src: "bilbo princeton(10)\n"},
+		Input{Name: "f2", Src: "private {bilbo}\nbilbo wiretap(10)\n"},
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -346,8 +346,8 @@ func TestBareHostDeclaration(t *testing.T) {
 func TestMultiFileDuplicateLinks(t *testing.T) {
 	// Duplicate across files: cheaper cost wins.
 	res, err := Parse(
-		Input{Name: "f1", Src: []byte("a b(500)\n")},
-		Input{Name: "f2", Src: []byte("a b(300)\n")},
+		Input{Name: "f1", Src: "a b(500)\n"},
+		Input{Name: "f2", Src: "a b(300)\n"},
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -519,13 +519,13 @@ func TestParseWarningsFormat(t *testing.T) {
 }
 
 func BenchmarkParsePaperMap(b *testing.B) {
-	src := []byte(`unc	duke(HOURLY), phs(HOURLY*4)
+	src := `unc	duke(HOURLY), phs(HOURLY*4)
 duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
 phs	unc(HOURLY*4), duke(HOURLY)
 research	duke(DEMAND), ucbvax(DEMAND)
 ucbvax	research(DAILY)
 ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
-`)
+`
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Parse(Input{Name: "bench", Src: src}); err != nil {

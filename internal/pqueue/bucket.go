@@ -1,0 +1,254 @@
+// The mapper's priority queue workload is special: keys are path costs on
+// the paper's integer scale (LOCAL=25 ... WEEKLY=30000, summed over short
+// paths), extraction order is monotone non-decreasing (edge weights are
+// clamped non-negative), and decrease-key is frequent. A general binary
+// heap pays O(log n) compares per operation; a monotone bucket queue pays
+// O(1) amortized by indexing elements into an array of buckets keyed
+// directly by cost. Only "exotic" keys — paths carrying the near-infinite
+// heuristic penalties (cost.Infinity scale) — exceed the bucket range, and
+// those fall back to a small binary heap, preserving correctness for any
+// key.
+package pqueue
+
+import "math/bits"
+
+// OverflowBucket is the bucket value reported through the move callback
+// for elements currently held in the overflow heap.
+const OverflowBucket = -2
+
+// BucketQueue is a priority queue over elements with small non-negative
+// integer keys, with a total-order tie-break inside equal-key groups.
+//
+//   - key extracts the element's integer key (the path cost). Keys in
+//     [0, NumBuckets<<Shift) live in buckets; larger keys live in the
+//     overflow heap.
+//   - less is the full priority order; it must be consistent with key
+//     (key(a) < key(b) implies less(a, b)), and refines it for ties. Each
+//     bucket spans 1<<Shift consecutive keys and is kept as a small heap
+//     ordered by less, so Pop always returns the global less-minimum.
+//   - move is invoked whenever an element's (bucket, index) position
+//     changes, with bucket == OverflowBucket for heap residents and
+//     (-1, -1) when the element leaves the queue. Callers record the
+//     position and hand it back to Fix after a decrease-key.
+//
+// The queue is monotone-friendly but not monotone-dependent: a cursor
+// remembers the lowest possibly-occupied bucket and is lowered whenever an
+// insertion lands below it, so out-of-order insertions stay correct, just
+// marginally slower.
+type BucketQueue[V any] struct {
+	shift   uint
+	limit   int64
+	buckets [][]V
+	words   []uint64 // occupancy bitmap over buckets
+	cur     int      // lowest bucket that may be non-empty
+	n       int
+	less    func(a, b V) bool
+	key     func(V) int64
+	move    func(v V, bucket, idx int)
+	over    *Heap[V]
+}
+
+// NewBucketQueue returns an empty queue with numBuckets buckets of
+// 1<<shift keys each. See the type comment for the callback contracts.
+func NewBucketQueue[V any](numBuckets int, shift uint,
+	less func(a, b V) bool, key func(V) int64, move func(v V, bucket, idx int)) *BucketQueue[V] {
+	if numBuckets <= 0 {
+		panic("pqueue: NewBucketQueue with no buckets")
+	}
+	if less == nil || key == nil {
+		panic("pqueue: NewBucketQueue needs less and key functions")
+	}
+	q := &BucketQueue[V]{
+		shift:   shift,
+		limit:   int64(numBuckets) << shift,
+		buckets: make([][]V, numBuckets),
+		words:   make([]uint64, (numBuckets+63)/64),
+		less:    less,
+		key:     key,
+		move:    move,
+	}
+	q.over = New(less, func(v V, i int) {
+		if q.move == nil {
+			return
+		}
+		if i < 0 {
+			q.move(v, -1, -1)
+		} else {
+			q.move(v, OverflowBucket, i)
+		}
+	})
+	return q
+}
+
+// Len returns the number of queued elements.
+func (q *BucketQueue[V]) Len() int { return q.n + q.over.Len() }
+
+// Push inserts v.
+func (q *BucketQueue[V]) Push(v V) {
+	k := q.key(v)
+	if k < 0 {
+		panic("pqueue: BucketQueue key is negative")
+	}
+	if k >= q.limit {
+		q.over.Push(v)
+		return
+	}
+	q.bucketPush(int(k>>q.shift), v)
+}
+
+// Pop removes and returns the minimum element (by less). It panics on an
+// empty queue.
+func (q *BucketQueue[V]) Pop() V {
+	b := q.firstNonEmpty()
+	if b < 0 {
+		return q.over.Pop() // overflow keys all exceed bucket keys
+	}
+	q.cur = b
+	items := q.buckets[b]
+	top := items[0]
+	last := len(items) - 1
+	items[0] = items[last]
+	var zero V
+	items[last] = zero
+	q.buckets[b] = items[:last]
+	q.n--
+	if last > 0 {
+		q.notify(b, 0)
+		q.siftDown(b, 0)
+	} else {
+		q.words[b>>6] &^= 1 << (uint(b) & 63)
+	}
+	if q.move != nil {
+		q.move(top, -1, -1)
+	}
+	return top
+}
+
+// Fix restores queue order for the element at (bucket, idx) — the position
+// most recently reported through move — after its key changed.
+func (q *BucketQueue[V]) Fix(bucket, idx int) {
+	if bucket == OverflowBucket {
+		v := q.over.items[idx]
+		if k := q.key(v); k < q.limit {
+			q.over.Remove(idx)
+			q.bucketPush(int(k>>q.shift), v)
+			return
+		}
+		q.over.Fix(idx)
+		return
+	}
+	v := q.buckets[bucket][idx]
+	k := q.key(v)
+	nb := int(k >> q.shift)
+	if k >= q.limit {
+		nb = -1
+	}
+	if nb == bucket {
+		if !q.siftUp(bucket, idx) {
+			q.siftDown(bucket, idx)
+		}
+		return
+	}
+	q.bucketRemove(bucket, idx)
+	if nb < 0 {
+		q.over.Push(v)
+	} else {
+		q.bucketPush(nb, v)
+	}
+}
+
+// bucketPush appends v to bucket b and restores its heap order.
+func (q *BucketQueue[V]) bucketPush(b int, v V) {
+	q.buckets[b] = append(q.buckets[b], v)
+	q.n++
+	q.words[b>>6] |= 1 << (uint(b) & 63)
+	if b < q.cur {
+		q.cur = b
+	}
+	i := len(q.buckets[b]) - 1
+	q.notify(b, i)
+	q.siftUp(b, i)
+}
+
+// bucketRemove deletes the element at (b, i), preserving bucket order.
+func (q *BucketQueue[V]) bucketRemove(b, i int) {
+	items := q.buckets[b]
+	last := len(items) - 1
+	items[i] = items[last]
+	var zero V
+	items[last] = zero
+	q.buckets[b] = items[:last]
+	q.n--
+	if last == 0 {
+		q.words[b>>6] &^= 1 << (uint(b) & 63)
+		return
+	}
+	if i < last {
+		q.notify(b, i)
+		if !q.siftUp(b, i) {
+			q.siftDown(b, i)
+		}
+	}
+}
+
+// firstNonEmpty returns the lowest occupied bucket at or above the cursor,
+// or -1 if all buckets are empty.
+func (q *BucketQueue[V]) firstNonEmpty() int {
+	if q.n == 0 {
+		return -1
+	}
+	w := q.cur >> 6
+	mask := ^uint64(0) << (uint(q.cur) & 63)
+	for ; w < len(q.words); w++ {
+		if set := q.words[w] & mask; set != 0 {
+			return w<<6 + bits.TrailingZeros64(set)
+		}
+		mask = ^uint64(0)
+	}
+	return -1
+}
+
+func (q *BucketQueue[V]) notify(b, i int) {
+	if q.move != nil {
+		q.move(q.buckets[b][i], b, i)
+	}
+}
+
+func (q *BucketQueue[V]) siftUp(b, i int) bool {
+	items := q.buckets[b]
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(items[i], items[parent]) {
+			break
+		}
+		items[i], items[parent] = items[parent], items[i]
+		q.notify(b, i)
+		q.notify(b, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (q *BucketQueue[V]) siftDown(b, i int) {
+	items := q.buckets[b]
+	n := len(items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(items[right], items[left]) {
+			least = right
+		}
+		if !q.less(items[least], items[i]) {
+			return
+		}
+		items[i], items[least] = items[least], items[i]
+		q.notify(b, i)
+		q.notify(b, least)
+		i = least
+	}
+}

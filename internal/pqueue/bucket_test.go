@@ -1,0 +1,194 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bqItem is a test element: an integer key plus a tie-break serial, with
+// position tracking as the mapper uses it.
+type bqItem struct {
+	key    int64
+	serial int
+	bucket int
+	idx    int
+}
+
+func bqLess(a, b *bqItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.serial < b.serial
+}
+
+func newTestQueue() *BucketQueue[*bqItem] {
+	return NewBucketQueue(64, 3, bqLess,
+		func(it *bqItem) int64 { return it.key },
+		func(it *bqItem, b, i int) { it.bucket, it.idx = b, i })
+}
+
+// TestBucketQueueOrdersLikeSort drains random keys — including values past
+// the bucket range, so the overflow heap engages — and requires exactly
+// sorted order.
+func TestBucketQueueOrdersLikeSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	q := newTestQueue()
+	var all []*bqItem
+	for i := 0; i < 2000; i++ {
+		key := int64(rng.Intn(600)) // bucket range is 64<<3 = 512
+		if rng.Intn(20) == 0 {
+			key += 1 << 40 // the "essentially infinite" penalty scale
+		}
+		it := &bqItem{key: key, serial: i}
+		all = append(all, it)
+		q.Push(it)
+	}
+	if q.Len() != len(all) {
+		t.Fatalf("Len = %d want %d", q.Len(), len(all))
+	}
+	sort.Slice(all, func(i, j int) bool { return bqLess(all[i], all[j]) })
+	for i, want := range all {
+		got := q.Pop()
+		if got != want {
+			t.Fatalf("pop %d: got (key=%d serial=%d) want (key=%d serial=%d)",
+				i, got.key, got.serial, want.key, want.serial)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+// TestBucketQueueDecreaseKey exercises Fix across buckets and from the
+// overflow heap back into bucket range, the mapper's decrease-key paths.
+func TestBucketQueueDecreaseKey(t *testing.T) {
+	q := newTestQueue()
+	items := []*bqItem{
+		{key: 500, serial: 0},
+		{key: 400, serial: 1},
+		{key: 1 << 30, serial: 2}, // overflow
+		{key: 10, serial: 3},
+	}
+	for _, it := range items {
+		q.Push(it)
+	}
+	// Decrease the overflow item into bucket range.
+	items[2].key = 5
+	q.Fix(items[2].bucket, items[2].idx)
+	// Decrease a bucketed item within its bucket.
+	items[0].key = 496
+	q.Fix(items[0].bucket, items[0].idx)
+	// Decrease a bucketed item across buckets.
+	items[1].key = 1
+	q.Fix(items[1].bucket, items[1].idx)
+
+	wantOrder := []int{1, 2, 3, 0} // keys 1, 5, 10, 496
+	for _, wantSerial := range wantOrder {
+		if got := q.Pop(); got.serial != wantSerial {
+			t.Fatalf("pop: got serial %d (key %d), want %d", got.serial, got.key, wantSerial)
+		}
+	}
+}
+
+// TestBucketQueueMatchesHeap runs the same randomized push/pop/decrease
+// trace through BucketQueue and Heap and requires identical pop sequences.
+func TestBucketQueueMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := newTestQueue()
+	var hItems []*bqItem // heap-side mirror of each queue item, same keys
+	h := New(bqLess, func(it *bqItem, i int) { it.idx = i })
+
+	var qLive, hLive []*bqItem
+	serial := 0
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(qLive) == 0: // push
+			key := int64(rng.Intn(700))
+			qi := &bqItem{key: key, serial: serial}
+			hi := &bqItem{key: key, serial: serial}
+			serial++
+			q.Push(qi)
+			h.Push(hi)
+			qLive = append(qLive, qi)
+			hLive = append(hLive, hi)
+			hItems = append(hItems, hi)
+		case op < 8: // pop and compare
+			qp := q.Pop()
+			hp := h.Pop()
+			if qp.key != hp.key || qp.serial != hp.serial {
+				t.Fatalf("step %d: bucket pop (%d,%d) != heap pop (%d,%d)",
+					step, qp.key, qp.serial, hp.key, hp.serial)
+			}
+			qLive = remove(qLive, qp)
+			hLive = remove(hLive, hp)
+		default: // decrease a random live element
+			k := rng.Intn(len(qLive))
+			qi := qLive[k]
+			var hi *bqItem
+			for _, c := range hLive {
+				if c.serial == qi.serial {
+					hi = c
+				}
+			}
+			if qi.key == 0 {
+				continue
+			}
+			nk := int64(rng.Intn(int(qi.key + 1)))
+			qi.key, hi.key = nk, nk
+			q.Fix(qi.bucket, qi.idx)
+			h.Fix(hi.idx)
+		}
+	}
+	for q.Len() > 0 {
+		qp, hp := q.Pop(), h.Pop()
+		if qp.key != hp.key || qp.serial != hp.serial {
+			t.Fatalf("drain: bucket pop (%d,%d) != heap pop (%d,%d)",
+				qp.key, qp.serial, hp.key, hp.serial)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not drained")
+	}
+	_ = hItems
+}
+
+func remove(s []*bqItem, it *bqItem) []*bqItem {
+	for i, c := range s {
+		if c == it {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// TestHeapRemove covers the Remove operation BucketQueue relies on.
+func TestHeapRemove(t *testing.T) {
+	h := New(bqLess, func(it *bqItem, i int) { it.idx = i })
+	var items []*bqItem
+	for i := 0; i < 50; i++ {
+		it := &bqItem{key: int64((i * 37) % 100), serial: i}
+		items = append(items, it)
+		h.Push(it)
+	}
+	// Remove a third of them by tracked index.
+	removed := map[*bqItem]bool{}
+	for i := 0; i < len(items); i += 3 {
+		h.Remove(items[i].idx)
+		removed[items[i]] = true
+	}
+	var rest []*bqItem
+	for _, it := range items {
+		if !removed[it] {
+			rest = append(rest, it)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return bqLess(rest[i], rest[j]) })
+	for _, want := range rest {
+		if got := h.Pop(); got != want {
+			t.Fatalf("after Remove: got (%d,%d) want (%d,%d)",
+				got.key, got.serial, want.key, want.serial)
+		}
+	}
+}

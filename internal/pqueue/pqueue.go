@@ -1,13 +1,15 @@
-// Package pqueue implements the implicit binary heap the mapper uses as its
-// priority queue.
+// Package pqueue implements the mapper's priority queues: the implicit
+// binary heap of the paper, and the monotone BucketQueue (bucket.go) that
+// now fronts it on the hot path.
 //
 // From "CALCULATING SHORTEST PATHS": "For the priority queue itself, we use
 // an implicit binary heap. This requires a large contiguous array, but since
 // the hash table is no longer needed and is guaranteed to be large enough,
-// we use that space instead of allocating a new array." Safe Go cannot
-// retype the hash table's slots, so the capacity guarantee survives instead:
-// the mapper sizes the heap once from hash.Table.DonatedCapacity and the
-// heap never reallocates during a mapping run (see DESIGN.md §3).
+// we use that space instead of allocating a new array." That
+// capacity-donation design point survives as hash.Table.DonatedCapacity and
+// NewWithCapacity; since the bucket-queue rework the mapper itself keys
+// labels into cost buckets and uses a Heap only inside buckets and as the
+// overflow structure for penalty-range costs (DESIGN.md "Hot path").
 //
 // The heap supports the decrease-key operation the paper's relaxation step
 // needs: "If some neighbor of v is already queued, but the path through v is
@@ -87,6 +89,31 @@ func (h *Heap[V]) Pop() V {
 		h.move(top, -1) // element has left the heap
 	}
 	return top
+}
+
+// Remove deletes and returns the element at index i, preserving the heap
+// property. The BucketQueue uses it to migrate an element out of the
+// overflow heap when a decrease-key brings its cost back into bucket range.
+func (h *Heap[V]) Remove(i int) V {
+	if i < 0 || i >= len(h.items) {
+		panic("pqueue: Remove index out of range")
+	}
+	v := h.items[i]
+	last := len(h.items) - 1
+	h.items[i] = h.items[last]
+	var zero V
+	h.items[last] = zero
+	h.items = h.items[:last]
+	if i < last {
+		h.notify(i)
+		if !h.siftUp(i) {
+			h.siftDown(i)
+		}
+	}
+	if h.move != nil {
+		h.move(v, -1)
+	}
+	return v
 }
 
 // Fix restores the heap property after the element at index i has had its

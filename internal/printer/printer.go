@@ -28,7 +28,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"pathalias/internal/cost"
@@ -66,6 +66,7 @@ type Entry struct {
 // reached from inside a domain chain (making a domain a subdomain).
 type frame struct {
 	route       string
+	pct         int // byte offset of the "%s" marker within route
 	displayName string
 	suffix      string
 	subdomain   bool
@@ -75,22 +76,31 @@ type frame struct {
 // Routes flattens the mapping result into output entries, applying the
 // paper's traversal rules.
 func Routes(res *mapper.Result, opts Options) []Entry {
-	p := &printCtx{opts: opts}
+	p := &printCtx{opts: opts, entries: make([]Entry, 0, res.Reached)}
+	if res.NameRank != nil && !opts.SortByCost {
+		p.ranks = make([]int32, 0, res.Reached)
+		p.nameRank = res.NameRank
+	}
 	if res.Tree != nil {
 		root := frame{route: "%s", displayName: res.Tree.Node.Name}
 		p.visit(res.Tree, root)
 	}
-	if opts.SortByCost {
-		sort.Slice(p.entries, func(i, j int) bool {
-			a, b := p.entries[i], p.entries[j]
+	switch {
+	case opts.SortByCost:
+		slices.SortFunc(p.entries, func(a, b Entry) int {
 			if a.Cost != b.Cost {
-				return a.Cost < b.Cost
+				if a.Cost < b.Cost {
+					return -1
+				}
+				return 1
 			}
-			return a.Host < b.Host
+			return strings.Compare(a.Host, b.Host)
 		})
-	} else {
-		sort.Slice(p.entries, func(i, j int) bool {
-			return p.entries[i].Host < p.entries[j].Host
+	case p.ranks != nil:
+		p.sortByRank()
+	default:
+		slices.SortFunc(p.entries, func(a, b Entry) int {
+			return strings.Compare(a.Host, b.Host)
 		})
 	}
 	return p.entries
@@ -117,6 +127,62 @@ func Write(w io.Writer, res *mapper.Result, opts Options) error {
 type printCtx struct {
 	opts    Options
 	entries []Entry
+
+	// Rank-assisted ordering (see sortByRank): nameRank maps node IDs to
+	// name-sorted positions, and ranks holds one key per entry — the
+	// node's rank when the printed name IS the node name, or -1 for the
+	// few entries printed under an accreted domain-qualified name.
+	nameRank []int32
+	ranks    []int32
+}
+
+// sortByRank orders entries by Host using integer rank compares for the
+// overwhelming majority of entries (printed under their node's own name,
+// whose rank order IS name order) and a small string-sorted overflow for
+// domain-qualified names, merged with string compares. Equivalent to
+// sorting every Host as a string, at a fraction of the compare cost.
+func (p *printCtx) sortByRank() {
+	type ranked struct {
+		key int32
+		e   Entry
+	}
+	main := make([]ranked, 0, len(p.entries))
+	var odd []Entry
+	for i, e := range p.entries {
+		if k := p.ranks[i]; k >= 0 {
+			main = append(main, ranked{key: k, e: e})
+		} else {
+			odd = append(odd, e)
+		}
+	}
+	slices.SortFunc(main, func(a, b ranked) int {
+		if a.key < b.key {
+			return -1
+		}
+		if a.key > b.key {
+			return 1
+		}
+		return 0
+	})
+	slices.SortFunc(odd, func(a, b Entry) int {
+		return strings.Compare(a.Host, b.Host)
+	})
+	out := p.entries[:0]
+	i, j := 0, 0
+	for i < len(main) && j < len(odd) {
+		if strings.Compare(main[i].e.Host, odd[j].Host) <= 0 {
+			out = append(out, main[i].e)
+			i++
+		} else {
+			out = append(out, odd[j])
+			j++
+		}
+	}
+	for ; i < len(main); i++ {
+		out = append(out, main[i].e)
+	}
+	out = append(out, odd[j:]...)
+	p.entries = out
 }
 
 func (p *printCtx) visit(tn *mapper.TreeNode, f frame) {
@@ -139,17 +205,17 @@ func (p *printCtx) extend(parent, c *mapper.TreeNode, f frame) frame {
 	l := c.Via
 	switch {
 	case l == nil:
-		return frame{route: f.route, displayName: c.Node.Name}
+		return frame{route: f.route, pct: f.pct, displayName: c.Node.Name}
 
 	case l.Flags&graph.LAlias != 0:
 		// Same machine, another name: identical route, own name.
-		return frame{route: f.route, displayName: c.Node.Name}
+		return frame{route: f.route, pct: f.pct, displayName: c.Node.Name}
 
 	case c.Node.IsNet():
 		// Entering a network or domain: "the route to a network is
 		// identical to the route to its parent." A domain starts (or,
 		// under another domain, continues) a name-accretion chain.
-		nf := frame{route: f.route, displayName: c.Node.Name}
+		nf := frame{route: f.route, pct: f.pct, displayName: c.Node.Name}
 		if c.Node.IsDomain() {
 			if l.Flags&graph.LNetMember != 0 && parent.Node.IsDomain() {
 				// Subdomain: .rutgers under .edu accretes to .rutgers.edu.
@@ -165,13 +231,15 @@ func (p *printCtx) extend(parent, c *mapper.TreeNode, f frame) frame {
 	case l.Flags&graph.LNetMember != 0 && parent.Node.IsDomain():
 		// Host member of a domain: splice its fully qualified name.
 		name := c.Node.Name + f.suffix
-		return frame{route: splice(f.route, name, c.ViaOp), displayName: name}
+		route, pct := splice(f.route, f.pct, name, c.ViaOp)
+		return frame{route: route, pct: pct, displayName: name}
 
 	default:
 		// Ordinary hop (including members of plain networks and plain
 		// links out of domains): splice the host's own name with the
 		// effective operator.
-		return frame{route: splice(f.route, c.Node.Name, c.ViaOp), displayName: c.Node.Name}
+		route, pct := splice(f.route, f.pct, c.Node.Name, c.ViaOp)
+		return frame{route: route, pct: pct, displayName: c.Node.Name}
 	}
 }
 
@@ -194,23 +262,47 @@ func (p *printCtx) emit(tn *mapper.TreeNode, f frame) {
 		if !n.IsDomain() || f.subdomain {
 			return
 		}
-		p.entries = append(p.entries, Entry{Host: f.displayName, Route: f.route, Cost: c})
+		p.addEntry(n, f, c)
 		return
 	}
 	if p.opts.DomainsOnly {
 		return
 	}
+	p.addEntry(n, f, c)
+}
+
+// addEntry appends one output entry, recording its rank key when the
+// rank-assisted sort is active.
+func (p *printCtx) addEntry(n *graph.Node, f frame, c cost.Cost) {
 	p.entries = append(p.entries, Entry{Host: f.displayName, Route: f.route, Cost: c})
+	if p.ranks != nil {
+		k := int32(-1)
+		if f.displayName == n.Name {
+			k = p.nameRank[n.ID]
+		}
+		p.ranks = append(p.ranks, k)
+	}
 }
 
 // splice builds the child route: LEFT gives host!%s in place of %s, RIGHT
-// gives %s@host.
-func splice(route, host string, op graph.Op) string {
-	var repl string
+// gives %s@host. pct is the byte offset of "%s" in route; tracking it
+// avoids rescanning ever-longer routes for the marker, and the returned
+// offset feeds the next hop. One sized allocation per hop.
+func splice(route string, pct int, host string, op graph.Op) (string, int) {
+	var b strings.Builder
+	b.Grow(len(route) + len(host) + 1)
 	if op.Dir == graph.DirRight {
-		repl = "%s" + string(op.Char) + host
-	} else {
-		repl = host + string(op.Char) + "%s"
+		// %s@host: the marker stays put.
+		b.WriteString(route[:pct+2])
+		b.WriteByte(op.Char)
+		b.WriteString(host)
+		b.WriteString(route[pct+2:])
+		return b.String(), pct
 	}
-	return strings.Replace(route, "%s", repl, 1)
+	// host!%s: the marker moves past the host and operator.
+	b.WriteString(route[:pct])
+	b.WriteString(host)
+	b.WriteByte(op.Char)
+	b.WriteString(route[pct:])
+	return b.String(), pct + len(host) + 1
 }

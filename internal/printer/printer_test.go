@@ -300,8 +300,13 @@ func TestSpliceUnit(t *testing.T) {
 		{"a!%s", "c", graph.Op{Char: ':', Dir: graph.DirLeft}, "a!c:%s"},
 	}
 	for _, c := range cases {
-		if got := splice(c.route, c.host, c.op); got != c.want {
+		got, pct := splice(c.route, strings.Index(c.route, "%s"), c.host, c.op)
+		if got != c.want {
 			t.Errorf("splice(%q, %q, %v) = %q want %q", c.route, c.host, c.op, got, c.want)
+		}
+		if pct < 0 || pct+2 > len(got) || got[pct:pct+2] != "%s" {
+			t.Errorf("splice(%q, %q, %v): returned marker offset %d does not point at %%s in %q",
+				c.route, c.host, c.op, pct, got)
 		}
 	}
 }

@@ -190,7 +190,7 @@ func buildConfig(opts Options, inputs []Input) (core.Config, error) {
 		FoldCase: opts.IgnoreCase,
 	}
 	for _, in := range inputs {
-		cfg.Inputs = append(cfg.Inputs, parser.Input{Name: in.Name, Src: []byte(in.Text)})
+		cfg.Inputs = append(cfg.Inputs, parser.Input{Name: in.Name, Src: in.Text})
 	}
 	return cfg, nil
 }
