@@ -9,6 +9,7 @@ package pathalias
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"pathalias/internal/mapper"
 	"pathalias/internal/parser"
 	"pathalias/internal/printer"
+	"pathalias/internal/remap"
 	"pathalias/internal/routedb"
 )
 
@@ -611,6 +613,89 @@ func BenchmarkMap(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Incremental re-map: a single-file edit on the 50k-host map ---------
+//
+// BenchmarkRemapDelta/incremental is the engine's warm path: one core
+// file's cost edit, re-scanned and re-mapped through the persistent
+// engine (ISSUE 3's acceptance metric). BenchmarkRemapDelta/full is the
+// same recomputation done the batch way — fresh parse, map, and print —
+// which is what every map change cost before the engine existed. The
+// ratio is recorded in BENCH_map.json.
+
+func remapDeltaInputs(b *testing.B) ([]remap.Input, []remap.Input, string) {
+	b.Helper()
+	pins, local := mapgen.Generate(mapgen.Scaled(50000, 18))
+	base := make([]remap.Input, len(pins))
+	for i, in := range pins {
+		base[i] = remap.Input{Name: in.Name, Src: in.Src}
+	}
+	edited := make([]remap.Input, len(base))
+	copy(edited, base)
+	const file = 3
+	src := strings.Replace(base[file].Src, "(DEMAND)", "(WEEKLY)", 1)
+	if src == base[file].Src {
+		b.Fatal("benchmark edit found nothing to replace")
+	}
+	edited[file].Src = src
+	return base, edited, local
+}
+
+func BenchmarkRemapDelta(b *testing.B) {
+	base, edited, local := remapDeltaInputs(b)
+
+	b.Run("incremental", func(b *testing.B) {
+		eng, err := remap.NewEngine(remap.Options{LocalHost: local})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Update(base); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in := base
+			if i%2 == 0 {
+				in = edited
+			}
+			res, err := eng.Update(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Incremental {
+				b.Fatal("update fell off the warm path")
+			}
+		}
+	})
+
+	b.Run("full", func(b *testing.B) {
+		pins := make([]parser.Input, len(base))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in := base
+			if i%2 == 0 {
+				in = edited
+			}
+			for j, r := range in {
+				pins[j] = parser.Input{Name: r.Name, Src: r.Src}
+			}
+			res, err := parser.Parse(pins...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, _ := res.Graph.Lookup(local)
+			mres, err := mapper.Run(res.Graph, src, mapper.DefaultOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if entries := printer.Routes(mres, printer.Options{}); len(entries) < 50000 {
+				b.Fatalf("only %d routes", len(entries))
+			}
+		}
+	})
 }
 
 func BenchmarkEndToEnd(b *testing.B) {

@@ -29,6 +29,16 @@
 //	-t    trace one host's links, attributes, and path on standard error
 //	-j    number of concurrent input-file scanners (0 = one per CPU)
 //
+// Continuous regeneration:
+//
+//	-watch 2s  stay resident and regenerate when a map file changes
+//	-o file    write routes to file instead of stdout (required with
+//	           -watch, where it is written atomically via rename)
+//
+// With -watch, pathalias keeps the incremental re-map engine warm: each
+// regeneration re-scans only changed files and re-maps only the
+// affected region, so the output file tracks edits in milliseconds.
+//
 // Profiling (see DESIGN.md "Profiling the pipeline"):
 //
 //	-cpuprofile f  write a CPU profile of the run to f
@@ -44,6 +54,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"pathalias"
 	"pathalias/internal/core"
 	"pathalias/internal/mapper"
 	"pathalias/internal/printer"
@@ -69,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workers     = fs.Int("j", 0, "concurrent input-file scanners (0 = one per CPU)")
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to `file`")
+		watchEvery  = fs.Duration("watch", 0, "stay resident and regenerate when a map file changes")
+		outPath     = fs.String("o", "", "output `file` instead of stdout (required with -watch)")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -103,13 +116,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	if *ignoreCase {
+		*local = strings.ToLower(*local)
+	}
+	if *watchEvery > 0 {
+		return runWatch(fs.Args(), watchConfig{
+			interval: *watchEvery,
+			outPath:  *outPath,
+			opts: pathalias.Options{
+				LocalHost:    *local,
+				PrintCosts:   *costs,
+				SortByCost:   *costs,
+				DomainsOnly:  *domainsOnly,
+				SecondBest:   *secondBest,
+				NoBackLinks:  *noBack,
+				IgnoreCase:   *ignoreCase,
+				FirstHopCost: *firstHop,
+				Avoid:        avoidList(*avoid),
+			},
+		}, stderr)
+	}
+
 	inputs, err := core.ReadInputs(fs.Args())
 	if err != nil {
 		fmt.Fprintf(stderr, "pathalias: %v\n", err)
 		return 1
-	}
-	if *ignoreCase {
-		*local = strings.ToLower(*local)
 	}
 
 	mopts := mapper.DefaultOptions()
@@ -144,7 +175,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	if err := printer.Write(stdout, rep.MapResult, cfg.Printer); err != nil {
+	out := stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "pathalias: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := printer.Write(out, rep.MapResult, cfg.Printer); err != nil {
 		fmt.Fprintf(stderr, "pathalias: writing output: %v\n", err)
 		return 1
 	}

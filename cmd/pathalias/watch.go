@@ -1,0 +1,173 @@
+package main
+
+// Continuous regeneration (-watch): pathalias stays resident, keeps the
+// incremental engine warm, and rewrites the output file whenever a map
+// source changes — the batch-compiler equivalent of routed's -map mode,
+// for deployments that still consume the classic linear route file.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"pathalias"
+)
+
+// watchConfig carries the -watch invocation's parameters.
+type watchConfig struct {
+	interval time.Duration
+	outPath  string
+	opts     pathalias.Options
+}
+
+// avoidList splits the -s flag's comma-separated host list.
+func avoidList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// runWatch is the -watch entry point: initial generation, then the poll
+// loop until interrupted.
+func runWatch(paths []string, cfg watchConfig, stderr io.Writer) int {
+	if cfg.outPath == "" {
+		fmt.Fprintln(stderr, "pathalias: -watch requires -o file")
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "pathalias: -watch requires map files (stdin cannot be watched)")
+		return 2
+	}
+	eng, err := pathalias.NewEngine(cfg.opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "pathalias: %v\n", err)
+		return 1
+	}
+	defer eng.Close()
+	w := newWatcher(eng, paths, cfg.outPath, stderr)
+	if _, err := w.regenerate(); err != nil {
+		fmt.Fprintf(stderr, "pathalias: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stderr, "pathalias: watching %d files every %v, writing %s\n",
+		len(paths), cfg.interval, cfg.outPath)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w.loop(ctx, cfg.interval)
+	return 0
+}
+
+// watchSig is one input file's last observed stat signature.
+type watchSig struct {
+	mtime time.Time
+	size  int64
+}
+
+// staleSettle mirrors routed's same-second-rewrite guard: stat results
+// are trusted only once a file has been quiet for longer than any
+// plausible timestamp granularity; before that, the engine's content
+// hashes decide.
+const staleSettle = 3 * time.Second
+
+// watcher regenerates outPath from paths through one persistent engine.
+type watcher struct {
+	eng     *pathalias.Engine
+	paths   []string
+	sigs    []watchSig
+	outPath string
+	stderr  io.Writer
+}
+
+func newWatcher(eng *pathalias.Engine, paths []string, outPath string, stderr io.Writer) *watcher {
+	return &watcher{eng: eng, paths: paths, sigs: make([]watchSig, len(paths)),
+		outPath: outPath, stderr: stderr}
+}
+
+// regenerate recomputes routes (incrementally when possible) and
+// rewrites the output file atomically (temp + rename). It reports
+// whether anything was written.
+func (w *watcher) regenerate() (bool, error) {
+	for i, p := range w.paths {
+		if fi, err := os.Stat(p); err == nil {
+			w.sigs[i] = watchSig{mtime: fi.ModTime(), size: fi.Size()}
+		}
+	}
+	unchangedBefore := w.eng.Stats().Unchanged
+	res, err := w.eng.UpdateFiles(w.paths...)
+	if err != nil {
+		return false, err
+	}
+	if w.eng.Stats().Unchanged > unchangedBefore && w.eng.Stats().Updates > 0 {
+		return false, nil // identical inputs: keep the existing output
+	}
+	for _, warn := range res.Warnings {
+		fmt.Fprintf(w.stderr, "pathalias: %s\n", warn)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(w.outPath), ".pathalias-*")
+	if err != nil {
+		return false, err
+	}
+	defer os.Remove(tmp.Name())
+	if err := res.WriteRoutes(tmp); err != nil {
+		tmp.Close()
+		return false, err
+	}
+	if err := tmp.Close(); err != nil {
+		return false, err
+	}
+	if err := os.Rename(tmp.Name(), w.outPath); err != nil {
+		return false, err
+	}
+	for _, name := range res.Unreachable {
+		fmt.Fprintf(w.stderr, "pathalias: %s: no route\n", name)
+	}
+	return true, nil
+}
+
+// changed reports whether any input looks different since the last
+// regenerate (see routed's mapWatcher.changed).
+func (w *watcher) changed() bool {
+	for i, p := range w.paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return true
+		}
+		if !fi.ModTime().Equal(w.sigs[i].mtime) || fi.Size() != w.sigs[i].size {
+			return true
+		}
+		if time.Since(fi.ModTime()) <= staleSettle {
+			return true
+		}
+	}
+	return false
+}
+
+// loop polls until ctx is done, regenerating on change. Transient
+// errors (mid-edit syntax errors, vanished files) are logged; the last
+// good output file stays in place.
+func (w *watcher) loop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if !w.changed() {
+				continue
+			}
+			if wrote, err := w.regenerate(); err != nil {
+				fmt.Fprintf(w.stderr, "pathalias: watch: %v (keeping previous output)\n", err)
+			} else if wrote {
+				fmt.Fprintf(w.stderr, "pathalias: regenerated %s\n", w.outPath)
+			}
+		}
+	}
+}

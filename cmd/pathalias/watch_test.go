@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pathalias"
+)
+
+const watchMapSrc = "unc\tduke(HOURLY), phs(HOURLY*4)\nduke\tunc(DEMAND), research(DAILY/2)\nphs\tunc(HOURLY*4), duke(HOURLY)\nresearch\tduke(DEMAND)\n"
+
+func TestWatcherRegeneratesOnChange(t *testing.T) {
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "w.map")
+	outPath := filepath.Join(dir, "routes.out")
+	if err := os.WriteFile(mapPath, []byte(watchMapSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pathalias.NewEngine(pathalias.Options{LocalHost: "unc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	w := newWatcher(eng, []string{mapPath}, outPath, io.Discard)
+	if wrote, err := w.regenerate(); err != nil || !wrote {
+		t.Fatalf("initial regenerate: wrote=%v err=%v", wrote, err)
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "research\tduke!research!%s\n") {
+		t.Fatalf("initial output missing route:\n%s", out)
+	}
+
+	// Edit the map: the watcher loop must rewrite the output.
+	edited := strings.Replace(watchMapSrc, "duke(HOURLY)", "duke(WEEKLY*20)", 1)
+	if err := os.WriteFile(mapPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.loop(ctx, 5*time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, _ := os.ReadFile(outPath)
+		if strings.Contains(string(out), "duke\tphs!duke!%s\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watch loop never rewrote output; have:\n%s", out)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := eng.Stats(); got.Incremental == 0 {
+		t.Errorf("expected at least one incremental regeneration, stats %+v", got)
+	}
+
+	// A broken edit must keep the last good output in place.
+	if err := os.WriteFile(mapPath, []byte("unc\tduke(((\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	out, err = os.ReadFile(outPath)
+	if err != nil || !strings.Contains(string(out), "duke\tphs!duke!%s\n") {
+		t.Errorf("broken edit clobbered output (err %v):\n%s", err, out)
+	}
+}
+
+func TestRunWatchUsage(t *testing.T) {
+	var errw strings.Builder
+	if code := run([]string{"-watch", "1s", "-l", "unc", "x.map"}, io.Discard, &errw); code != 2 {
+		t.Errorf("-watch without -o: run = %d (%s)", code, errw.String())
+	}
+	errw.Reset()
+	if code := run([]string{"-watch", "1s", "-l", "unc", "-o", "out"}, io.Discard, &errw); code != 2 {
+		t.Errorf("-watch without files: run = %d (%s)", code, errw.String())
+	}
+}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -14,20 +15,25 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pathalias/internal/parser"
 	"pathalias/internal/routedb"
 )
 
-// daemon serves one route file: a hot-swappable store, the line
-// protocol, the HTTP endpoints, and the mtime watcher that reloads the
-// store when the file changes.
+// daemon serves one route database: a hot-swappable store, the line
+// protocol, the HTTP endpoints, and the watcher that reloads the store
+// when the backing file changes. The store is fed either from a
+// precompiled route file (-d) or by an incremental re-map engine over
+// map sources (-map; see mapwatch.go) — the serving side is identical.
 type daemon struct {
-	path  string
+	path  string // route file; "" in -map mode
 	opts  routedb.Options
 	store *routedb.Store
 	logw  io.Writer
 
 	mu       sync.Mutex // guards reloads (watch loop + explicit reload)
 	mtime    time.Time
+	size     int64
+	hash     uint64
 	loadedAt time.Time
 	swaps    atomic.Uint64
 }
@@ -41,29 +47,42 @@ func newDaemon(path string, opts routedb.Options, logw io.Writer) (*daemon, erro
 	return d, nil
 }
 
+// newMapDaemon returns a daemon whose store is fed by a map watcher
+// rather than a route file; the caller swaps databases in directly.
+func newMapDaemon(opts routedb.Options, logw io.Writer) *daemon {
+	return &daemon{opts: opts, store: routedb.NewStore(nil), logw: logw}
+}
+
 func (d *daemon) logf(format string, args ...any) {
 	fmt.Fprintf(d.logw, "routed: "+format+"\n", args...)
 }
 
+// contentHash fingerprints a route file for the same-second-rewrite
+// check (parser.HashInput's chunked FNV over the raw bytes).
+func contentHash(data []byte) uint64 {
+	return parser.HashInput(parser.Input{Src: string(data)})
+}
+
 // reload rebuilds the database from the route file and swaps it in.
 // Lookups proceed against the old database until the swap. The observed
-// mtime is recorded even when parsing fails, so a persistently malformed
-// file is not re-parsed on every watch tick — only when it changes
-// again.
+// (mtime, size, hash) triple is recorded even when parsing fails, so a
+// persistently malformed file is not re-parsed on every watch tick —
+// only when it changes again.
 func (d *daemon) reload() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	f, err := os.Open(d.path)
+	data, err := os.ReadFile(d.path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	fi, err := f.Stat()
+	fi, err := os.Stat(d.path)
 	if err != nil {
 		return err
 	}
 	d.mtime = fi.ModTime()
-	db, err := routedb.LoadWith(f, d.opts)
+	d.size = int64(len(data))
+	d.hash = contentHash(data)
+	db, err := routedb.LoadWith(bytes.NewReader(data), d.opts)
 	if err != nil {
 		return err
 	}
@@ -74,9 +93,42 @@ func (d *daemon) reload() error {
 	return nil
 }
 
-// watch polls the route file's mtime and hot-swaps the store when it
-// changes. A vanished or malformed file is logged and the old database
-// keeps serving.
+// staleSettle is how long after a file's mtime the watcher keeps
+// re-verifying content by hash: a rewrite within the same second leaves
+// the mtime unchanged on coarse-granularity filesystems, so an
+// unchanged (mtime, size) pair is trusted only once the file has been
+// quiet for longer than any plausible timestamp granularity.
+const staleSettle = 3 * time.Second
+
+// changed reports whether the route file differs from what is loaded:
+// any (mtime, size) difference, or — for a file modified recently
+// enough that a same-second rewrite could hide behind an equal mtime —
+// a content hash difference.
+func (d *daemon) changed() (bool, error) {
+	fi, err := os.Stat(d.path)
+	if err != nil {
+		return false, err
+	}
+	d.mu.Lock()
+	sameStat := fi.ModTime().Equal(d.mtime) && fi.Size() == d.size
+	hash := d.hash
+	d.mu.Unlock()
+	if !sameStat {
+		return true, nil
+	}
+	if time.Since(fi.ModTime()) > staleSettle {
+		return false, nil
+	}
+	data, err := os.ReadFile(d.path)
+	if err != nil {
+		return false, err
+	}
+	return contentHash(data) != hash, nil
+}
+
+// watch polls the route file and hot-swaps the store when it changes. A
+// vanished or malformed file is logged and the old database keeps
+// serving.
 func (d *daemon) watch(ctx context.Context, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
@@ -85,14 +137,11 @@ func (d *daemon) watch(ctx context.Context, interval time.Duration) {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			fi, err := os.Stat(d.path)
+			changed, err := d.changed()
 			if err != nil {
 				d.logf("watch: %v", err)
 				continue
 			}
-			d.mu.Lock()
-			changed := !fi.ModTime().Equal(d.mtime)
-			d.mu.Unlock()
 			if !changed {
 				continue
 			}

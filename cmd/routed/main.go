@@ -9,6 +9,15 @@
 //
 //	routed -d routes.db [-tcp addr] [-http addr] [-watch 2s] [-i]
 //	routed -d routes.db -stdin
+//	routed -map -l localhost [-tcp addr] [-http addr] [-watch 2s] [-i] file...
+//
+// With -d, routed serves a precompiled route database and reloads it
+// when the file changes. With -map, routed owns the whole pipeline: it
+// computes routes from the map sources in-process (the paper's three
+// phases), watches the sources, and on every edit re-scans only the
+// changed files and re-maps only the affected region of the network
+// through the incremental re-map engine — the serving index hot-swaps
+// in milliseconds, without a pathalias|mkdb round trip.
 //
 // Examples:
 //
@@ -17,6 +26,9 @@
 //	ok seismo!caip.rutgers.edu!pleasant
 //	$ curl 'http://localhost:7412/route?dest=caip.rutgers.edu&user=pleasant'
 //	seismo!caip.rutgers.edu!pleasant
+//
+//	$ routed -map -l unc -tcp :7411 core.map overlay.map &
+//	$ vi core.map   # save: routes update in milliseconds
 //
 // See README.md in this directory for the protocol.
 package main
@@ -42,33 +54,59 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("routed", flag.ContinueOnError)
 	var (
-		dbPath   = fs.String("d", "", "route database file (required)")
+		dbPath   = fs.String("d", "", "route database file (precompiled mode)")
+		mapMode  = fs.Bool("map", false, "compute routes from map source files (args) with the incremental engine")
+		local    = fs.String("l", "", "local host name (required with -map)")
 		tcpAddr  = fs.String("tcp", "", "serve the line protocol on this TCP address (e.g. :7411)")
 		httpAddr = fs.String("http", "", "serve HTTP on this address (e.g. :7412)")
 		useStdin = fs.Bool("stdin", false, "serve the line protocol on stdin/stdout and exit at EOF")
-		watch    = fs.Duration("watch", 2*time.Second, "route-file mtime poll interval (0 disables hot reload)")
+		watch    = fs.Duration("watch", 2*time.Second, "file poll interval (0 disables hot reload)")
 		fold     = fs.Bool("i", false, "case-fold queries (for maps computed with pathalias -i)")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *dbPath == "" || (!*useStdin && *tcpAddr == "" && *httpAddr == "") {
+	usage := func() int {
 		fmt.Fprintln(stderr, "usage: routed -d routes.db [-tcp addr] [-http addr] [-watch 2s] [-i] | -stdin")
+		fmt.Fprintln(stderr, "       routed -map -l localhost [-tcp addr] [-http addr] [-watch 2s] [-i] file...")
 		return 2
 	}
-
-	d, err := newDaemon(*dbPath, routedb.Options{FoldCase: *fold}, stderr)
-	if err != nil {
-		fmt.Fprintf(stderr, "routed: %v\n", err)
-		return 1
+	if *mapMode {
+		if *dbPath != "" || *local == "" || len(fs.Args()) == 0 {
+			return usage()
+		}
+	} else if *dbPath == "" {
+		return usage()
+	}
+	if !*useStdin && *tcpAddr == "" && *httpAddr == "" {
+		return usage()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *watch > 0 {
-		go d.watch(ctx, *watch)
+	var d *daemon
+	if *mapMode {
+		d = newMapDaemon(routedb.Options{FoldCase: *fold}, stderr)
+		w, err := newMapWatcher(d, *local, fs.Args())
+		if err != nil {
+			fmt.Fprintf(stderr, "routed: %v\n", err)
+			return 1
+		}
+		if *watch > 0 {
+			go w.watch(ctx, *watch)
+		}
+	} else {
+		var err error
+		d, err = newDaemon(*dbPath, routedb.Options{FoldCase: *fold}, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "routed: %v\n", err)
+			return 1
+		}
+		if *watch > 0 {
+			go d.watch(ctx, *watch)
+		}
 	}
 
 	if *useStdin {

@@ -1,0 +1,145 @@
+package main
+
+// Source-watch mode (-map): instead of serving a precompiled routes.db,
+// routed owns the whole pipeline. Map sources are loaded zero-copy
+// (mmap), routes are computed in-process by the incremental re-map
+// engine, and on every source edit only the changed files are re-scanned
+// and only the affected region of the network is re-mapped — the
+// resolver store hot-swaps in milliseconds where a batch rebuild took
+// the better part of a second, and a cron'd pathalias|mkdb pipeline took
+// minutes.
+
+import (
+	"context"
+	"os"
+	"strings"
+	"time"
+
+	"pathalias/internal/core"
+	"pathalias/internal/mapper"
+	"pathalias/internal/remap"
+	"pathalias/internal/routedb"
+)
+
+// fileSig is one watched source's last observed stat signature.
+type fileSig struct {
+	mtime time.Time
+	size  int64
+}
+
+// mapWatcher drives a remap engine over a set of map source files and
+// swaps the results into a daemon's store.
+type mapWatcher struct {
+	d     *daemon
+	eng   *remap.Engine
+	paths []string
+	sigs  []fileSig
+}
+
+// newMapWatcher builds the engine, performs the initial full map
+// computation, and swaps the first database in.
+func newMapWatcher(d *daemon, localHost string, paths []string) (*mapWatcher, error) {
+	if d.opts.FoldCase {
+		localHost = strings.ToLower(localHost)
+	}
+	eng, err := remap.NewEngine(remap.Options{
+		LocalHost: localHost,
+		Mapper:    func() *mapper.Options { o := mapper.DefaultOptions(); return &o }(),
+		FoldCase:  d.opts.FoldCase,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w := &mapWatcher{d: d, eng: eng, paths: paths, sigs: make([]fileSig, len(paths))}
+	if err := w.remap(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// remap runs the engine over the current file contents and swaps the
+// result in. Unchanged files are deduplicated inside the engine by
+// content hash, so calling this on suspicion is cheap.
+func (w *mapWatcher) remap() error {
+	start := time.Now()
+	ins, err := core.ReadInputsMmap(w.paths)
+	if err != nil {
+		return err
+	}
+	for i, p := range w.paths {
+		if fi, err := os.Stat(p); err == nil {
+			w.sigs[i] = fileSig{mtime: fi.ModTime(), size: fi.Size()}
+		}
+	}
+	rins := make([]remap.Input, len(ins))
+	for i, in := range ins {
+		rins[i] = remap.Input{Name: in.Name, Src: in.Src, Release: in.Release}
+	}
+	// Update owns the inputs from here on, success or error (it may
+	// retain some of them in its caches even when it fails).
+	unchangedBefore := w.eng.Stats.Unchanged
+	res, err := w.eng.Update(rins)
+	if err != nil {
+		return err
+	}
+	if w.d.swaps.Load() > 0 && w.eng.Stats.Unchanged > unchangedBefore {
+		return nil // identical inputs: nothing to swap
+	}
+	for _, warn := range res.Warnings {
+		w.d.logf("map: %s", warn)
+	}
+	db := routedb.BuildWith(res.Entries, w.d.opts)
+	w.d.store.Swap(db)
+	w.d.mu.Lock()
+	w.d.loadedAt = time.Now()
+	w.d.mu.Unlock()
+	w.d.swaps.Add(1)
+	mode := "full"
+	if res.Incremental {
+		mode = "incremental"
+	}
+	w.d.logf("mapped %d routes from %d files (%s) in %v",
+		db.Len(), len(w.paths), mode, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// changed reports whether any watched source looks different: a (mtime,
+// size) change, or a recent-enough mtime that a same-second rewrite
+// could hide behind it (the engine's content hashes resolve those).
+func (w *mapWatcher) changed() bool {
+	for i, p := range w.paths {
+		fi, err := os.Stat(p)
+		if err != nil {
+			return true // vanished or unreadable: let remap surface it
+		}
+		if !fi.ModTime().Equal(w.sigs[i].mtime) || fi.Size() != w.sigs[i].size {
+			return true
+		}
+		if time.Since(fi.ModTime()) <= staleSettle {
+			return true // content hash inside the engine decides
+		}
+	}
+	return false
+}
+
+// watch polls the sources and re-maps on change. Errors (a mid-edit
+// syntax error, a vanished file) are logged and the previous database
+// keeps serving — exactly like the -d watcher.
+func (w *mapWatcher) watch(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			w.eng.Close()
+			return
+		case <-t.C:
+			if !w.changed() {
+				continue
+			}
+			if err := w.remap(); err != nil {
+				w.d.logf("remap: %v (still serving previous database)", err)
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package pathalias
+
+// The incremental engine: the library's live-service mode. Run and
+// RunFiles are batch one-shots; an Engine keeps the parse→graph→map
+// pipeline resident so successive Update calls over a slowly-mutating
+// map set cost only the delta (see internal/remap). A routed deployment
+// tracks map edits in milliseconds instead of re-mapping the world.
+
+import (
+	"pathalias/internal/core"
+	"pathalias/internal/cost"
+	"pathalias/internal/mapper"
+	"pathalias/internal/printer"
+	"pathalias/internal/remap"
+)
+
+// Engine recomputes routes incrementally as its inputs change. Create
+// one with NewEngine, feed it complete input sets with Update, and read
+// the latest routes with Result. Not safe for concurrent use; the
+// Results it returns are immutable snapshots and may be shared freely.
+type Engine struct {
+	opts Options
+	eng  *remap.Engine
+}
+
+// NewEngine returns an engine computing routes from opts.LocalHost with
+// the same semantics as Run: the first Update is a full build, later
+// Updates re-scan only changed inputs and re-map only the affected part
+// of the network. Routes, Warnings, and Unreachable are byte-identical
+// to a from-scratch Run over the same inputs after every Update; of the
+// Stats counters only Reached is populated (the others describe work a
+// warm update deliberately avoids).
+func NewEngine(opts Options) (*Engine, error) {
+	mopts := mapper.DefaultOptions()
+	mopts.SecondBest = opts.SecondBest
+	mopts.BackLinks = !opts.NoBackLinks
+	if opts.MixedPenalty != 0 {
+		mopts.MixedPenalty = cost.Cost(opts.MixedPenalty)
+	}
+	if opts.GatewayPenalty != 0 {
+		mopts.GatewayPenalty = cost.Cost(opts.GatewayPenalty)
+	}
+	if opts.DomainRelayPenalty != 0 {
+		mopts.DomainRelayPenalty = cost.Cost(opts.DomainRelayPenalty)
+	}
+	if opts.DeadPenalty != 0 {
+		mopts.DeadPenalty = cost.Cost(opts.DeadPenalty)
+	}
+	eng, err := remap.NewEngine(remap.Options{
+		LocalHost: opts.LocalHost,
+		Mapper:    &mopts,
+		Printer: printer.Options{
+			Costs:        opts.PrintCosts,
+			SortByCost:   opts.SortByCost,
+			DomainsOnly:  opts.DomainsOnly,
+			FirstHopCost: opts.FirstHopCost,
+		},
+		Avoid:    opts.Avoid,
+		FoldCase: opts.IgnoreCase,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{opts: opts, eng: eng}, nil
+}
+
+// Update brings the engine to the given input set — always the complete
+// set, not a delta — and returns the recomputed result. On error the
+// previous result keeps serving.
+func (e *Engine) Update(inputs ...Input) (*Result, error) {
+	rins := make([]remap.Input, len(inputs))
+	for i, in := range inputs {
+		rins[i] = remap.Input{Name: in.Name, Src: in.Text}
+	}
+	rres, err := e.eng.Update(rins)
+	if err != nil {
+		return nil, err
+	}
+	return e.convert(rres), nil
+}
+
+// UpdateFiles loads the named files (memory-mapped where the platform
+// allows — the engine holds each mapping until that file's content is
+// superseded) and updates from them. Watched files should be updated by
+// rename, not rewritten in place (see remap.Input).
+func (e *Engine) UpdateFiles(paths ...string) (*Result, error) {
+	ins, err := core.ReadInputsMmap(paths)
+	if err != nil {
+		return nil, err
+	}
+	rins := make([]remap.Input, len(ins))
+	for i, in := range ins {
+		rins[i] = remap.Input{Name: in.Name, Src: in.Src, Release: in.Release}
+	}
+	// Update owns the inputs from here, success or error: it may have
+	// cached some of them even when it fails (e.g. a missing local
+	// host), so releasing here would leave cached fragments dangling.
+	rres, err := e.eng.Update(rins)
+	if err != nil {
+		return nil, err
+	}
+	return e.convert(rres), nil
+}
+
+// Result returns the latest successful update's result, or nil before
+// the first.
+func (e *Engine) Result() *Result {
+	if last := e.eng.Result(); last != nil {
+		return e.convert(last)
+	}
+	return nil
+}
+
+// EngineStats count engine activity across updates.
+type EngineStats struct {
+	Updates     int // Update calls that did work
+	Unchanged   int // Update calls with identical inputs
+	Incremental int // warm-path updates (delta re-maps)
+	FullRemaps  int // full re-maps over the patched graph
+	Rebuilds    int // full rebuilds (first run, reorders, parse errors)
+	Rescanned   int // inputs re-scanned
+}
+
+// Stats returns engine activity counters.
+func (e *Engine) Stats() EngineStats { return EngineStats(e.eng.Stats) }
+
+// Close releases cached sources (memory mappings from UpdateFiles).
+func (e *Engine) Close() { e.eng.Close() }
+
+func (e *Engine) convert(r *remap.Result) *Result {
+	res := &Result{
+		Warnings:    r.Warnings,
+		Unreachable: r.Unreachable,
+		opts:        e.opts,
+	}
+	res.Routes = make([]Route, len(r.Entries))
+	for i, en := range r.Entries {
+		res.Routes[i] = Route{Host: en.Host, Format: en.Route, Cost: int64(en.Cost)}
+	}
+	res.Stats.Reached = r.Reached
+	return res
+}

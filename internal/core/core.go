@@ -14,6 +14,7 @@ import (
 
 	"pathalias/internal/graph"
 	"pathalias/internal/mapper"
+	"pathalias/internal/mmapio"
 	"pathalias/internal/parser"
 	"pathalias/internal/printer"
 )
@@ -137,6 +138,55 @@ func ReadInputs(paths []string) ([]parser.Input, error) {
 			return nil, fmt.Errorf("core: reading %s: %w", name, err)
 		}
 		ins = append(ins, parser.Input{Name: name, Src: string(src)})
+	}
+	return ins, nil
+}
+
+// MappedInput is one map source opened for zero-copy scanning. Release
+// must be called once the input's text — including substrings retained
+// by cached parse fragments — is no longer referenced; it is never nil.
+type MappedInput struct {
+	parser.Input
+	Release func()
+}
+
+// ReadInputsMmap opens the named files as memory-mapped parser inputs
+// ("-" still reads standard input into memory). The zero-copy scanner
+// works directly on the page-cache-backed bytes, so loading a map set
+// costs no per-file copy, and concurrent routed instances share one
+// physical copy of the files. On platforms without mmap the inputs are
+// plain reads and Release is a no-op.
+func ReadInputsMmap(paths []string) ([]MappedInput, error) {
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+	ins := make([]MappedInput, 0, len(paths))
+	fail := func(err error) ([]MappedInput, error) {
+		for _, in := range ins {
+			in.Release()
+		}
+		return nil, err
+	}
+	for _, p := range paths {
+		if p == "-" {
+			src, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				return fail(fmt.Errorf("core: reading <stdin>: %w", err))
+			}
+			ins = append(ins, MappedInput{
+				Input:   parser.Input{Name: "<stdin>", Src: string(src)},
+				Release: func() {},
+			})
+			continue
+		}
+		f, err := mmapio.Open(p)
+		if err != nil {
+			return fail(fmt.Errorf("core: reading %s: %w", p, err))
+		}
+		ins = append(ins, MappedInput{
+			Input:   parser.Input{Name: p, Src: f.String()},
+			Release: func() { f.Close() },
+		})
 	}
 	return ins, nil
 }

@@ -51,6 +51,7 @@ type Snapshot struct {
 	ByRank []int32
 
 	gateways map[int32][]int32 // node ID -> declared gateway IDs
+	gwEpoch  uint64            // graph gateway-set version the map was built at
 	extra    map[int32][]SpillEdge
 }
 
@@ -81,6 +82,7 @@ func (g *Graph) Snapshot() *Snapshot {
 		NodeFlags: make([]NodeFlags, n),
 		Adjust:    make([]cost.Cost, n),
 		gateways:  make(map[int32][]int32),
+		gwEpoch:   g.gwEpoch,
 	}
 
 	// Count usable edges per node, then fill — two passes, no growth.

@@ -311,8 +311,14 @@ type Graph struct {
 	byRankCache []int32
 
 	// snapCache is the memoized CSR snapshot, dropped by any mutating
-	// method (see Snapshot).
+	// method (see Snapshot). snapSpare parks a displaced snapshot's
+	// buffers for SnapshotPatched to recycle.
 	snapCache *Snapshot
+	snapSpare *Snapshot
+
+	// gwEpoch versions the union of all gateway sets, letting a patched
+	// snapshot reuse the previous gateway map when nothing changed.
+	gwEpoch uint64
 }
 
 // nameEntry resolves one name to its global node and any file-scoped
@@ -585,6 +591,7 @@ func (g *Graph) AddGateway(net, host *Node) {
 	g.snapCache = nil
 	if !net.IsGateway(host) {
 		net.gateways = append(net.gateways, host)
+		g.gwEpoch++
 	}
 	net.Flags |= FGatewayed
 }

@@ -473,7 +473,6 @@ func TestOpFor(t *testing.T) {
 	}
 }
 
-
 func TestWriteToRoundtripText(t *testing.T) {
 	g := New()
 	a, b, c := g.Ref("a"), g.Ref("b"), g.Ref("c")

@@ -53,6 +53,45 @@ func (t *linkTable) get(key uint64) *Link {
 	return nil
 }
 
+// del removes key from the table, if present, using backward-shift
+// deletion: subsequent entries of the collision run are moved back over
+// the hole so probe sequences stay unbroken without tombstones. The
+// parser never deletes — only the incremental re-map engine does, when a
+// changed file's link declarations are undone — so the cost sits off the
+// parse hot path.
+func (t *linkTable) del(key uint64) bool {
+	if key == 0 {
+		return false
+	}
+	i := t.slot(key)
+	if t.slots[i].key != key {
+		return false
+	}
+	mask := uint64(len(t.slots) - 1)
+	j := uint64(i)
+	hole := j
+	for {
+		t.slots[hole] = linkSlot{}
+		for {
+			j = (j + 1) & mask
+			k := t.slots[j].key
+			if k == 0 {
+				t.n--
+				return true
+			}
+			// home is where k's probe sequence starts; k may move back to
+			// the hole only if the hole lies within its probe run, i.e.
+			// cyclically between home and j.
+			home := (k * 0x9E3779B97F4A7C15) >> 32 & mask
+			if (j-home)&mask >= (j-hole)&mask {
+				t.slots[hole] = t.slots[j]
+				hole = j
+				break
+			}
+		}
+	}
+}
+
 // putAt fills the empty slot i — obtained from slot(key) with no
 // intervening mutation — and grows the table when it passes 70% load.
 func (t *linkTable) putAt(i int, key uint64, l *Link) {

@@ -1,0 +1,294 @@
+package mapper
+
+// Machine is a persistent mapping engine: the same label array, queue
+// geometry, and shortest-path tree survive across runs, so the
+// incremental re-map engine (internal/remap) can warm-start a run after
+// a small graph change instead of recomputing the world.
+//
+// The protocol for a warm run is driven by the engine, which knows what
+// changed:
+//
+//	snap := g.SnapshotPatched(old, touched)   // or g.Snapshot()
+//	mc.BeginWarm()
+//	mc.InvalidateSubtree(v)                   // per worsened/removed path
+//	mc.Seed(u)                                // per possible improvement source
+//	res, changed := mc.FinishWarm()
+//
+// InvalidateSubtree resets every label in the current tree below a node
+// (inclusive) to unmapped; Seed re-queues an untouched mapped label so
+// its out-edges are re-relaxed. FinishWarm drains the queue under the
+// confluent acceptance rule (see machine.better), re-runs the back-link
+// pass, and publishes results. Because the acceptance order is a total
+// order — (cost, hops, parent extraction key) — the final labeling is
+// the unique relaxation fixpoint, so a warm run that invalidates enough
+// (every label whose final value differs must be invalidated or
+// improvable) lands on exactly the labels a full run would compute.
+//
+// Warm runs do not support SecondBest (two labels per node) — the engine
+// falls back to FullRun for that mode — and require the graph's node set
+// to be unchanged since the last run (new nodes shift name ranks, which
+// the cached tie keys bake in; the engine falls back on any node-count
+// change).
+
+import (
+	"fmt"
+
+	"pathalias/internal/cost"
+	"pathalias/internal/graph"
+	"pathalias/internal/pqueue"
+)
+
+// Machine wraps the run state that Run builds afresh per call into a
+// reusable object. Not safe for concurrent use.
+type Machine struct {
+	mach     machine
+	g        *graph.Graph
+	sourceID int32
+	ran      bool
+}
+
+// LabelView is the read-only projection of one label that the engine
+// consumes for route patching.
+type LabelView struct {
+	Node     *graph.Node
+	State    graph.MapState
+	Cost     cost.Cost
+	Hops     int32
+	Parent   int32 // label index of the parent, -1 at the root
+	Via      *graph.Link
+	ViaOp    graph.Op
+	LastDir  uint8
+	Mixes    uint8
+	InDomain bool
+}
+
+// NewMachine returns a machine for g. The label array is sized on the
+// first run.
+func NewMachine(g *graph.Graph, opts Options) *Machine {
+	return &Machine{g: g, mach: machine{g: g, opts: opts}, sourceID: -1}
+}
+
+// Options returns the options the machine runs with.
+func (mc *Machine) Options() Options { return mc.mach.opts }
+
+// newQueue builds (or recycles) a bucket queue sized for the current
+// graph. The queue drains completely every run, so between runs only
+// the monotone cursor needs rewinding.
+func (mc *Machine) newQueue() {
+	m := &mc.mach
+	buckets, shift := bucketGeometry(mc.g.Len())
+	// An abandoned warm run (root hit, delta too large) can leave seeded
+	// labels behind; recycling is only for cleanly drained queues.
+	if m.queue != nil && m.queue.Len() == 0 && m.queueGeom == [2]int{buckets, int(shift)} {
+		m.queue.Reset()
+		return
+	}
+	m.queue = pqueue.NewBucketQueue[*label](buckets, shift,
+		m.less,
+		func(lb *label) int64 { return int64(lb.cost) },
+		func(lb *label, b, i int) { lb.qb, lb.qi = int32(b), int32(i) })
+	m.queueGeom = [2]int{buckets, int(shift)}
+}
+
+// FullRun recomputes the complete shortest-path tree from source,
+// resetting all persistent state. Unlike Run it does not build the
+// Result's TreeNode tree (the engine reads labels directly); Result.Tree
+// is nil.
+func (mc *Machine) FullRun(source *graph.Node) (*Result, error) {
+	if source == nil {
+		return nil, fmt.Errorf("mapper: nil source")
+	}
+	if source.IsDeleted() {
+		return nil, fmt.Errorf("mapper: source %q is deleted", source.Name)
+	}
+	m := &mc.mach
+	m.warm = false // a warm run abandoned mid-invalidation lands here
+	mc.g.ResetMapping()
+	m.snap = mc.g.Snapshot()
+
+	want := 2 * mc.g.Len()
+	if cap(m.labels) >= want {
+		m.labels = m.labels[:want]
+		clear(m.labels)
+	} else {
+		m.labels = make([]label, want)
+	}
+	if cap(m.changedMark) >= want {
+		m.changedMark = m.changedMark[:want]
+	} else {
+		m.changedMark = make([]uint32, want)
+		m.changedEpoch = 0
+	}
+	m.res = &Result{Source: source}
+	m.res.NameRank = m.snap.Rank
+	mc.newQueue()
+	mc.sourceID = int32(source.ID)
+
+	src := m.labelFor(int32(source.ID), false)
+	src.state = graph.Queued
+	src.tie = m.tieKey(0, src.id, src.taint)
+	m.push(src)
+	m.drain()
+	if m.opts.BackLinks {
+		m.backLinkPass()
+	}
+	m.writeBack()
+	mc.rebuildChildren()
+	mc.ran = true
+	return m.res, nil
+}
+
+// BeginWarm starts a warm run over the graph's current snapshot (which
+// the engine has already built or patched). It must follow a successful
+// FullRun or warm run, with the node set unchanged since. The caller
+// then applies InvalidateSubtree and Seed before FinishWarm.
+func (mc *Machine) BeginWarm() error {
+	m := &mc.mach
+	if !mc.ran {
+		return fmt.Errorf("mapper: BeginWarm before a full run")
+	}
+	if m.opts.SecondBest {
+		return fmt.Errorf("mapper: warm runs do not support SecondBest")
+	}
+	if len(m.labels) != 2*mc.g.Len() {
+		return fmt.Errorf("mapper: node set changed (%d labels, %d nodes); full run required",
+			len(m.labels), mc.g.Len())
+	}
+	m.snap = mc.g.Snapshot()
+	m.warm = true
+	m.changedEpoch++
+	m.changed = m.changed[:0]
+	m.res = &Result{Source: m.snap.Nodes[mc.sourceID]}
+	m.res.NameRank = m.snap.Rank
+	mc.newQueue()
+	m.buildReverse()
+	return nil
+}
+
+// InvalidateSubtree resets the label of node id and every label below it
+// in the current shortest-path tree to unmapped, recording them as
+// changed and re-queuing each reset node's mapped in-neighbors (the cost
+// frontier the re-relaxation restarts from). It returns how many labels
+// it reset and whether the run's source was among them (in which case
+// the caller must abandon the warm run and FullRun instead).
+func (mc *Machine) InvalidateSubtree(id int32) (count int, hitRoot bool) {
+	return mc.mach.invalidateTree(2*id, -1)
+}
+
+// Seed re-queues the mapped label of node id so its out-edges are
+// re-relaxed during FinishWarm — the boundary of the dirty region, and
+// the sources of possible improvements. Unmapped, already-queued, and
+// invalidated labels are skipped.
+func (mc *Machine) Seed(id int32) {
+	m := &mc.mach
+	lb := &m.labels[2*id]
+	if lb.node == nil || lb.state != graph.Mapped {
+		return
+	}
+	lb.state = graph.Queued
+	m.push(lb)
+}
+
+// FinishWarm drains the warm queue, re-runs the back-link pass, and
+// publishes results. It returns the run Result (Tree is nil) and the
+// indices of every label whose value changed — invalidated or rewritten
+// — for the engine's incremental route patching. The returned slice is
+// reused by the next warm run.
+func (mc *Machine) FinishWarm() (*Result, []int32) {
+	m := &mc.mach
+	m.drain()
+	if m.opts.BackLinks {
+		m.backLinkPass()
+	}
+	m.writeBack()
+	mc.rebuildChildren()
+	m.warm = false
+	return m.res, m.changed
+}
+
+// TakeInvented returns the back links invented since the last call and
+// forgets them. The engine sweeps them from the graph before patching,
+// so a re-map starts from declared links only, as a fresh parse would.
+func (mc *Machine) TakeInvented() []*graph.Link {
+	m := &mc.mach
+	inv := m.invented
+	m.invented = nil
+	return inv
+}
+
+// NumLabels returns the size of the label array (2 per node).
+func (mc *Machine) NumLabels() int { return len(mc.mach.labels) }
+
+// SourceID returns the node ID of the last run's source, -1 before any.
+func (mc *Machine) SourceID() int32 { return mc.sourceID }
+
+// Label returns the view of label li.
+func (mc *Machine) Label(li int32) LabelView {
+	lb := &mc.mach.labels[li]
+	return LabelView{
+		Node:     lb.node,
+		State:    lb.state,
+		Cost:     lb.cost,
+		Hops:     lb.hops,
+		Parent:   lb.parent,
+		Via:      lb.via,
+		ViaOp:    lb.viaOp,
+		LastDir:  lb.lastDir,
+		Mixes:    lb.mixes,
+		InDomain: lb.inDomain,
+	}
+}
+
+// Children returns the label indices of li's children in the current
+// shortest-path tree. The slice aliases machine state; callers must not
+// hold it across runs.
+func (mc *Machine) Children(li int32) []int32 { return mc.children(li) }
+
+func (mc *Machine) children(li int32) []int32 {
+	m := &mc.mach
+	if m.childStart == nil {
+		return nil
+	}
+	return m.childList[m.childStart[li]:m.childStart[li+1]]
+}
+
+// rebuildChildren derives the CSR child lists from the label parents.
+// Two counting passes over the label array, no per-node allocation.
+func (mc *Machine) rebuildChildren() {
+	m := &mc.mach
+	nl := len(m.labels)
+	if cap(m.childStart) >= nl+1 {
+		m.childStart = m.childStart[:nl+1]
+		clear(m.childStart)
+	} else {
+		m.childStart = make([]int32, nl+1)
+	}
+	total := int32(0)
+	for i := range m.labels {
+		lb := &m.labels[i]
+		if lb.node != nil && lb.state == graph.Mapped && lb.parent >= 0 {
+			m.childStart[lb.parent+1]++
+			total++
+		}
+	}
+	for i := 1; i <= nl; i++ {
+		m.childStart[i] += m.childStart[i-1]
+	}
+	if cap(m.childList) >= int(total) {
+		m.childList = m.childList[:total]
+	} else {
+		m.childList = make([]int32, total)
+	}
+	// childStart now holds each label's window start; fill and restore.
+	fill := m.childStart
+	for i := range m.labels {
+		lb := &m.labels[i]
+		if lb.node != nil && lb.state == graph.Mapped && lb.parent >= 0 {
+			m.childList[fill[lb.parent]] = int32(i)
+			fill[lb.parent]++
+		}
+	}
+	// fill advanced each start to the next window's start; shift back.
+	copy(m.childStart[1:], m.childStart[:nl])
+	m.childStart[0] = 0
+}

@@ -1,0 +1,11 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package mmapio
+
+import "fmt"
+
+func openMmap(path string) (*File, error) {
+	return nil, fmt.Errorf("mmapio: no mmap on this platform")
+}
+
+func munmap(data []byte) error { return nil }

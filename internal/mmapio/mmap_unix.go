@@ -1,0 +1,34 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package mmapio
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// openMmap maps path read-only. Empty files take the fallback path (a
+// zero-length mmap is an error on several platforms).
+func openMmap(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 || int64(int(size)) != size {
+		return nil, fmt.Errorf("mmapio: %s: unmappable size %d", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mmapio: mmap %s: %w", path, err)
+	}
+	return &File{Data: data, mapped: true}, nil
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

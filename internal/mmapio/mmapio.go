@@ -1,0 +1,54 @@
+// Package mmapio maps files read-only into memory so the zero-copy
+// scanner can work directly on page-cache-backed bytes: no per-file copy
+// on load, and the OS shares the cache across processes (several routed
+// instances serving the same map files touch one physical copy).
+//
+// On platforms without mmap support — or whenever the mapping fails —
+// Open falls back to an ordinary read, so callers never need a second
+// code path. Close is safe to call exactly once per Open.
+package mmapio
+
+import (
+	"os"
+	"unsafe"
+)
+
+// File is one opened input: its bytes and the release hook.
+type File struct {
+	Data   []byte
+	mapped bool
+}
+
+// Open returns the file's contents, memory-mapped when the platform
+// allows, read into memory otherwise. The returned File's Close must be
+// called when the bytes are no longer referenced anywhere — including
+// by substrings handed to a zero-copy scanner.
+func Open(path string) (*File, error) {
+	if f, err := openMmap(path); err == nil {
+		return f, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Data: data}, nil
+}
+
+// String returns the contents as a string without copying. The string
+// aliases the mapping: it — and every substring cut from it — must not
+// be used after Close.
+func (f *File) String() string {
+	if len(f.Data) == 0 {
+		return ""
+	}
+	return unsafe.String(&f.Data[0], len(f.Data))
+}
+
+// Close releases the mapping (a no-op for the fallback path).
+func (f *File) Close() error {
+	if f == nil || !f.mapped {
+		return nil
+	}
+	f.mapped = false
+	return munmap(f.Data)
+}

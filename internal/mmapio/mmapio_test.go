@@ -1,0 +1,51 @@
+package mmapio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenAndClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.map")
+	content := "local\tremote(DEMAND)\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f.Data) != content {
+		t.Fatalf("got %q, want %q", f.Data, content)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // double close is a no-op
+		t.Fatal(err)
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.map")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path) // must fall back, not error
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Data) != 0 {
+		t.Fatalf("got %d bytes", len(f.Data))
+	}
+	f.Close()
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -83,6 +83,16 @@ func NewBucketQueue[V any](numBuckets int, shift uint,
 // Len returns the number of queued elements.
 func (q *BucketQueue[V]) Len() int { return q.n + q.over.Len() }
 
+// Reset prepares an emptied queue for reuse, rewinding the monotone
+// cursor while keeping the bucket capacity. It panics if elements are
+// still queued — Reset recycles allocations, it does not discard state.
+func (q *BucketQueue[V]) Reset() {
+	if q.Len() != 0 {
+		panic("pqueue: Reset on a non-empty BucketQueue")
+	}
+	q.cur = 0
+}
+
 // Push inserts v.
 func (q *BucketQueue[V]) Push(v V) {
 	k := q.key(v)
@@ -122,6 +132,22 @@ func (q *BucketQueue[V]) Pop() V {
 		q.move(top, -1, -1)
 	}
 	return top
+}
+
+// Remove deletes the element at (bucket, idx) — the position most
+// recently reported through move — without requiring it to be the
+// minimum. The warm-start mapper uses it to pull labels that were
+// invalidated mid-drain back out of the queue.
+func (q *BucketQueue[V]) Remove(bucket, idx int) {
+	if bucket == OverflowBucket {
+		q.over.Remove(idx)
+		return
+	}
+	v := q.buckets[bucket][idx]
+	q.bucketRemove(bucket, idx)
+	if q.move != nil {
+		q.move(v, -1, -1)
+	}
 }
 
 // Fix restores queue order for the element at (bucket, idx) — the position

@@ -231,14 +231,14 @@ func (p *printCtx) extend(parent, c *mapper.TreeNode, f frame) frame {
 	case l.Flags&graph.LNetMember != 0 && parent.Node.IsDomain():
 		// Host member of a domain: splice its fully qualified name.
 		name := c.Node.Name + f.suffix
-		route, pct := splice(f.route, f.pct, name, c.ViaOp)
+		route, pct := Splice(f.route, f.pct, name, c.ViaOp)
 		return frame{route: route, pct: pct, displayName: name}
 
 	default:
 		// Ordinary hop (including members of plain networks and plain
 		// links out of domains): splice the host's own name with the
 		// effective operator.
-		route, pct := splice(f.route, f.pct, c.Node.Name, c.ViaOp)
+		route, pct := Splice(f.route, f.pct, c.Node.Name, c.ViaOp)
 		return frame{route: route, pct: pct, displayName: c.Node.Name}
 	}
 }
@@ -284,11 +284,11 @@ func (p *printCtx) addEntry(n *graph.Node, f frame, c cost.Cost) {
 	}
 }
 
-// splice builds the child route: LEFT gives host!%s in place of %s, RIGHT
+// Splice builds the child route: LEFT gives host!%s in place of %s, RIGHT
 // gives %s@host. pct is the byte offset of "%s" in route; tracking it
 // avoids rescanning ever-longer routes for the marker, and the returned
 // offset feeds the next hop. One sized allocation per hop.
-func splice(route string, pct int, host string, op graph.Op) (string, int) {
+func Splice(route string, pct int, host string, op graph.Op) (string, int) {
 	var b strings.Builder
 	b.Grow(len(route) + len(host) + 1)
 	if op.Dir == graph.DirRight {

@@ -212,7 +212,7 @@ func TestMixedSyntaxSplicing(t *testing.T) {
 	if e := find(t, entries, "a"); e.Route != "%s@a" {
 		t.Errorf("a route = %q", e.Route)
 	}
-	// splice(%s@a, b, RIGHT): %s -> %s@b, so route is %s@b@a: build
+	// Splice(%s@a, b, RIGHT): %s -> %s@b, so route is %s@b@a: build
 	// rightward as RFC822 source routes do.
 	if e := find(t, entries, "b"); e.Route != "%s@b@a" {
 		t.Errorf("b route = %q", e.Route)
@@ -300,12 +300,12 @@ func TestSpliceUnit(t *testing.T) {
 		{"a!%s", "c", graph.Op{Char: ':', Dir: graph.DirLeft}, "a!c:%s"},
 	}
 	for _, c := range cases {
-		got, pct := splice(c.route, strings.Index(c.route, "%s"), c.host, c.op)
+		got, pct := Splice(c.route, strings.Index(c.route, "%s"), c.host, c.op)
 		if got != c.want {
-			t.Errorf("splice(%q, %q, %v) = %q want %q", c.route, c.host, c.op, got, c.want)
+			t.Errorf("Splice(%q, %q, %v) = %q want %q", c.route, c.host, c.op, got, c.want)
 		}
 		if pct < 0 || pct+2 > len(got) || got[pct:pct+2] != "%s" {
-			t.Errorf("splice(%q, %q, %v): returned marker offset %d does not point at %%s in %q",
+			t.Errorf("Splice(%q, %q, %v): returned marker offset %d does not point at %%s in %q",
 				c.route, c.host, c.op, pct, got)
 		}
 	}

@@ -1,0 +1,798 @@
+// Package remap is the incremental re-map engine: it owns the
+// parse→graph→map→print pipeline as persistent state, so that when a
+// few map files change, only the changed work is redone.
+//
+// pathalias was built as a batch compiler — the paper's deployments
+// re-mapped weekly because every run re-parsed and re-mapped the world.
+// The engine turns the pipeline into a live service:
+//
+//   - per-input parsed fragments are cached by content hash, so an
+//     Update re-scans only inputs whose bytes changed (delta parsing);
+//   - the connectivity graph persists and is patched in place through
+//     per-file journals (apply.go) instead of being rebuilt;
+//   - the CSR snapshot is rebuilt by block-copying the rows of untouched
+//     nodes (graph.SnapshotPatched);
+//   - the mapper warm-starts (mapper.Machine): labels of nodes whose
+//     cost frontier is untouched survive, only the dirty region is
+//     re-relaxed, and the whole run falls back to a full re-map when the
+//     delta is too large, touches the root, or changes the node set;
+//   - route format strings are patched per changed subtree (routes.go)
+//     rather than re-derived for every host.
+//
+// The engine's contract is byte-identical output: after any sequence of
+// Updates, the Result equals what a from-scratch run over the same
+// inputs would produce (entries, warnings, unreachable list). The
+// equivalence rests on PR 2's determinism work — priority ties, output
+// order, and tree shape all keyed by name rank, never by node creation
+// order — plus the mapper's confluent acceptance rule (mapper.better),
+// which makes the final labeling a unique fixpoint independent of
+// relaxation order.
+package remap
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"pathalias/internal/graph"
+	"pathalias/internal/mapper"
+	"pathalias/internal/parser"
+	"pathalias/internal/printer"
+)
+
+// Options configure an engine. LocalHost is required.
+type Options struct {
+	// LocalHost is the host routes originate from (required).
+	LocalHost string
+	// Mapper options; nil means mapper.DefaultOptions().
+	Mapper *mapper.Options
+	// Printer options (cost column, sort order, domains-only, first-hop).
+	Printer printer.Options
+	// Avoid lists hosts to penalize, as in core.Config.
+	Avoid []string
+	// FoldCase folds host names to lower case (-i).
+	FoldCase bool
+	// Workers caps concurrent fragment scanning; 0 = one per CPU.
+	Workers int
+	// MaxDirtyFrac is the warm-run abandon threshold: when more than
+	// this fraction of labels is invalidated, a full re-map is cheaper
+	// than patching. 0 means 0.25.
+	MaxDirtyFrac float64
+}
+
+// Input is one named map source. Update takes ownership of every input
+// it is given, success or error: Release, if non-nil, is called by the
+// engine when it no longer holds Src (superseded, removed, never
+// cached, or cached and later dropped) — the hook that lets mmap-backed
+// sources unmap safely. Callers must not call Release themselves after
+// passing an input to Update.
+//
+// Sources backed by shared mappings must be updated by rename (write a
+// new file, rename over), not by in-place truncate-and-rewrite: the
+// engine's cached fragments alias Src until the content is superseded.
+// A polling watcher that re-opens and re-hashes the files each round
+// (routed -map, pathalias -watch) converges after any in-place edit,
+// but can read torn content in the window where the file is mutated
+// mid-hash.
+type Input struct {
+	Name    string
+	Src     string
+	Release func()
+}
+
+// Result is one update's complete output.
+type Result struct {
+	// Entries are the routes, ordered exactly as printer.Routes would
+	// order them under the engine's printer options. The backing array
+	// is recycled: it stays valid until the second Update after this
+	// Result was returned; callers that keep entries longer (or across
+	// more updates) must copy them.
+	Entries []printer.Entry
+	// Warnings in parse order, then pending-link and avoid warnings, as
+	// a fresh run would emit them.
+	Warnings []string
+	// Unreachable hosts by name, sorted.
+	Unreachable []string
+	// Reached counts labeled nodes.
+	Reached int
+	// Incremental reports whether this update took the warm path (false
+	// for full re-maps and plain rebuilds) — observability only.
+	Incremental bool
+}
+
+// Engine owns the pipeline state. Not safe for concurrent use; callers
+// serialize Update and consume each Result before the next Update.
+type Engine struct {
+	opts  Options
+	mopts mapper.Options
+	popts parser.Options
+	avoid map[string]bool
+
+	// Input bookkeeping.
+	files      []*fileState
+	byName     map[string]*fileState
+	posOf      []int32
+	nextFileID int32
+
+	// Journaled graph state (apply.go).
+	journaled    bool
+	g            *graph.Graph
+	mc           *mapper.Machine
+	snap         *graph.Snapshot
+	nstates      []nodeState
+	stamp        []uint32
+	stampGen     uint32
+	firstNewNode int32
+	declIdx      map[uint64][]declRec
+	aliases      map[uint64]*aliasState
+	gwPairs      map[uint64]int32
+	privCount    map[string]int32
+	ch           changes
+	pendingWarns []string
+	pendingMarks []*graph.Link
+	needFullMap  bool
+
+	// Change capture (apply.go): prior state of everything this update
+	// touched, compared after patching to derive the semantic delta.
+	capturing   bool
+	beforeLinks map[*graph.Link]linkSig
+	beforeAttrs map[int32]attrSig
+	removedNow  map[*graph.Link]bool
+
+	// Name-resolution caches for the apply path (apply.go), mirroring
+	// the merger's: a one-entry left-hand cache plus a direct-mapped
+	// destination cache, cleared on every scope change. The destination
+	// cache is larger than the merger's 256 slots: the engine re-applies
+	// whole files whose destinations spread across the map, where the
+	// parse-time locality assumption is weaker.
+	refName  string
+	refNode  *graph.Node
+	refDests [2048]struct {
+		name string
+		node *graph.Node
+	}
+
+	// Route state (routes.go).
+	frames     []frame
+	frameDirty []uint32
+	frameEpoch uint32
+	rows       []entryRow
+	rowsSpare  []entryRow
+
+	// Entry output buffers, ping-ponged by assembleEntries: the slice in
+	// the latest Result and the one from the Result before it.
+	entriesLast  []printer.Entry
+	entriesSpare []printer.Entry
+	touchedBuf   []bool
+
+	last          *Result
+	lastJournaled bool // last was computed over the journaled input set
+
+	// Stats counts engine activity for observability.
+	Stats EngineStats
+}
+
+// EngineStats count engine activity across updates.
+type EngineStats struct {
+	Updates     int // Update calls that did work
+	Unchanged   int // Update calls with identical inputs
+	Incremental int // warm-path updates
+	FullRemaps  int // full re-maps over the patched graph
+	Rebuilds    int // full journal rebuilds (first run, reorders, errors)
+	Rescanned   int // fragments re-scanned
+}
+
+// NewEngine returns an engine for the given options.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.LocalHost == "" {
+		return nil, fmt.Errorf("remap: Options.LocalHost is required")
+	}
+	mopts := mapper.DefaultOptions()
+	if opts.Mapper != nil {
+		mopts = *opts.Mapper
+	}
+	if opts.MaxDirtyFrac == 0 {
+		opts.MaxDirtyFrac = 0.25
+	}
+	e := &Engine{
+		opts:   opts,
+		mopts:  mopts,
+		popts:  parser.Options{FoldCase: opts.FoldCase, Workers: opts.Workers},
+		byName: make(map[string]*fileState),
+		avoid:  make(map[string]bool),
+	}
+	for _, a := range opts.Avoid {
+		e.avoid[e.foldName(a)] = true
+	}
+	return e, nil
+}
+
+func (e *Engine) foldName(s string) string {
+	if !e.opts.FoldCase {
+		return s
+	}
+	return strings.ToLower(s)
+}
+
+// Result returns the last successful update's result (nil before one).
+func (e *Engine) Result() *Result { return e.last }
+
+// Close releases every cached source (mmap holds etc).
+func (e *Engine) Close() {
+	for _, f := range e.files {
+		if f.release != nil {
+			f.release()
+			f.release = nil
+		}
+	}
+}
+
+// Update brings the engine to the given input set and recomputes routes,
+// incrementally when it can. On error (parse errors, missing local host)
+// the previous Result keeps serving and the engine stays consistent.
+func (e *Engine) Update(inputs []Input) (*Result, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("remap: no inputs")
+	}
+
+	// Phase 1: hash, diff, and scan changed inputs.
+	type slot struct {
+		in    Input
+		hash  uint64
+		reuse *fileState
+		frag  *parser.Fragment
+	}
+	slots := make([]slot, len(inputs))
+	seen := make(map[string]bool, len(inputs))
+	dupNames := false
+	toScan := 0
+	for i, in := range inputs {
+		if seen[in.Name] {
+			dupNames = true
+		}
+		seen[in.Name] = true
+		h := parser.HashInput(parser.Input{Name: in.Name, Src: in.Src})
+		slots[i] = slot{in: in, hash: h}
+		if old := e.byName[in.Name]; old != nil && old.hash == h {
+			slots[i].reuse = old
+		} else {
+			toScan++
+		}
+	}
+
+	// Unchanged input set in unchanged order: nothing to do. lastJournaled
+	// guards against serving a plain run's result (computed for a
+	// different input set) for the journaled one.
+	if e.journaled && !dupNames && toScan == 0 && len(inputs) == len(e.files) {
+		same := true
+		for i, s := range slots {
+			if e.files[i] != s.reuse {
+				same = false
+				break
+			}
+		}
+		if same && e.last != nil && e.lastJournaled && !e.needFullMap {
+			for _, s := range slots {
+				if s.in.Release != nil {
+					s.in.Release()
+				}
+			}
+			e.Stats.Unchanged++
+			return e.last, nil
+		}
+	}
+
+	// Scan changed inputs, in parallel when there are several.
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 && toScan > 1 {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i := range slots {
+			if slots[i].reuse != nil {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				slots[i].frag = parser.ScanFragment(e.popts, parser.Input{
+					Name: slots[i].in.Name, Src: slots[i].in.Src})
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range slots {
+			if slots[i].reuse == nil {
+				slots[i].frag = parser.ScanFragment(e.popts, parser.Input{
+					Name: slots[i].in.Name, Src: slots[i].in.Src})
+			}
+		}
+	}
+	e.Stats.Rescanned += toScan
+	e.Stats.Updates++
+
+	// Phase 2: pick the path. Fragments with syntax errors cannot be
+	// journaled (the MaxErrors budget couples files); serve a plain
+	// merge and leave the journaled state at its last clean input set.
+	anyErrors := false
+	for i := range slots {
+		f := slots[i].frag
+		if f == nil {
+			f = slots[i].reuse.frag
+		}
+		if f.ErrorCount() > 0 {
+			anyErrors = true
+		}
+	}
+	if anyErrors || dupNames {
+		frags := make([]*parser.Fragment, len(slots))
+		for i := range slots {
+			if slots[i].frag != nil {
+				frags[i] = slots[i].frag
+			} else {
+				frags[i] = slots[i].reuse.frag
+			}
+		}
+		res, err := e.plainRun(frags)
+		for i := range slots {
+			if slots[i].in.Release != nil {
+				slots[i].in.Release()
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.last = res
+		e.lastJournaled = false
+		return res, nil
+	}
+
+	// Phase 3: bring the journaled graph to the new input set.
+	reorder := false
+	if e.journaled {
+		// The relative order of surviving files must be preserved —
+		// duplicate-link priority is declaration order. Any true
+		// reorder rebuilds the journal state from (cached) fragments.
+		lastPos := -1
+		for _, s := range slots {
+			if s.reuse == nil {
+				continue
+			}
+			p := int(e.posOf[s.reuse.id])
+			if p < lastPos {
+				reorder = true
+				break
+			}
+			lastPos = p
+		}
+	}
+
+	newStates := make([]*fileState, len(slots))
+	scopeSwitch := false
+	for i, s := range slots {
+		if s.reuse != nil {
+			newStates[i] = s.reuse
+			if s.in.Release != nil {
+				s.in.Release() // identical bytes already cached
+			}
+			continue
+		}
+		newStates[i] = &fileState{
+			id:      e.nextFileID,
+			name:    s.in.Name,
+			hash:    s.hash,
+			frag:    s.frag,
+			release: s.in.Release,
+		}
+		e.nextFileID++
+		newStates[i].scanScopeOps()
+		if newStates[i].hasFileSwitch {
+			// A mid-stream file{} scope switch can rebind names for
+			// other inputs; replaying just this file cannot reproduce
+			// that, so rebuild the journal state whenever such a file
+			// changes.
+			scopeSwitch = true
+		}
+		if old := e.byName[s.in.Name]; old != nil && old.hasFileSwitch {
+			scopeSwitch = true
+		}
+	}
+	// A removed file{}-switching file may have rebound names that other
+	// (unchanged) files resolved through; only a rebuild replays those.
+	if e.journaled {
+		for _, f := range e.files {
+			if f.hasFileSwitch && !seen[f.name] {
+				scopeSwitch = true
+			}
+		}
+	}
+
+	if !e.journaled || reorder || scopeSwitch {
+		e.rebuildAll(newStates)
+	} else {
+		e.syncIncremental(newStates)
+	}
+
+	// Phase 4: map and print.
+	res, err := e.remap()
+	if err != nil {
+		e.needFullMap = true
+		return nil, err
+	}
+	e.needFullMap = false
+	e.last = res
+	e.lastJournaled = true
+	return res, nil
+}
+
+// rebuildAll reconstructs the journaled graph from scratch over the
+// (cached) fragments — the cold path: first update, input reorder, or
+// recovery after a plain run.
+func (e *Engine) rebuildAll(states []*fileState) {
+	e.Stats.Rebuilds++
+	// Release files that are no longer present.
+	current := make(map[*fileState]bool, len(states))
+	for _, f := range states {
+		current[f] = true
+	}
+	for _, f := range e.files {
+		if !current[f] && f.release != nil {
+			f.release()
+			f.release = nil
+		}
+	}
+
+	g := graph.New()
+	g.SetFoldCase(e.opts.FoldCase)
+	total := 0
+	for _, f := range states {
+		total += f.frag.SrcLen()
+	}
+	g.ReserveLinks(total / 30)
+	g.ReserveNames(total / 75)
+
+	e.g = g
+	e.mc = mapper.NewMachine(g, e.mopts)
+	e.snap = nil
+	e.nstates = e.nstates[:0]
+	e.stamp = e.stamp[:0]
+	e.stampGen = 0
+	e.declIdx = make(map[uint64][]declRec)
+	e.aliases = make(map[uint64]*aliasState)
+	e.gwPairs = make(map[uint64]int32)
+	e.privCount = make(map[string]int32)
+	e.pendingMarks = nil
+	e.ch.reset()
+	e.ch.structural = true
+	e.firstNewNode = 0
+	e.capturing = false // everything changes; no point diffing
+
+	e.files = states
+	e.byName = make(map[string]*fileState, len(states))
+	e.posOf = make([]int32, e.nextFileID)
+	for i, f := range states {
+		f.j = journal{}
+		e.byName[f.name] = f
+		e.posOf[f.id] = int32(i)
+	}
+	for _, f := range states {
+		e.apply(f, f.frag)
+	}
+	e.applyPendings()
+	e.journaled = true
+	e.needFullMap = true
+}
+
+// syncIncremental patches the journaled graph from the current file set
+// to states: undo removed/changed files, redo changed/added ones, then
+// re-resolve the deferred link operations.
+func (e *Engine) syncIncremental(states []*fileState) {
+	e.ch.reset()
+	e.firstNewNode = int32(e.g.Len())
+	e.capturing = true
+	if e.beforeLinks == nil {
+		e.beforeLinks = make(map[*graph.Link]linkSig)
+		e.beforeAttrs = make(map[int32]attrSig)
+		e.removedNow = make(map[*graph.Link]bool)
+	} else {
+		clear(e.beforeLinks)
+		clear(e.beforeAttrs)
+		clear(e.removedNow)
+	}
+
+	// Sweep last run's invented back links in one batch: a fresh parse
+	// starts from declared links only, and the invented links cluster on
+	// hub nodes where one-at-a-time removal would rescan long adjacency
+	// lists.
+	if invented := e.mc.TakeInvented(); len(invented) > 0 {
+		for _, l := range invented {
+			e.captureLink(l, true)
+			e.removedNow[l] = true
+		}
+		e.g.RemoveLinks(invented)
+	}
+
+	// Lift the pending dead/delete marks; they are re-derived at the
+	// end, and the capture layer nets out marks that come straight back.
+	for _, l := range e.pendingMarks {
+		e.setLinkFlagsTracked(l, l.Flags&^(graph.LDead|graph.LDeleted))
+	}
+	e.pendingMarks = e.pendingMarks[:0]
+
+	// Positions first: declaration priority is input position, and both
+	// undo and redo consult it.
+	for int(e.nextFileID) > len(e.posOf) {
+		e.posOf = append(e.posOf, 0)
+	}
+	for i, f := range states {
+		e.posOf[f.id] = int32(i)
+	}
+
+	current := make(map[*fileState]bool, len(states))
+	for _, f := range states {
+		current[f] = true
+	}
+	// Removed files go first.
+	for i := len(e.files) - 1; i >= 0; i-- {
+		f := e.files[i]
+		if !current[f] && e.byName[f.name] == f && !inStates(states, f.name) {
+			e.undo(f)
+			if f.release != nil {
+				f.release()
+				f.release = nil
+			}
+			delete(e.byName, f.name)
+		}
+	}
+	// Changed and added files, in input order. A changed file's new
+	// fragment is applied BEFORE its old journal is undone, so shared
+	// contributions never transit through zero: surviving links keep
+	// their identity and labels pointing at them stay valid. The
+	// exception is files that declare privates — bindings are positional
+	// within the file, so the old binding must be gone before the new
+	// fragment resolves names — where the conservative undo-first order
+	// is used (at the price of a larger dirty region).
+	for _, f := range states {
+		old := e.byName[f.name]
+		if old == f {
+			continue // unchanged, journal intact
+		}
+		if old != nil && (old.hasPrivate || f.hasPrivate) {
+			e.undo(old)
+			if old.release != nil {
+				old.release()
+				old.release = nil
+			}
+			old = nil
+		}
+		e.apply(f, f.frag)
+		if old != nil {
+			e.undo(old)
+			if old.release != nil {
+				old.release()
+				old.release = nil
+			}
+		}
+		e.byName[f.name] = f
+	}
+	e.files = states
+
+	e.applyPendings()
+	e.deriveEvents()
+	e.capturing = false
+}
+
+func inStates(states []*fileState, name string) bool {
+	for _, f := range states {
+		if f.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// applyPendings re-resolves every file's deferred dead/delete link items
+// against the patched graph, collecting the no-such-link warnings. Mark
+// changes surface through the capture layer's before/after diff.
+func (e *Engine) applyPendings() {
+	e.pendingWarns = e.pendingWarns[:0]
+	e.pendingMarks = e.pendingMarks[:0]
+	for _, f := range e.files {
+		for _, p := range f.j.pendings {
+			e.g.BeginFile(p.File)
+			from := e.g.Ref(p.From)
+			to := e.g.Ref(p.To)
+			l := e.g.FindLink(from, to)
+			if l == nil {
+				verb := "dead"
+				if p.Delete {
+					verb = "delete"
+				}
+				e.pendingWarns = append(e.pendingWarns,
+					fmt.Sprintf("%s: %s{%s!%s}: no such link", p.Pos, verb, p.From, p.To))
+				continue
+			}
+			bit := graph.LDead
+			if p.Delete {
+				bit = graph.LDeleted
+			}
+			if l.Flags&bit == 0 {
+				e.setLinkFlagsTracked(l, l.Flags|bit)
+			}
+			e.pendingMarks = append(e.pendingMarks, l)
+		}
+	}
+	// An LDeleted mark removes the edge from its from-node's snapshot
+	// row; LDead only re-weights it. Either way the from-node is touched
+	// through the capture diff, which is all the snapshot patch needs.
+}
+
+// localNode resolves the engine's local host in the current graph; a
+// ghost (no current file references it) counts as absent, as it would
+// be in a fresh parse.
+func (e *Engine) localNode() (*graph.Node, error) {
+	n, ok := e.g.Lookup(e.opts.LocalHost)
+	if ok && e.nstate(n).ghost {
+		ok = false
+	}
+	if !ok {
+		return nil, fmt.Errorf("remap: local host %q not found in input", e.opts.LocalHost)
+	}
+	return n, nil
+}
+
+// remap runs the mapping phase over the patched graph — warm when the
+// delta allows, full otherwise — and refreshes the route state.
+func (e *Engine) remap() (*Result, error) {
+	local, err := e.localNode()
+	if err != nil {
+		return nil, err
+	}
+
+	structural := e.ch.structural || e.needFullMap || e.snap == nil ||
+		e.g.Len()*2 != e.mc.NumLabels()
+	var snap *graph.Snapshot
+	if structural {
+		snap = e.g.Snapshot()
+	} else {
+		n := e.g.Len()
+		if cap(e.touchedBuf) >= n {
+			e.touchedBuf = e.touchedBuf[:n]
+			clear(e.touchedBuf)
+		} else {
+			e.touchedBuf = make([]bool, n)
+		}
+		for id := range e.ch.touched {
+			e.touchedBuf[id] = true
+		}
+		snap = e.g.SnapshotPatched(e.snap, e.touchedBuf)
+	}
+
+	warm := !structural && !e.mopts.SecondBest &&
+		e.mc.SourceID() == int32(local.ID)
+	if warm {
+		warm = e.mc.BeginWarm() == nil
+	}
+	if warm {
+		invalidated := 0
+		rootHit := false
+		maxDirty := int(float64(e.mc.NumLabels()) * e.opts.MaxDirtyFrac)
+		for _, ev := range e.ch.edges {
+			lv := e.mc.Label(2 * ev.to)
+			if lv.Node != nil && lv.Via == ev.link {
+				n, hit := e.mc.InvalidateSubtree(ev.to)
+				invalidated += n
+				rootHit = rootHit || hit
+			}
+		}
+		for _, id := range e.ch.attrs {
+			n, hit := e.mc.InvalidateSubtree(id)
+			invalidated += n
+			rootHit = rootHit || hit
+			if invalidated > maxDirty {
+				break
+			}
+		}
+		if rootHit || invalidated > maxDirty {
+			warm = false
+		} else {
+			// Invalidation already re-queued the dirty region's cost
+			// frontier (each reset node's in-neighbors); what remains is
+			// seeding the sources of added/changed edges — possible
+			// improvements into still-mapped territory.
+			for _, ev := range e.ch.edges {
+				if !ev.removed {
+					e.mc.Seed(ev.from)
+				}
+			}
+		}
+	}
+
+	e.snap = snap
+	var res *mapper.Result
+	var changed []int32
+	if warm {
+		res, changed = e.mc.FinishWarm()
+		e.Stats.Incremental++
+	} else {
+		var err error
+		res, err = e.mc.FullRun(local)
+		if err != nil {
+			return nil, err
+		}
+		e.Stats.FullRemaps++
+	}
+
+	out := &Result{Reached: res.Reached, Incremental: warm}
+	if warm {
+		e.patchRoutes(changed)
+	} else {
+		e.rebuildRoutes()
+	}
+	out.Entries = e.assembleEntries()
+	out.Warnings = e.assembleWarnings()
+	for _, n := range res.Unreachable {
+		out.Unreachable = append(out.Unreachable, n.Name)
+	}
+	return out, nil
+}
+
+// assembleWarnings reconstructs the warning list a fresh run over the
+// current inputs would produce: per-file scan warnings in input order,
+// then the pending-link warnings, then avoid-resolution warnings.
+func (e *Engine) assembleWarnings() []string {
+	var out []string
+	for _, f := range e.files {
+		out = append(out, f.frag.WarningTexts()...)
+	}
+	out = append(out, e.pendingWarns...)
+	for _, a := range e.opts.Avoid {
+		n, ok := e.g.Lookup(a)
+		if !ok || e.nstate(n).ghost {
+			out = append(out, fmt.Sprintf("avoid: unknown host %q", a))
+		}
+	}
+	return out
+}
+
+// plainRun serves input sets the journal cannot represent (syntax
+// errors, duplicate input names) with a from-scratch merge over the
+// scanned fragments, leaving the journaled state untouched.
+func (e *Engine) plainRun(frags []*parser.Fragment) (*Result, error) {
+	pres, err := parser.MergeFragments(e.popts, frags)
+	if err != nil {
+		return nil, err
+	}
+	g := pres.Graph
+	warnings := pres.Warnings
+	local, ok := g.Lookup(e.opts.LocalHost)
+	if !ok {
+		return nil, fmt.Errorf("remap: local host %q not found in input", e.opts.LocalHost)
+	}
+	for _, a := range e.opts.Avoid {
+		n, ok := g.Lookup(a)
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("avoid: unknown host %q", a))
+			continue
+		}
+		g.AdjustNode(n, mapper.DefaultDeadPenalty)
+	}
+	mres, err := mapper.Run(g, local, e.mopts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Entries:  printer.Routes(mres, e.opts.Printer),
+		Warnings: warnings,
+		Reached:  mres.Reached,
+	}
+	for _, n := range mres.Unreachable {
+		out.Unreachable = append(out.Unreachable, n.Name)
+	}
+	return out, nil
+}

@@ -1,0 +1,366 @@
+package remap
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pathalias/internal/mapgen"
+	"pathalias/internal/mapper"
+	"pathalias/internal/parser"
+	"pathalias/internal/printer"
+)
+
+// freshRun computes the ground truth: a from-scratch parse+map+print
+// over the same inputs and options, mirroring core.Run.
+func freshRun(t *testing.T, opts Options, inputs []Input) (*Result, error) {
+	t.Helper()
+	pins := make([]parser.Input, len(inputs))
+	for i, in := range inputs {
+		pins[i] = parser.Input{Name: in.Name, Src: in.Src}
+	}
+	popts := parser.Options{FoldCase: opts.FoldCase, Workers: opts.Workers}
+	pres, err := parser.ParseWith(popts, pins...)
+	if err != nil {
+		return nil, err
+	}
+	warnings := pres.Warnings
+	local, ok := pres.Graph.Lookup(opts.LocalHost)
+	if !ok {
+		return nil, fmt.Errorf("local host %q not found", opts.LocalHost)
+	}
+	for _, a := range opts.Avoid {
+		n, ok := pres.Graph.Lookup(a)
+		if !ok {
+			warnings = append(warnings, fmt.Sprintf("avoid: unknown host %q", a))
+			continue
+		}
+		pres.Graph.AdjustNode(n, mapper.DefaultDeadPenalty)
+	}
+	mopts := mapper.DefaultOptions()
+	if opts.Mapper != nil {
+		mopts = *opts.Mapper
+	}
+	mres, err := mapper.Run(pres.Graph, local, mopts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Entries:  printer.Routes(mres, opts.Printer),
+		Warnings: warnings,
+		Reached:  mres.Reached,
+	}
+	for _, n := range mres.Unreachable {
+		out.Unreachable = append(out.Unreachable, n.Name)
+	}
+	return out, nil
+}
+
+// renderEntries flattens entries for byte comparison.
+func renderEntries(es []printer.Entry) string {
+	var sb strings.Builder
+	for _, e := range es {
+		fmt.Fprintf(&sb, "%d\t%s\t%s\n", int64(e.Cost), e.Host, e.Route)
+	}
+	return sb.String()
+}
+
+// checkEquivalent asserts that the engine's result matches a fresh run.
+func checkEquivalent(t *testing.T, opts Options, inputs []Input, got *Result, label string) {
+	t.Helper()
+	want, err := freshRun(t, opts, inputs)
+	if err != nil {
+		t.Fatalf("%s: fresh run failed: %v", label, err)
+	}
+	if g, w := renderEntries(got.Entries), renderEntries(want.Entries); g != w {
+		t.Fatalf("%s: entries diverge\nfirst difference:\n%s", label, firstDiff(g, w))
+	}
+	if g, w := strings.Join(got.Warnings, "\n"), strings.Join(want.Warnings, "\n"); g != w {
+		t.Fatalf("%s: warnings diverge\n got: %q\nwant: %q", label, g, w)
+	}
+	if g, w := strings.Join(got.Unreachable, "\n"), strings.Join(want.Unreachable, "\n"); g != w {
+		t.Fatalf("%s: unreachable diverge\n got: %q\nwant: %q", label, g, w)
+	}
+}
+
+func firstDiff(g, w string) string {
+	gl := strings.Split(g, "\n")
+	wl := strings.Split(w, "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var a, b string
+		if i < len(gl) {
+			a = gl[i]
+		}
+		if i < len(wl) {
+			b = wl[i]
+		}
+		if a != b {
+			return fmt.Sprintf("line %d:\n got: %q\nwant: %q\n(got %d lines, want %d)", i, a, b, len(gl), len(wl))
+		}
+	}
+	return "(no line diff?)"
+}
+
+func toInputs(pins []parser.Input) []Input {
+	out := make([]Input, len(pins))
+	for i, in := range pins {
+		out[i] = Input{Name: in.Name, Src: in.Src}
+	}
+	return out
+}
+
+func TestEnginePaperMap(t *testing.T) {
+	const src = `unc	duke(HOURLY), phs(HOURLY*4)
+duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs	unc(HOURLY*4), duke(HOURLY)
+research	duke(DEMAND), ucbvax(DEMAND)
+ucbvax	research(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+`
+	opts := Options{LocalHost: "unc"}
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []Input{{Name: "paper.map", Src: src}}
+	res, err := e.Update(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, opts, inputs, res, "initial")
+
+	// A cost edit: the warm path must produce the same bytes as fresh.
+	edited := strings.Replace(src, "duke(HOURLY)", "duke(WEEKLY)", 1)
+	inputs2 := []Input{{Name: "paper.map", Src: edited}}
+	res, err = e.Update(inputs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, opts, inputs2, res, "cost edit")
+
+	// Revert.
+	res, err = e.Update(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, opts, inputs, res, "revert")
+}
+
+func TestEngineSmallMapgen(t *testing.T) {
+	pins, local := mapgen.Generate(mapgen.Small())
+	opts := Options{LocalHost: local}
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := toInputs(pins)
+	res, err := e.Update(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, opts, inputs, res, "initial")
+	if res.Incremental {
+		t.Fatal("first update cannot be incremental")
+	}
+
+	// Identical update: served from cache.
+	res2, err := e.Update(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res {
+		t.Fatal("unchanged update should return the cached result")
+	}
+
+	// Single-line cost edit in one file: warm path.
+	edited := strings.Replace(pins[0].Src, "(DEMAND)", "(WEEKLY)", 1)
+	if edited == pins[0].Src {
+		t.Fatal("test edit found nothing to replace")
+	}
+	in3 := toInputs(pins)
+	in3[0].Src = edited
+	res3, err := e.Update(in3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, opts, in3, res3, "cost edit")
+	if !res3.Incremental {
+		t.Error("single cost edit should take the warm path")
+	}
+}
+
+// TestEngineAvoid covers the avoid list: the penalty must apply to
+// avoided hosts that appear, disappear, and reappear across updates,
+// and the unknown-host warning must track the current input set.
+func TestEngineAvoid(t *testing.T) {
+	opts := Options{LocalHost: "a", Avoid: []string{"b", "nosuch"}}
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "a\tb(10), c(100)\nb\tc(10)\nc\td(10)\n"
+	in := []Input{{Name: "m", Src: base}}
+	res, err := e.Update(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, opts, in, res, "avoid initial")
+
+	// Drop b entirely; the avoided name becomes unknown.
+	in2 := []Input{{Name: "m", Src: "a\tc(100)\nc\td(10)\n"}}
+	res, err = e.Update(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, opts, in2, res, "avoid removed")
+
+	// Reintroduce b (resurrection must restore the penalty).
+	res, err = e.Update(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, opts, in, res, "avoid back")
+}
+
+// TestEnginePlainRunDoesNotPoisonFastPath: after a duplicate-name (or
+// erroneous) input set forces a plain run, reverting to the journaled
+// input set must recompute, not serve the plain run's cached result.
+func TestEnginePlainRunDoesNotPoisonFastPath(t *testing.T) {
+	opts := Options{LocalHost: "a"}
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Input{{Name: "m", Src: "a\tb(10)\n"}}
+	res, err := e.Update(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 2 {
+		t.Fatalf("base entries = %d", len(res.Entries))
+	}
+	// Duplicate input name: plain-run path, extra host c.
+	dup := []Input{{Name: "m", Src: "a\tb(10)\n"}, {Name: "m", Src: "b\tc(10)\n"}}
+	res, err = e.Update(dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Entries) != 3 {
+		t.Fatalf("dup entries = %d", len(res.Entries))
+	}
+	// Revert: must match a fresh run over base, not the dup result.
+	res, err = e.Update(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, opts, base, res, "revert after plain run")
+}
+
+// mutateMap applies one random edit to a copy of the inputs: cost
+// change, line removal, line addition, file removal, file addition.
+func mutateMap(rng *rand.Rand, inputs []Input, nextID *int) []Input {
+	out := make([]Input, len(inputs))
+	copy(out, inputs)
+	costs := []string{"DEMAND", "HOURLY", "DAILY", "WEEKLY", "EVENING", "DIRECT", "POLLED"}
+	switch k := rng.Intn(10); {
+	case k < 4: // cost edit on a random line
+		i := rng.Intn(len(out))
+		lines := strings.Split(out[i].Src, "\n")
+		for try := 0; try < 10; try++ {
+			ln := rng.Intn(len(lines))
+			if o := strings.LastIndexByte(lines[ln], '('); o > 0 && strings.HasSuffix(lines[ln], ")") {
+				lines[ln] = lines[ln][:o] + "(" + costs[rng.Intn(len(costs))] + ")"
+				break
+			}
+		}
+		out[i].Src = strings.Join(lines, "\n")
+	case k < 6: // remove a random line
+		i := rng.Intn(len(out))
+		lines := strings.Split(out[i].Src, "\n")
+		if len(lines) > 2 {
+			ln := rng.Intn(len(lines))
+			lines = append(lines[:ln], lines[ln+1:]...)
+			out[i].Src = strings.Join(lines, "\n")
+		}
+	case k < 8: // add a line (new host, new links, maybe dead/adjust)
+		i := rng.Intn(len(out))
+		id := *nextID
+		*nextID++
+		var add string
+		switch rng.Intn(4) {
+		case 0:
+			add = fmt.Sprintf("\nnewhost%d\thost%d(%s)\n", id, rng.Intn(40), costs[rng.Intn(len(costs))])
+		case 1:
+			add = fmt.Sprintf("\nhost%d\thost%d(%s)\n", rng.Intn(40), rng.Intn(300), costs[rng.Intn(len(costs))])
+		case 2:
+			add = fmt.Sprintf("\nadjust {host%d(+%d)}\n", rng.Intn(40), 5+rng.Intn(50))
+		default:
+			add = fmt.Sprintf("\ndead {host%d}\n", rng.Intn(300))
+		}
+		out[i].Src += add
+	case k < 9 && len(out) > 2: // drop a whole file (never the first: it holds the local host)
+		i := 1 + rng.Intn(len(out)-1)
+		out = append(out[:i], out[i+1:]...)
+	case k < 10 && len(out) > 2 && rng.Intn(2) == 0: // shuffle file order
+		i := 1 + rng.Intn(len(out)-1)
+		j := 1 + rng.Intn(len(out)-1)
+		out[i], out[j] = out[j], out[i]
+	default: // add a whole new file
+		id := *nextID
+		*nextID++
+		out = append(out, Input{
+			Name: fmt.Sprintf("extra%d.map", id),
+			Src:  fmt.Sprintf("exhost%d\thost%d(%s)\n", id, rng.Intn(40), costs[rng.Intn(len(costs))]),
+		})
+	}
+	return out
+}
+
+// TestEngineRandomizedEquivalence drives the engine through random edit
+// sequences — including root-adjacent edits and structural changes —
+// asserting byte-identical output against a fresh run at every step.
+func TestEngineRandomizedEquivalence(t *testing.T) {
+	steps := 40
+	if testing.Short() {
+		steps = 12
+	}
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := mapgen.Small()
+			cfg.Seed = seed
+			cfg.CoreFiles = 4
+			pins, local := mapgen.Generate(cfg)
+			// Workers > 1 exercises the parallel fragment re-scan under
+			// the race detector.
+			opts := Options{LocalHost: local, Workers: 4}
+			e, err := NewEngine(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inputs := toInputs(pins)
+			res, err := e.Update(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEquivalent(t, opts, inputs, res, "initial")
+
+			nextID := 0
+			warm := 0
+			for step := 0; step < steps; step++ {
+				inputs = mutateMap(rng, inputs, &nextID)
+				res, err = e.Update(inputs)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if res.Incremental {
+					warm++
+				}
+				checkEquivalent(t, opts, inputs, res, fmt.Sprintf("step %d (seed %d)", step, seed))
+			}
+			t.Logf("seed %d: %d/%d steps warm (stats %+v)", seed, warm, steps, e.Stats)
+		})
+	}
+}

@@ -1,0 +1,282 @@
+package remap
+
+// Incremental route derivation. printer.Routes re-derives every format
+// string by a full tree traversal; the engine instead keeps one frame
+// per label — the traversal state printer passes down its recursion —
+// and recomputes frames only for labels whose value changed, plus their
+// descendants (a route string depends on every ancestor's frame). The
+// resulting entries live in one array kept in printer's output order, so
+// an update is a sorted merge: drop the dirty labels' old rows, merge in
+// their new ones.
+//
+// The frame rules are a transliteration of printer.extend/emit; the
+// randomized equivalence tests hold the two byte-identical.
+
+import (
+	"slices"
+	"sort"
+	"strings"
+
+	"pathalias/internal/cost"
+	"pathalias/internal/graph"
+	"pathalias/internal/mapper"
+	"pathalias/internal/printer"
+)
+
+// frame is the per-label traversal state (printer.frame, persisted).
+type frame struct {
+	route     string
+	pct       int32 // byte offset of "%s" within route
+	name      string
+	suffix    string
+	subdomain bool
+	firstHop  cost.Cost
+	valid     bool
+}
+
+// entryRow is one output entry with the bookkeeping for patching.
+type entryRow struct {
+	e     printer.Entry
+	label int32
+	odd   bool // printed under a name that is not the node's own (domain-qualified)
+}
+
+// rowLess is the canonical output order: host name, then main entries
+// before domain-qualified ones (the printer's merge rule), then name
+// rank for determinism among qualified collisions.
+func (e *Engine) rowLess(a, b entryRow) bool {
+	if a.e.Host != b.e.Host {
+		return a.e.Host < b.e.Host
+	}
+	if a.odd != b.odd {
+		return !a.odd
+	}
+	ra := e.snap.Rank[e.mc.Label(a.label).Node.ID]
+	rb := e.snap.Rank[e.mc.Label(b.label).Node.ID]
+	if ra != rb {
+		return ra < rb
+	}
+	return a.label < b.label
+}
+
+// extendFrame computes a child's frame from its parent's —
+// printer.extend plus the firstHop bookkeeping of printer.visit.
+func extendFrame(parent, c mapper.LabelView, pf *frame) frame {
+	l := c.Via
+	var nf frame
+	switch {
+	case l == nil:
+		nf = frame{route: pf.route, pct: pf.pct, name: c.Node.Name}
+
+	case l.Flags&graph.LAlias != 0:
+		// Same machine, another name: identical route, own name.
+		nf = frame{route: pf.route, pct: pf.pct, name: c.Node.Name}
+
+	case c.Node.IsNet():
+		// Entering a network or domain: the route to a network is the
+		// route to its parent. A domain starts or continues a
+		// name-accretion chain.
+		nf = frame{route: pf.route, pct: pf.pct, name: c.Node.Name}
+		if c.Node.IsDomain() {
+			if l.Flags&graph.LNetMember != 0 && parent.Node.IsDomain() {
+				nf.suffix = c.Node.Name + pf.suffix
+				nf.name = nf.suffix
+				nf.subdomain = true
+			} else {
+				nf.suffix = c.Node.Name
+			}
+		}
+
+	case l.Flags&graph.LNetMember != 0 && parent.Node.IsDomain():
+		// Host member of a domain: splice its fully qualified name.
+		name := c.Node.Name + pf.suffix
+		route, pct := printer.Splice(pf.route, int(pf.pct), name, c.ViaOp)
+		nf = frame{route: route, pct: int32(pct), name: name}
+
+	default:
+		route, pct := printer.Splice(pf.route, int(pf.pct), c.Node.Name, c.ViaOp)
+		nf = frame{route: route, pct: int32(pct), name: c.Node.Name}
+	}
+	if parent.Parent < 0 && l != nil {
+		nf.firstHop = l.Cost
+	} else {
+		nf.firstHop = pf.firstHop
+	}
+	nf.valid = true
+	return nf
+}
+
+// entryFor applies printer.emit's rules to one label/frame pair.
+func (e *Engine) entryFor(li int32, f *frame) (printer.Entry, bool) {
+	lv := e.mc.Label(li)
+	n := lv.Node
+	if lv.State != graph.Mapped || n.IsPrivate() || n.IsDeleted() {
+		return printer.Entry{}, false
+	}
+	c := lv.Cost
+	if e.opts.Printer.FirstHopCost {
+		c = f.firstHop
+	}
+	if n.IsNet() {
+		if !n.IsDomain() || f.subdomain {
+			return printer.Entry{}, false
+		}
+		return printer.Entry{Host: f.name, Route: f.route, Cost: c}, true
+	}
+	if e.opts.Printer.DomainsOnly {
+		return printer.Entry{}, false
+	}
+	return printer.Entry{Host: f.name, Route: f.route, Cost: c}, true
+}
+
+// rebuildRoutes derives every frame and entry from scratch (full-re-map
+// path): a DFS over the machine's shortest-path tree.
+func (e *Engine) rebuildRoutes() {
+	nl := e.mc.NumLabels()
+	if cap(e.frames) >= nl {
+		e.frames = e.frames[:nl]
+		clear(e.frames)
+	} else {
+		e.frames = make([]frame, nl)
+	}
+	if cap(e.frameDirty) >= nl {
+		e.frameDirty = e.frameDirty[:nl]
+	} else {
+		e.frameDirty = make([]uint32, nl)
+		e.frameEpoch = 0
+	}
+	e.rows = e.rows[:0]
+
+	root := 2 * e.mc.SourceID()
+	rootView := e.mc.Label(root)
+	if rootView.Node == nil || rootView.State != graph.Mapped {
+		return
+	}
+	e.frames[root] = frame{route: "%s", name: rootView.Node.Name, valid: true}
+	stack := []int32{root}
+	for len(stack) > 0 {
+		li := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lv := e.mc.Label(li)
+		if li != root {
+			p := e.mc.Label(lv.Parent)
+			e.frames[li] = extendFrame(p, lv, &e.frames[lv.Parent])
+		}
+		if en, ok := e.entryFor(li, &e.frames[li]); ok {
+			e.rows = append(e.rows, entryRow{e: en, label: li, odd: en.Host != lv.Node.Name})
+		}
+		stack = append(stack, e.mc.Children(li)...)
+	}
+	sort.Slice(e.rows, func(i, j int) bool { return e.rowLess(e.rows[i], e.rows[j]) })
+}
+
+// patchRoutes recomputes frames and entries for the changed labels and
+// their descendants after a warm run.
+func (e *Engine) patchRoutes(changed []int32) {
+	e.frameEpoch++
+	epoch := e.frameEpoch
+	var dirty []int32
+	mark := func(li int32) bool {
+		if e.frameDirty[li] == epoch {
+			return false
+		}
+		e.frameDirty[li] = epoch
+		dirty = append(dirty, li)
+		return true
+	}
+	stack := make([]int32, 0, len(changed)*2)
+	for _, li := range changed {
+		if mark(li) {
+			stack = append(stack, li)
+		}
+	}
+	for _, id := range e.ch.netFlips {
+		li := 2 * id
+		if e.mc.Label(li).Node != nil && mark(li) {
+			stack = append(stack, li)
+		}
+	}
+	// Descendants in the new tree inherit route changes.
+	for len(stack) > 0 {
+		li := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range e.mc.Children(li) {
+			if mark(c) {
+				stack = append(stack, c)
+			}
+		}
+	}
+
+	// Recompute top-down: parents strictly precede children in hop count.
+	slices.SortFunc(dirty, func(a, b int32) int {
+		return int(e.mc.Label(a).Hops) - int(e.mc.Label(b).Hops)
+	})
+	var newRows []entryRow
+	root := 2 * e.mc.SourceID()
+	for _, li := range dirty {
+		lv := e.mc.Label(li)
+		if lv.Node == nil || lv.State != graph.Mapped {
+			e.frames[li] = frame{}
+			continue
+		}
+		if li == root {
+			e.frames[li] = frame{route: "%s", name: lv.Node.Name, valid: true}
+		} else {
+			e.frames[li] = extendFrame(e.mc.Label(lv.Parent), lv, &e.frames[lv.Parent])
+		}
+		if en, ok := e.entryFor(li, &e.frames[li]); ok {
+			newRows = append(newRows, entryRow{e: en, label: li, odd: en.Host != lv.Node.Name})
+		}
+	}
+	sort.Slice(newRows, func(i, j int) bool { return e.rowLess(newRows[i], newRows[j]) })
+
+	// Merge: old rows minus dirty labels, plus the recomputed rows. The
+	// spare buffer ping-pongs with the live one to keep the merge
+	// allocation-free at steady state.
+	merged := e.rowsSpare[:0]
+	if cap(merged) < len(e.rows)+len(newRows) {
+		merged = make([]entryRow, 0, len(e.rows)+len(newRows))
+	}
+	j := 0
+	for _, r := range e.rows {
+		if e.frameDirty[r.label] == epoch {
+			continue // superseded (or gone)
+		}
+		for j < len(newRows) && e.rowLess(newRows[j], r) {
+			merged = append(merged, newRows[j])
+			j++
+		}
+		merged = append(merged, r)
+	}
+	merged = append(merged, newRows[j:]...)
+	e.rowsSpare = e.rows
+	e.rows = merged
+}
+
+// assembleEntries renders the row array into the Result's entry slice.
+// The two entry buffers ping-pong: the one handed out with the previous
+// Result is reused for the next-but-one update, which is why a Result's
+// Entries are documented as valid only until the second Update after it.
+func (e *Engine) assembleEntries() []printer.Entry {
+	out := e.entriesSpare[:0]
+	if cap(out) < len(e.rows) {
+		out = make([]printer.Entry, 0, len(e.rows)+len(e.rows)/4)
+	}
+	for _, r := range e.rows {
+		out = append(out, r.e)
+	}
+	e.entriesSpare = e.entriesLast
+	e.entriesLast = out
+	if e.opts.Printer.SortByCost {
+		slices.SortFunc(out, func(a, b printer.Entry) int {
+			if a.Cost != b.Cost {
+				if a.Cost < b.Cost {
+					return -1
+				}
+				return 1
+			}
+			return strings.Compare(a.Host, b.Host)
+		})
+	}
+	return out
+}
