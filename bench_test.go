@@ -721,3 +721,131 @@ func BenchmarkEndToEnd(b *testing.B) {
 		})
 	}
 }
+
+// --- Multi-source: 8 vantages over the 50k-host map ---------------------
+//
+// BenchmarkMultiSource compares the shared multi-source engine against
+// the pre-PR deployment shape: N independent single-vantage engines, one
+// per vantage point. "build" is the cold cost of standing up all 8
+// vantages (shared: one parse + one graph + 8 mapping runs; independent:
+// 8 full parses and graphs). "update" is the steady-state cost of one
+// core file's cost edit with all 8 vantages resident (shared: one delta
+// parse + one graph patch + 8 warm re-maps over one patched snapshot;
+// independent: 8 delta parses + 8 graph patches + 8 warm re-maps). The
+// ratios are recorded in BENCH_map.json (ISSUE 4's acceptance metric).
+
+func multiSourceVantages(local string) []string {
+	vantages := []string{local}
+	for i := 1; i < 8; i++ {
+		vantages = append(vantages, fmt.Sprintf("host%d", i*6000))
+	}
+	return vantages
+}
+
+func BenchmarkMultiSource(b *testing.B) {
+	base, edited, local := remapDeltaInputs(b)
+	vantages := multiSourceVantages(local)
+
+	b.Run("build8/shared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng, err := remap.NewMulti(remap.Options{LocalHost: local})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.Update(base); err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range vantages {
+				if _, err := eng.ResultFor(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng.Close()
+		}
+	})
+
+	b.Run("build8/independent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, v := range vantages {
+				eng, err := remap.NewEngine(remap.Options{LocalHost: v})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Update(base); err != nil {
+					b.Fatal(err)
+				}
+				eng.Close()
+			}
+		}
+	})
+
+	b.Run("update8/shared", func(b *testing.B) {
+		eng, err := remap.NewMulti(remap.Options{LocalHost: local})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		if err := eng.Update(base); err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range vantages {
+			if _, err := eng.ResultFor(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in := base
+			if i%2 == 0 {
+				in = edited
+			}
+			if err := eng.Update(in); err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range vantages {
+				res, err := eng.ResultFor(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Entries) < 50000 {
+					b.Fatalf("vantage %s: only %d routes", v, len(res.Entries))
+				}
+			}
+		}
+	})
+
+	b.Run("update8/independent", func(b *testing.B) {
+		engines := make([]*remap.Engine, len(vantages))
+		for j, v := range vantages {
+			eng, err := remap.NewEngine(remap.Options{LocalHost: v})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			if _, err := eng.Update(base); err != nil {
+				b.Fatal(err)
+			}
+			engines[j] = eng
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			in := base
+			if i%2 == 0 {
+				in = edited
+			}
+			for j := range engines {
+				res, err := engines[j].Update(in)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Entries) < 50000 {
+					b.Fatalf("vantage %s: only %d routes", vantages[j], len(res.Entries))
+				}
+			}
+		}
+	})
+}

@@ -45,7 +45,8 @@ func TestWatcherRegeneratesOnChange(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	go w.loop(ctx, 5*time.Millisecond)
+	done := make(chan struct{})
+	go func() { defer close(done); w.loop(ctx, 5*time.Millisecond) }()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		out, _ := os.ReadFile(outPath)
@@ -57,9 +58,6 @@ func TestWatcherRegeneratesOnChange(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if got := eng.Stats(); got.Incremental == 0 {
-		t.Errorf("expected at least one incremental regeneration, stats %+v", got)
-	}
 
 	// A broken edit must keep the last good output in place.
 	if err := os.WriteFile(mapPath, []byte("unc\tduke(((\n"), 0o644); err != nil {
@@ -69,6 +67,14 @@ func TestWatcherRegeneratesOnChange(t *testing.T) {
 	out, err = os.ReadFile(outPath)
 	if err != nil || !strings.Contains(string(out), "duke\tphs!duke!%s\n") {
 		t.Errorf("broken edit clobbered output (err %v):\n%s", err, out)
+	}
+
+	// Join the loop before touching engine state: Engine (and its Stats)
+	// is single-goroutine by contract, and the loop owns it while running.
+	cancel()
+	<-done
+	if got := eng.Stats(); got.Incremental == 0 {
+		t.Errorf("expected at least one incremental regeneration, stats %+v", got)
 	}
 }
 

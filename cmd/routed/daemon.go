@@ -30,6 +30,11 @@ type daemon struct {
 	store *routedb.Store
 	logw  io.Writer
 
+	// vantage resolves a from=<host> query to that vantage's store,
+	// lazily spinning the vantage up over the shared map engine. Nil in
+	// precompiled (-d) mode, where only the default store exists.
+	vantage func(from string) (*routedb.Store, error)
+
 	mu       sync.Mutex // guards reloads (watch loop + explicit reload)
 	mtime    time.Time
 	size     int64
@@ -154,34 +159,57 @@ func (d *daemon) watch(ctx context.Context, interval time.Duration) {
 
 // handleLine answers one request line of the line-oriented protocol:
 //
-//	dest [user]   resolve a destination (user defaults to the %s marker)
-//	stats         one-line counter dump
-//	quit          close the connection
+//	[from=host] dest [user]   resolve a destination (user defaults to
+//	                          the %s marker), optionally from another
+//	                          vantage host (-map mode only)
+//	stats                     one-line counter dump
+//	quit                      close the connection
 //
 // Replies are "ok <payload>" or "err <message>". The single-token
 // commands shadow hosts literally named "stats"/"quit"; query those with
 // an explicit user argument.
 func (d *daemon) handleLine(line string) (reply string, closing bool) {
 	fields := strings.Fields(line)
+	from := ""
+	if len(fields) > 0 && strings.HasPrefix(fields[0], "from=") {
+		from = strings.TrimPrefix(fields[0], "from=")
+		fields = fields[1:]
+	}
 	switch {
 	case len(fields) == 0:
 		return "err empty request", false
-	case len(fields) == 1 && fields[0] == "quit":
+	case len(fields) == 1 && fields[0] == "quit" && from == "":
 		return "ok bye", true
-	case len(fields) == 1 && fields[0] == "stats":
+	case len(fields) == 1 && fields[0] == "stats" && from == "":
 		return "ok " + d.statsLine(), false
 	case len(fields) > 2:
-		return "err want: dest [user]", false
+		return "err want: [from=host] dest [user]", false
 	}
 	user := "%s"
 	if len(fields) == 2 {
 		user = fields[1]
 	}
-	res, err := d.store.Resolve(fields[0], user)
+	store, err := d.storeFor(from)
+	if err != nil {
+		return "err " + err.Error(), false
+	}
+	res, err := store.Resolve(fields[0], user)
 	if err != nil {
 		return "err " + err.Error(), false
 	}
 	return "ok " + res.Address(), false
+}
+
+// storeFor picks the store answering a query: the default store for an
+// empty vantage, the per-vantage one otherwise.
+func (d *daemon) storeFor(from string) (*routedb.Store, error) {
+	if from == "" {
+		return d.store, nil
+	}
+	if d.vantage == nil {
+		return nil, fmt.Errorf("vantage queries (from=) require -map mode")
+	}
+	return d.vantage(from)
 }
 
 // serveConn runs the line protocol over one connection (or any
@@ -279,7 +307,12 @@ func (d *daemon) handler() http.Handler {
 		if user == "" {
 			user = "%s"
 		}
-		res, err := d.store.Resolve(dest, user)
+		store, err := d.storeFor(r.URL.Query().Get("from"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := store.Resolve(dest, user)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return

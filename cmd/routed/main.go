@@ -9,7 +9,7 @@
 //
 //	routed -d routes.db [-tcp addr] [-http addr] [-watch 2s] [-i]
 //	routed -d routes.db -stdin
-//	routed -map -l localhost [-tcp addr] [-http addr] [-watch 2s] [-i] file...
+//	routed -map -l localhost [-vantages 64] [-tcp addr] [-http addr] [-watch 2s] [-i] file...
 //
 // With -d, routed serves a precompiled route database and reloads it
 // when the file changes. With -map, routed owns the whole pipeline: it
@@ -18,6 +18,13 @@
 // changed files and re-maps only the affected region of the network
 // through the incremental re-map engine — the serving index hot-swaps
 // in milliseconds, without a pathalias|mkdb round trip.
+//
+// In -map mode routed is multi-source: a from=<host> parameter on the
+// line protocol or HTTP /route answers the query from that host's
+// vantage instead of -l's. Vantage machines share the engine's fragment
+// cache, graph, and snapshot; the first query for a new vantage spins
+// one up lazily (bounded by -vantages, LRU-evicted), and a source edit
+// re-maps and hot-swaps every resident vantage's store.
 //
 // Examples:
 //
@@ -28,7 +35,9 @@
 //	seismo!caip.rutgers.edu!pleasant
 //
 //	$ routed -map -l unc -tcp :7411 core.map overlay.map &
-//	$ vi core.map   # save: routes update in milliseconds
+//	$ printf 'from=duke ucbvax honey\n' | nc localhost 7411
+//	ok research!ucbvax!honey
+//	$ vi core.map   # save: all vantage stores update in milliseconds
 //
 // See README.md in this directory for the protocol.
 package main
@@ -62,6 +71,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		useStdin = fs.Bool("stdin", false, "serve the line protocol on stdin/stdout and exit at EOF")
 		watch    = fs.Duration("watch", 2*time.Second, "file poll interval (0 disables hot reload)")
 		fold     = fs.Bool("i", false, "case-fold queries (for maps computed with pathalias -i)")
+		vantages = fs.Int("vantages", 64, "max resident vantage machines for from= queries (-map mode)")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -69,7 +79,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	usage := func() int {
 		fmt.Fprintln(stderr, "usage: routed -d routes.db [-tcp addr] [-http addr] [-watch 2s] [-i] | -stdin")
-		fmt.Fprintln(stderr, "       routed -map -l localhost [-tcp addr] [-http addr] [-watch 2s] [-i] file...")
+		fmt.Fprintln(stderr, "       routed -map -l localhost [-vantages 64] [-tcp addr] [-http addr] [-watch 2s] [-i] file...")
 		return 2
 	}
 	if *mapMode {
@@ -89,7 +99,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var d *daemon
 	if *mapMode {
 		d = newMapDaemon(routedb.Options{FoldCase: *fold}, stderr)
-		w, err := newMapWatcher(d, *local, fs.Args())
+		w, err := newMapWatcher(d, *local, *vantages, fs.Args())
 		if err != nil {
 			fmt.Fprintf(stderr, "routed: %v\n", err)
 			return 1

@@ -42,7 +42,7 @@ func TestStdinProtocol(t *testing.T) {
 		"ok seismo!caip.rutgers.edu!pleasant",
 		`err routedb: no route to "nowhere"`,
 		"ok routes=3 swaps=1 lookups=0 resolves=3 hits=1 suffix_hits=1 misses=1",
-		"err want: dest [user]",
+		"err want: [from=host] dest [user]",
 		"ok bye",
 	}
 	if len(lines) != len(want) {
@@ -272,7 +272,7 @@ func TestMapModeServesAndHotRemaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := newMapDaemon(routedb.Options{}, io.Discard)
-	w, err := newMapWatcher(d, "unc", []string{mapPath})
+	w, err := newMapWatcher(d, "unc", 64, []string{mapPath})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestMapModeServesAndHotRemaps(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			e, ok := d.store.Lookup("duke")
-			t.Fatalf("hot re-map never happened; duke = %+v, %v (stats %+v)", e, ok, w.eng.Stats)
+			t.Fatalf("hot re-map never happened; duke = %+v, %v (stats %+v)", e, ok, w.eng.Stats())
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
@@ -339,5 +339,120 @@ func TestRunMapModeStdin(t *testing.T) {
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
 	if len(lines) != 2 || lines[0] != "ok duke!research!ucbvax!honey" || lines[1] != "ok bye" {
 		t.Fatalf("replies = %q", lines)
+	}
+}
+
+// TestVantageProtocol drives the multi-source serving path: from=<host>
+// on the line protocol and HTTP answers queries from other vantages over
+// the shared engine, vantage stores hot-swap on a source edit, and
+// precompiled (-d) mode rejects from=.
+func TestVantageProtocol(t *testing.T) {
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "test.map")
+	if err := os.WriteFile(mapPath, []byte(testMapSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := newMapDaemon(routedb.Options{}, io.Discard)
+	w, err := newMapWatcher(d, "unc", 8, []string{mapPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Line protocol: default vantage vs from= vantages.
+	cases := []struct{ line, want string }{
+		{"ucbvax honey", "ok duke!research!ucbvax!honey"},
+		{"from=duke ucbvax honey", "ok research!ucbvax!honey"},
+		{"from=research unc honey", "ok duke!unc!honey"},
+		{"from=ucbvax duke honey", "ok research!duke!honey"},
+		{"from=nosuchhost duke honey", `err vantage nosuchhost: remap: local host "nosuchhost" not found in input`},
+		{"from=duke", "err empty request"},
+		{"from=duke a b c", "err want: [from=host] dest [user]"},
+	}
+	for _, c := range cases {
+		if got, _ := d.handleLine(c.line); got != c.want {
+			t.Errorf("handleLine(%q) = %q, want %q", c.line, got, c.want)
+		}
+	}
+
+	// HTTP: the same vantage parameter.
+	srv := httptest.NewServer(d.handler())
+	defer srv.Close()
+	get := func(url string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, strings.TrimSpace(string(b))
+	}
+	if code, body := get(srv.URL + "/route?dest=ucbvax&user=honey&from=duke"); code != 200 || body != "research!ucbvax!honey" {
+		t.Errorf("http from=duke: %d %q", code, body)
+	}
+	if code, _ := get(srv.URL + "/route?dest=ucbvax&from=nosuchhost"); code != 400 {
+		t.Errorf("http unknown vantage: status %d, want 400", code)
+	}
+
+	// A source edit hot-swaps every resident vantage store: raise
+	// unc->duke so duke's own vantage is unaffected but unc's reroutes.
+	edited := strings.Replace(testMapSrc, "unc\tduke(HOURLY)", "unc\tduke(WEEKLY*10)", 1)
+	if err := os.WriteFile(mapPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.remap(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.handleLine("duke honey"); got != "ok phs!duke!honey" {
+		t.Errorf("default vantage after edit = %q", got)
+	}
+	if got, _ := d.handleLine("from=duke ucbvax honey"); got != "ok research!ucbvax!honey" {
+		t.Errorf("duke vantage after edit = %q", got)
+	}
+
+	// Precompiled mode has no vantage engine.
+	pd, err := newDaemon(writeRoutes(t, dir, testRoutes), routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := pd.handleLine("from=duke unc honey"); !strings.Contains(got, "require -map mode") {
+		t.Errorf("precompiled from= = %q", got)
+	}
+}
+
+// TestVantageSwapSurvivesDefaultFailure: when an edit removes the
+// default (-l) vantage host from the map, the default store keeps its
+// previous database but every OTHER resident vantage still picks up the
+// edit — per-vantage isolation of mapping failures.
+func TestVantageSwapSurvivesDefaultFailure(t *testing.T) {
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "test.map")
+	if err := os.WriteFile(mapPath, []byte("a\tb(10)\nb\tc(10)\nc\tb(5)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := newMapDaemon(routedb.Options{}, io.Discard)
+	w, err := newMapWatcher(d, "a", 8, []string{mapPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.handleLine("from=b c honey"); got != "ok c!honey" {
+		t.Fatalf("initial b vantage = %q", got)
+	}
+
+	// The edit drops host a entirely: the default vantage fails, b's
+	// reroutes (b->c now only via nothing direct? cost changes).
+	if err := os.WriteFile(mapPath, []byte("b\tc(20)\nc\td(5)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.remap(); err == nil {
+		t.Fatal("remap with vanished default host should report the default vantage error")
+	}
+	// Default store: previous database still serving.
+	if got, _ := d.handleLine("b honey"); got != "ok b!honey" {
+		t.Errorf("default store after failed default re-map = %q", got)
+	}
+	// b's vantage store: swapped to the new map (d is now reachable).
+	if got, _ := d.handleLine("from=b d honey"); got != "ok c!d!honey" {
+		t.Errorf("b vantage after edit = %q", got)
 	}
 }

@@ -2,17 +2,25 @@ package main
 
 // Source-watch mode (-map): instead of serving a precompiled routes.db,
 // routed owns the whole pipeline. Map sources are loaded zero-copy
-// (mmap), routes are computed in-process by the incremental re-map
+// (mmap), routes are computed in-process by the incremental multi-source
 // engine, and on every source edit only the changed files are re-scanned
-// and only the affected region of the network is re-mapped — the
-// resolver store hot-swaps in milliseconds where a batch rebuild took
-// the better part of a second, and a cron'd pathalias|mkdb pipeline took
-// minutes.
+// and only the affected region of the network is re-mapped, once for the
+// shared graph and then warmly per vantage — every resolver store
+// hot-swaps in milliseconds where a batch rebuild took the better part
+// of a second, and a cron'd pathalias|mkdb pipeline took minutes.
+//
+// Vantages beyond the default (-l) spin up lazily on the first
+// from=<host> query: the shared fragment cache, graph, and CSR snapshot
+// are already warm, so a new vantage costs one mapping run, not a
+// re-parse. Each vantage keeps its own hot-swappable store; a source
+// edit re-maps the resident vantages and swaps all their stores.
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"pathalias/internal/core"
@@ -27,39 +35,93 @@ type fileSig struct {
 	size  int64
 }
 
-// mapWatcher drives a remap engine over a set of map source files and
-// swaps the results into a daemon's store.
+// mapWatcher drives a multi-source remap engine over a set of map
+// source files and swaps the results into the daemon's stores: the
+// default store for the -l vantage, one registered store per from=
+// vantage.
 type mapWatcher struct {
 	d     *daemon
-	eng   *remap.Engine
+	eng   *remap.Multi
+	local string // folded default vantage name
 	paths []string
 	sigs  []fileSig
+
+	// mu guards stores and is held across a lazy store's compute+register
+	// and across remap's swap pass, so the two cannot interleave: without
+	// that, a store built from a pre-edit Result could register just
+	// after the swap pass skipped its (then absent) entry and pin stale
+	// routes until the next edit. Lock order is mu before the engine's
+	// internal lock (both paths call eng.ResultFor while holding mu).
+	mu     sync.Mutex
+	stores map[string]*routedb.Store
 }
 
 // newMapWatcher builds the engine, performs the initial full map
 // computation, and swaps the first database in.
-func newMapWatcher(d *daemon, localHost string, paths []string) (*mapWatcher, error) {
+func newMapWatcher(d *daemon, localHost string, maxVantages int, paths []string) (*mapWatcher, error) {
 	if d.opts.FoldCase {
 		localHost = strings.ToLower(localHost)
 	}
-	eng, err := remap.NewEngine(remap.Options{
-		LocalHost: localHost,
-		Mapper:    func() *mapper.Options { o := mapper.DefaultOptions(); return &o }(),
-		FoldCase:  d.opts.FoldCase,
+	eng, err := remap.NewMulti(remap.Options{
+		LocalHost:   localHost,
+		Mapper:      func() *mapper.Options { o := mapper.DefaultOptions(); return &o }(),
+		FoldCase:    d.opts.FoldCase,
+		MaxVantages: maxVantages,
 	})
 	if err != nil {
 		return nil, err
 	}
-	w := &mapWatcher{d: d, eng: eng, paths: paths, sigs: make([]fileSig, len(paths))}
+	w := &mapWatcher{
+		d:      d,
+		eng:    eng,
+		local:  localHost,
+		paths:  paths,
+		sigs:   make([]fileSig, len(paths)),
+		stores: make(map[string]*routedb.Store),
+	}
+	d.vantage = w.storeFor
 	if err := w.remap(); err != nil {
 		return nil, err
 	}
 	return w, nil
 }
 
-// remap runs the engine over the current file contents and swaps the
-// result in. Unchanged files are deduplicated inside the engine by
-// content hash, so calling this on suspicion is cheap.
+// fold normalizes a vantage name under the daemon's case policy, so the
+// store registry does not split on query spelling.
+func (w *mapWatcher) fold(host string) string {
+	if w.d.opts.FoldCase {
+		return strings.ToLower(host)
+	}
+	return host
+}
+
+// storeFor serves a from=<host> query: the default store for the -l
+// vantage, an existing per-vantage store, or a lazily created one (the
+// first query for a vantage computes it over the already-warm shared
+// engine state).
+func (w *mapWatcher) storeFor(from string) (*routedb.Store, error) {
+	from = w.fold(from)
+	if from == w.local {
+		return w.d.store, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if st := w.stores[from]; st != nil {
+		return st, nil
+	}
+	res, err := w.eng.ResultFor(from)
+	if err != nil {
+		return nil, fmt.Errorf("vantage %s: %w", from, err)
+	}
+	st := routedb.NewStore(routedb.BuildWith(res.Entries, w.d.opts))
+	w.stores[from] = st
+	w.d.logf("vantage %s: %d routes (lazy spin-up)", from, st.Len())
+	return st, nil
+}
+
+// remap runs the engine over the current file contents and swaps every
+// resident vantage's store. Unchanged files are deduplicated inside the
+// engine by content hash, so calling this on suspicion is cheap.
 func (w *mapWatcher) remap() error {
 	start := time.Now()
 	ins, err := core.ReadInputsMmap(w.paths)
@@ -77,30 +139,69 @@ func (w *mapWatcher) remap() error {
 	}
 	// Update owns the inputs from here on, success or error (it may
 	// retain some of them in its caches even when it fails).
-	unchangedBefore := w.eng.Stats.Unchanged
-	res, err := w.eng.Update(rins)
-	if err != nil {
+	statsBefore := w.eng.Stats()
+	if err := w.eng.Update(rins); err != nil {
 		return err
 	}
-	if w.d.swaps.Load() > 0 && w.eng.Stats.Unchanged > unchangedBefore {
+	stats := w.eng.Stats()
+	if w.d.swaps.Load() > 0 && stats.Unchanged > statsBefore.Unchanged {
 		return nil // identical inputs: nothing to swap
 	}
-	for _, warn := range res.Warnings {
-		w.d.logf("map: %s", warn)
+
+	// Swap the default store, then every resident vantage's — each
+	// vantage independently: one whose host vanished (including the
+	// default) keeps serving its previous database while the others
+	// still pick up the edit. The lock covers the whole pass so a lazy
+	// storeFor cannot register a pre-edit store the pass would miss.
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	routes := 0
+	res, defErr := w.eng.ResultFor(w.local)
+	if defErr == nil {
+		for _, warn := range res.Warnings {
+			w.d.logf("map: %s", warn)
+		}
+		db := routedb.BuildWith(res.Entries, w.d.opts)
+		routes = db.Len()
+		w.d.store.Swap(db)
+		w.d.mu.Lock()
+		w.d.loadedAt = time.Now()
+		w.d.mu.Unlock()
+		w.d.swaps.Add(1)
+	} else {
+		w.d.logf("vantage %s (default): %v (still serving previous database)", w.local, defErr)
 	}
-	db := routedb.BuildWith(res.Entries, w.d.opts)
-	w.d.store.Swap(db)
-	w.d.mu.Lock()
-	w.d.loadedAt = time.Now()
-	w.d.mu.Unlock()
-	w.d.swaps.Add(1)
-	mode := "full"
-	if res.Incremental {
-		mode = "incremental"
+
+	resident := w.eng.Vantages()
+	live := make(map[string]bool, len(resident))
+	swapped := 0
+	for _, from := range resident {
+		live[from] = true
+		st := w.stores[from]
+		if st == nil {
+			continue // default (has its own store above) or never queried
+		}
+		vres, err := w.eng.ResultFor(from)
+		if err != nil {
+			w.d.logf("vantage %s: %v (still serving previous database)", from, err)
+			continue
+		}
+		st.Swap(routedb.BuildWith(vres.Entries, w.d.opts))
+		swapped++
 	}
-	w.d.logf("mapped %d routes from %d files (%s) in %v",
-		db.Len(), len(w.paths), mode, time.Since(start).Round(time.Millisecond))
-	return nil
+	// Stores of evicted vantages are dropped; a later query re-creates
+	// both the vantage and its store.
+	for name := range w.stores {
+		if !live[name] {
+			delete(w.stores, name)
+		}
+	}
+
+	warm := stats.Incremental - statsBefore.Incremental
+	full := stats.FullRemaps - statsBefore.FullRemaps
+	w.d.logf("mapped %d routes from %d files (+%d vantage stores; %d warm/%d full re-maps) in %v",
+		routes, len(w.paths), swapped, warm, full, time.Since(start).Round(time.Millisecond))
+	return defErr
 }
 
 // changed reports whether any watched source looks different: a (mtime,
@@ -123,8 +224,8 @@ func (w *mapWatcher) changed() bool {
 }
 
 // watch polls the sources and re-maps on change. Errors (a mid-edit
-// syntax error, a vanished file) are logged and the previous database
-// keeps serving — exactly like the -d watcher.
+// syntax error, a vanished file) are logged and the previous databases
+// keep serving — exactly like the -d watcher.
 func (w *mapWatcher) watch(ctx context.Context, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()

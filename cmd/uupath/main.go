@@ -7,11 +7,22 @@
 //	uupath -d routes.db dest [user]          # route to a destination
 //	uupath -d routes.db -r [-m mode] addr    # rewrite a relative address
 //	uupath -d routes.db -guess addr          # disambiguate mixed syntax
+//	uupath -maps a.map,b.map -f from dest    # route from another vantage
+//
+// With -maps, uupath computes routes in-process from map sources instead
+// of loading a precompiled database, and -f picks the vantage host the
+// route originates at — the multi-source question ("how does duke reach
+// ucbvax?") that a single routes.db, compiled for one LocalHost, cannot
+// answer. All query modes (-r, -guess, plain dest) work against the
+// computed vantage.
 //
 // Examples:
 //
 //	$ uupath -d routes.db mit-ai honey
 //	duke!research!ucbvax!honey@mit-ai
+//
+//	$ uupath -maps testdata/paper1981.map -f duke ucbvax honey
+//	research!ucbvax!honey
 //
 //	$ uupath -d routes.db -r -m rightmost -local unc a!b!seismo!mcvax!piet
 //	seismo!mcvax!piet
@@ -26,8 +37,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"pathalias/internal/mailer"
+	"pathalias/internal/remap"
 	"pathalias/internal/routedb"
 )
 
@@ -38,7 +51,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("uupath", flag.ContinueOnError)
 	var (
-		dbPath  = fs.String("d", "", "route database file (required)")
+		dbPath  = fs.String("d", "", "route database file")
+		maps    = fs.String("maps", "", "comma-separated map source files: compute routes in-process instead of -d")
+		from    = fs.String("f", "", "vantage host routes originate at (requires -maps)")
 		rewrite = fs.Bool("r", false, "rewrite a relative address instead of routing to a destination")
 		mode    = fs.String("m", "firsthop", "rewrite mode: off, firsthop, rightmost")
 		local   = fs.String("local", "localhost", "local host name for rewriting")
@@ -49,21 +64,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *dbPath == "" || (fs.NArg() < 1 && *guess == "") {
+	usage := func() int {
 		fmt.Fprintln(stderr, "usage: uupath -d routes.db [-r [-m mode] [-local host]] dest [user]")
+		fmt.Fprintln(stderr, "       uupath -maps file,... -f from [-r [-m mode]] dest [user]")
 		return 2
 	}
-
-	f, err := os.Open(*dbPath)
-	if err != nil {
-		fmt.Fprintf(stderr, "uupath: %v\n", err)
-		return 1
+	switch {
+	case (*dbPath == "") == (*maps == ""): // exactly one source of routes
+		return usage()
+	case *maps != "" && *from == "":
+		fmt.Fprintln(stderr, "uupath: -maps requires -f <from> (the vantage host)")
+		return 2
+	case *maps == "" && *from != "":
+		fmt.Fprintln(stderr, "uupath: -f requires -maps (a routes.db is compiled for one vantage)")
+		return 2
+	case fs.NArg() < 1 && *guess == "":
+		return usage()
 	}
-	db, err := routedb.LoadWith(f, routedb.Options{FoldCase: *fold})
-	f.Close()
-	if err != nil {
-		fmt.Fprintf(stderr, "uupath: %v\n", err)
-		return 1
+
+	var db *routedb.DB
+	if *maps != "" {
+		var err error
+		db, err = vantageDB(strings.Split(*maps, ","), *from, *fold)
+		if err != nil {
+			fmt.Fprintf(stderr, "uupath: %v\n", err)
+			return 1
+		}
+	} else {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "uupath: %v\n", err)
+			return 1
+		}
+		db, err = routedb.LoadWith(f, routedb.Options{FoldCase: *fold})
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "uupath: %v\n", err)
+			return 1
+		}
 	}
 
 	if *guess != "" {
@@ -111,4 +149,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, res.Address())
 	return 0
+}
+
+// vantageDB computes the route database for one vantage of the given
+// map sources, through the multi-source engine (shared parse and graph,
+// one mapping run for the requested vantage).
+func vantageDB(paths []string, from string, fold bool) (*routedb.DB, error) {
+	eng, err := remap.NewMulti(remap.Options{FoldCase: fold})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	ins := make([]remap.Input, 0, len(paths))
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		ins = append(ins, remap.Input{Name: p, Src: string(data)})
+	}
+	if err := eng.Update(ins); err != nil {
+		return nil, err
+	}
+	res, err := eng.ResultFor(from)
+	if err != nil {
+		return nil, err
+	}
+	return routedb.BuildWith(res.Entries, routedb.Options{FoldCase: fold}), nil
 }

@@ -115,3 +115,60 @@ func TestUsageErrors(t *testing.T) {
 		t.Errorf("no route: exit %d want 1", code)
 	}
 }
+
+const vantageMapSrc = `unc	duke(HOURLY), phs(HOURLY*4)
+duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs	unc(HOURLY*4), duke(HOURLY)
+research	duke(DEMAND), ucbvax(DEMAND)
+ucbvax	research(DAILY)
+`
+
+func writeMap(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.map")
+	if err := os.WriteFile(path, []byte(vantageMapSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestVantageQueries covers -maps/-f: routes computed in-process from
+// map sources, originating at the requested vantage host.
+func TestVantageQueries(t *testing.T) {
+	mapPath := writeMap(t)
+	cases := []struct {
+		from, dest, want string
+	}{
+		{"unc", "ucbvax", "duke!research!ucbvax!honey"},
+		{"duke", "ucbvax", "research!ucbvax!honey"},
+		{"ucbvax", "unc", "research!duke!unc!honey"},
+	}
+	for _, c := range cases {
+		var out, errb strings.Builder
+		if code := run([]string{"-maps", mapPath, "-f", c.from, c.dest, "honey"}, &out, &errb); code != 0 {
+			t.Fatalf("-f %s %s: exit %d, stderr %s", c.from, c.dest, code, errb.String())
+		}
+		if got := strings.TrimSpace(out.String()); got != c.want {
+			t.Errorf("-f %s %s = %q, want %q", c.from, c.dest, got, c.want)
+		}
+	}
+}
+
+// TestVantageUsageErrors: -maps and -f come as a pair, and -d excludes
+// them.
+func TestVantageUsageErrors(t *testing.T) {
+	mapPath := writeMap(t)
+	var out, errb strings.Builder
+	if code := run([]string{"-maps", mapPath, "x"}, &out, &errb); code != 2 {
+		t.Errorf("-maps without -f: exit %d want 2", code)
+	}
+	if code := run([]string{"-d", "x.db", "-f", "unc", "x"}, &out, &errb); code != 2 {
+		t.Errorf("-f with -d: exit %d want 2", code)
+	}
+	if code := run([]string{"-maps", mapPath, "-d", "x.db", "-f", "unc", "x"}, &out, &errb); code != 2 {
+		t.Errorf("-maps with -d: exit %d want 2", code)
+	}
+	if code := run([]string{"-maps", mapPath, "-f", "nosuchhost", "duke"}, &out, &errb); code != 1 {
+		t.Errorf("unknown vantage: exit %d want 1", code)
+	}
+}

@@ -23,14 +23,9 @@ type Engine struct {
 	eng  *remap.Engine
 }
 
-// NewEngine returns an engine computing routes from opts.LocalHost with
-// the same semantics as Run: the first Update is a full build, later
-// Updates re-scan only changed inputs and re-map only the affected part
-// of the network. Routes, Warnings, and Unreachable are byte-identical
-// to a from-scratch Run over the same inputs after every Update; of the
-// Stats counters only Reached is populated (the others describe work a
-// warm update deliberately avoids).
-func NewEngine(opts Options) (*Engine, error) {
+// remapOptions translates public Options into the incremental engine's
+// option set (shared by NewEngine and NewMultiEngine).
+func remapOptions(opts Options) remap.Options {
 	mopts := mapper.DefaultOptions()
 	mopts.SecondBest = opts.SecondBest
 	mopts.BackLinks = !opts.NoBackLinks
@@ -46,7 +41,7 @@ func NewEngine(opts Options) (*Engine, error) {
 	if opts.DeadPenalty != 0 {
 		mopts.DeadPenalty = cost.Cost(opts.DeadPenalty)
 	}
-	eng, err := remap.NewEngine(remap.Options{
+	return remap.Options{
 		LocalHost: opts.LocalHost,
 		Mapper:    &mopts,
 		Printer: printer.Options{
@@ -55,9 +50,27 @@ func NewEngine(opts Options) (*Engine, error) {
 			DomainsOnly:  opts.DomainsOnly,
 			FirstHopCost: opts.FirstHopCost,
 		},
-		Avoid:    opts.Avoid,
-		FoldCase: opts.IgnoreCase,
-	})
+		Avoid:       opts.Avoid,
+		FoldCase:    opts.IgnoreCase,
+		MaxVantages: opts.MaxVantages,
+	}
+}
+
+// NewEngine returns an engine computing routes from opts.LocalHost with
+// the same semantics as Run: the first Update is a full build, later
+// Updates re-scan only changed inputs and re-map only the affected part
+// of the network. Routes, Warnings, and Unreachable are byte-identical
+// to a from-scratch Run over the same inputs after every Update.
+//
+// Of the Stats fields, the mapping-side counters are populated: Reached,
+// BackLinked, and Penalized always describe the full current map, while
+// Extractions and Relaxations count only the work this update actually
+// performed (a warm update re-relaxes just the dirty region, which is
+// the point). The parse-side counters — Hosts, Nets, Domains, Links —
+// stay zero: restating the whole graph is exactly the work a warm update
+// avoids; use Run for a one-shot census.
+func NewEngine(opts Options) (*Engine, error) {
+	eng, err := remap.NewEngine(remapOptions(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -127,16 +140,24 @@ func (e *Engine) Stats() EngineStats { return EngineStats(e.eng.Stats) }
 // Close releases cached sources (memory mappings from UpdateFiles).
 func (e *Engine) Close() { e.eng.Close() }
 
-func (e *Engine) convert(r *remap.Result) *Result {
+func (e *Engine) convert(r *remap.Result) *Result { return convertResult(e.opts, r) }
+
+// convertResult translates an incremental-engine result into the public
+// shape (shared by Engine and MultiEngine).
+func convertResult(opts Options, r *remap.Result) *Result {
 	res := &Result{
 		Warnings:    r.Warnings,
 		Unreachable: r.Unreachable,
-		opts:        e.opts,
+		opts:        opts,
 	}
 	res.Routes = make([]Route, len(r.Entries))
 	for i, en := range r.Entries {
 		res.Routes[i] = Route{Host: en.Host, Format: en.Route, Cost: int64(en.Cost)}
 	}
 	res.Stats.Reached = r.Reached
+	res.Stats.BackLinked = r.BackLinked
+	res.Stats.Penalized = r.Penalized
+	res.Stats.Extractions = r.Extractions
+	res.Stats.Relaxations = r.Relaxations
 	return res
 }

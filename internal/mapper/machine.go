@@ -45,6 +45,11 @@ type Machine struct {
 	g        *graph.Graph
 	sourceID int32
 	ran      bool
+
+	// extSnap is the snapshot a detached machine runs over, supplied by
+	// the engine through UseSnapshot (a detached machine never builds or
+	// memoizes snapshots itself — the graph is shared).
+	extSnap *graph.Snapshot
 }
 
 // LabelView is the read-only projection of one label that the engine
@@ -66,6 +71,38 @@ type LabelView struct {
 // first run.
 func NewMachine(g *graph.Graph, opts Options) *Machine {
 	return &Machine{g: g, mach: machine{g: g, opts: opts}, sourceID: -1}
+}
+
+// NewDetachedMachine returns a machine that treats g and its snapshot as
+// read-only shared state, so any number of detached machines — one per
+// vantage point — can map the same graph, concurrently if the caller
+// guarantees no graph mutation while runs are in flight. A detached
+// machine never calls ResetMapping, never writes Node.M or LTree marks,
+// and invents back links into a private overlay instead of the graph;
+// the caller must supply the current snapshot through UseSnapshot before
+// every run.
+func NewDetachedMachine(g *graph.Graph, opts Options) *Machine {
+	mc := &Machine{g: g, mach: machine{g: g, opts: opts, detached: true}, sourceID: -1}
+	mc.mach.overlay = make(map[int32][]graph.SpillEdge)
+	mc.mach.overlayIdx = make(map[uint64]*graph.Link)
+	return mc
+}
+
+// UseSnapshot hands a detached machine the graph's current CSR snapshot.
+// It must be called before FullRun or BeginWarm, every time the graph
+// may have changed since the previous run.
+func (mc *Machine) UseSnapshot(s *graph.Snapshot) { mc.extSnap = s }
+
+// snapshot resolves the snapshot for a run: the externally supplied one
+// for detached machines, the graph's memoized one otherwise.
+func (mc *Machine) snapshot() *graph.Snapshot {
+	if mc.mach.detached {
+		if mc.extSnap == nil {
+			panic("mapper: detached machine run without UseSnapshot")
+		}
+		return mc.extSnap
+	}
+	return mc.g.Snapshot()
 }
 
 // Options returns the options the machine runs with.
@@ -103,8 +140,15 @@ func (mc *Machine) FullRun(source *graph.Node) (*Result, error) {
 	}
 	m := &mc.mach
 	m.warm = false // a warm run abandoned mid-invalidation lands here
-	mc.g.ResetMapping()
-	m.snap = mc.g.Snapshot()
+	if !m.detached {
+		mc.g.ResetMapping()
+	} else {
+		// A fresh run starts from declared links only.
+		clear(m.overlay)
+		clear(m.overlayIdx)
+		m.invented = m.invented[:0]
+	}
+	m.snap = mc.snapshot()
 
 	want := 2 * mc.g.Len()
 	if cap(m.labels) >= want {
@@ -154,7 +198,7 @@ func (mc *Machine) BeginWarm() error {
 		return fmt.Errorf("mapper: node set changed (%d labels, %d nodes); full run required",
 			len(m.labels), mc.g.Len())
 	}
-	m.snap = mc.g.Snapshot()
+	m.snap = mc.snapshot()
 	m.warm = true
 	m.changedEpoch++
 	m.changed = m.changed[:0]
@@ -206,14 +250,29 @@ func (mc *Machine) FinishWarm() (*Result, []int32) {
 	return m.res, m.changed
 }
 
-// TakeInvented returns the back links invented since the last call and
-// forgets them. The engine sweeps them from the graph before patching,
-// so a re-map starts from declared links only, as a fresh parse would.
-func (mc *Machine) TakeInvented() []*graph.Link {
+// SweepInvented drops the previous run's invented back links from the
+// machine's private overlay and invalidates every label whose path still
+// rides one — a fresh parse starts from declared links only, so a warm
+// run must too. Call between BeginWarm (which builds the reverse
+// adjacency the invalidation seeds from) and FinishWarm. It returns how
+// many labels were reset and whether the run's source was among them,
+// like InvalidateSubtree.
+func (mc *Machine) SweepInvented() (count int, hitRoot bool) {
 	m := &mc.mach
-	inv := m.invented
-	m.invented = nil
-	return inv
+	for _, l := range m.invented {
+		for taint := int32(0); taint < 2; taint++ {
+			li := 2*int32(l.To.ID) + taint
+			if m.labels[li].via == l {
+				n, hit := m.invalidateTree(li, -1)
+				count += n
+				hitRoot = hitRoot || hit
+			}
+		}
+	}
+	m.invented = m.invented[:0]
+	clear(m.overlay)
+	clear(m.overlayIdx)
+	return count, hitRoot
 }
 
 // NumLabels returns the size of the label array (2 per node).

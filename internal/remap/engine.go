@@ -19,14 +19,21 @@
 //   - route format strings are patched per changed subtree (routes.go)
 //     rather than re-derived for every host.
 //
+// The shared half of that state — fragment cache, journaled graph, CSR
+// snapshot, per-update change history — is one copy regardless of how
+// many vantage points are being mapped. The per-source half — a detached
+// mapper.Machine, route frames, the latest Result — lives in a vantage
+// (vantage.go). Engine is the single-vantage view the original API
+// exposes; Multi (multi.go) serves any number of vantages over one core.
+//
 // The engine's contract is byte-identical output: after any sequence of
-// Updates, the Result equals what a from-scratch run over the same
-// inputs would produce (entries, warnings, unreachable list). The
-// equivalence rests on PR 2's determinism work — priority ties, output
-// order, and tree shape all keyed by name rank, never by node creation
-// order — plus the mapper's confluent acceptance rule (mapper.better),
-// which makes the final labeling a unique fixpoint independent of
-// relaxation order.
+// Updates, each vantage's Result equals what a from-scratch run with
+// that LocalHost over the same inputs would produce (entries, warnings,
+// unreachable list). The equivalence rests on PR 2's determinism work —
+// priority ties, output order, and tree shape all keyed by name rank,
+// never by node creation order — plus the mapper's confluent acceptance
+// rule (mapper.better), which makes the final labeling a unique fixpoint
+// independent of relaxation order.
 package remap
 
 import (
@@ -41,9 +48,11 @@ import (
 	"pathalias/internal/printer"
 )
 
-// Options configure an engine. LocalHost is required.
+// Options configure an engine. LocalHost is required for NewEngine; a
+// Multi accepts an empty LocalHost (vantages are named per query).
 type Options struct {
-	// LocalHost is the host routes originate from (required).
+	// LocalHost is the host routes originate from (required for
+	// NewEngine; the default vantage for NewMulti, optional there).
 	LocalHost string
 	// Mapper options; nil means mapper.DefaultOptions().
 	Mapper *mapper.Options
@@ -59,6 +68,10 @@ type Options struct {
 	// this fraction of labels is invalidated, a full re-map is cheaper
 	// than patching. 0 means 0.25.
 	MaxDirtyFrac float64
+	// MaxVantages caps how many vantage machines a Multi keeps resident
+	// (least-recently-used eviction; the LocalHost vantage is never
+	// evicted). 0 means 64. Ignored by NewEngine.
+	MaxVantages int
 }
 
 // Input is one named map source. Update takes ownership of every input
@@ -81,28 +94,67 @@ type Input struct {
 	Release func()
 }
 
-// Result is one update's complete output.
+// Result is one update's complete output for one vantage.
 type Result struct {
 	// Entries are the routes, ordered exactly as printer.Routes would
 	// order them under the engine's printer options. The backing array
-	// is recycled: it stays valid until the second Update after this
-	// Result was returned; callers that keep entries longer (or across
-	// more updates) must copy them.
+	// is recycled: it stays valid until the second recompute of the same
+	// vantage after this Result was returned; callers that keep entries
+	// longer must copy them.
 	Entries []printer.Entry
 	// Warnings in parse order, then pending-link and avoid warnings, as
-	// a fresh run would emit them.
+	// a fresh run would emit them. Warnings are vantage-independent; all
+	// vantages of one update share the slice.
 	Warnings []string
 	// Unreachable hosts by name, sorted.
 	Unreachable []string
 	// Reached counts labeled nodes.
 	Reached int
+	// BackLinked counts hosts reached only via invented links, and
+	// Penalized hosts whose winning path paid a mixed-syntax penalty.
+	BackLinked int
+	Penalized  int
+	// Extractions and Relaxations count priority-queue work. On a warm
+	// update they cover only the re-relaxed region, not the whole map.
+	Extractions int64
+	Relaxations int64
 	// Incremental reports whether this update took the warm path (false
 	// for full re-maps and plain rebuilds) — observability only.
 	Incremental bool
 }
 
-// Engine owns the pipeline state. Not safe for concurrent use; callers
-// serialize Update and consume each Result before the next Update.
+// plainState is the fallback world for input sets the journal cannot
+// represent (syntax errors, duplicate input names): a from-scratch merge
+// whose graph serves every vantage until a clean update arrives. Runs
+// over it use the one-shot mapper (which owns Node.M), so they are
+// serialized by the engine/Multi lock.
+type plainState struct {
+	g *graph.Graph
+}
+
+// genChange is one journal generation's derived change set, kept so a
+// vantage that last mapped an older generation can warm-start across
+// several updates by replaying the union of the deltas in between.
+type genChange struct {
+	jgen       uint64
+	structural bool
+	edges      []edgeEvent
+	attrs      []int32
+	netFlips   []int32
+}
+
+// History bounds: a vantage further behind than the retained window
+// takes a full re-map instead (correct, just colder).
+const (
+	maxHistGens   = 64
+	maxHistEvents = 1 << 14
+)
+
+// Engine owns the shared pipeline state plus, when built by NewEngine,
+// one default vantage. Not safe for concurrent use; callers serialize
+// Update and consume each Result before the next Update. Multi wraps an
+// Engine core with the locking and vantage management for concurrent
+// multi-source serving.
 type Engine struct {
 	opts  Options
 	mopts mapper.Options
@@ -118,7 +170,6 @@ type Engine struct {
 	// Journaled graph state (apply.go).
 	journaled    bool
 	g            *graph.Graph
-	mc           *mapper.Machine
 	snap         *graph.Snapshot
 	nstates      []nodeState
 	stamp        []uint32
@@ -131,7 +182,6 @@ type Engine struct {
 	ch           changes
 	pendingWarns []string
 	pendingMarks []*graph.Link
-	needFullMap  bool
 
 	// Change capture (apply.go): prior state of everything this update
 	// touched, compared after patching to derive the semantic delta.
@@ -153,41 +203,50 @@ type Engine struct {
 		node *graph.Node
 	}
 
-	// Route state (routes.go).
-	frames     []frame
-	frameDirty []uint32
-	frameEpoch uint32
-	rows       []entryRow
-	rowsSpare  []entryRow
+	// Generations. updGen counts effective updates (anything that could
+	// change results); jgen counts journal patches; graphGen counts
+	// journal rebuilds (each allocates a fresh graph, so vantage
+	// machines bound to the old one must be rebuilt).
+	updGen   uint64
+	jgen     uint64
+	graphGen uint64
+	hist     []genChange
+	warnings []string   // current update's warnings, shared by vantages
+	plain    *plainState // non-nil while the last update took the plain path
 
-	// Entry output buffers, ping-ponged by assembleEntries: the slice in
-	// the latest Result and the one from the Result before it.
-	entriesLast  []printer.Entry
-	entriesSpare []printer.Entry
-	touchedBuf   []bool
+	touchedBuf []bool
 
-	last          *Result
-	lastJournaled bool // last was computed over the journaled input set
+	// van is the default vantage (NewEngine's LocalHost); nil for a bare
+	// Multi core with no default.
+	van *vantage
 
 	// Stats counts engine activity for observability.
 	Stats EngineStats
 }
 
-// EngineStats count engine activity across updates.
+// EngineStats count engine activity across updates. For a Multi,
+// Incremental and FullRemaps count per-vantage mapping runs.
 type EngineStats struct {
 	Updates     int // Update calls that did work
 	Unchanged   int // Update calls with identical inputs
-	Incremental int // warm-path updates
-	FullRemaps  int // full re-maps over the patched graph
+	Incremental int // warm-path vantage re-maps
+	FullRemaps  int // full vantage re-maps over the patched graph
 	Rebuilds    int // full journal rebuilds (first run, reorders, errors)
-	Rescanned   int // fragments re-scanned
+	Rescanned   int // inputs re-scanned
 }
 
-// NewEngine returns an engine for the given options.
+// NewEngine returns a single-vantage engine for the given options.
 func NewEngine(opts Options) (*Engine, error) {
 	if opts.LocalHost == "" {
 		return nil, fmt.Errorf("remap: Options.LocalHost is required")
 	}
+	e := newCore(opts)
+	e.van = newVantage(e.foldName(opts.LocalHost))
+	return e, nil
+}
+
+// newCore builds the shared pipeline state with no vantages.
+func newCore(opts Options) *Engine {
 	mopts := mapper.DefaultOptions()
 	if opts.Mapper != nil {
 		mopts = *opts.Mapper
@@ -205,7 +264,7 @@ func NewEngine(opts Options) (*Engine, error) {
 	for _, a := range opts.Avoid {
 		e.avoid[e.foldName(a)] = true
 	}
-	return e, nil
+	return e
 }
 
 func (e *Engine) foldName(s string) string {
@@ -216,7 +275,7 @@ func (e *Engine) foldName(s string) string {
 }
 
 // Result returns the last successful update's result (nil before one).
-func (e *Engine) Result() *Result { return e.last }
+func (e *Engine) Result() *Result { return e.van.last }
 
 // Close releases every cached source (mmap holds etc).
 func (e *Engine) Close() {
@@ -232,8 +291,18 @@ func (e *Engine) Close() {
 // incrementally when it can. On error (parse errors, missing local host)
 // the previous Result keeps serving and the engine stays consistent.
 func (e *Engine) Update(inputs []Input) (*Result, error) {
+	if err := e.sync(inputs); err != nil {
+		return nil, err
+	}
+	return e.van.result(e)
+}
+
+// sync brings the shared pipeline state — fragment cache, journaled
+// graph, CSR snapshot, warnings, change history — to the given input
+// set, without mapping any vantage. It owns the inputs (see Input).
+func (e *Engine) sync(inputs []Input) error {
 	if len(inputs) == 0 {
-		return nil, fmt.Errorf("remap: no inputs")
+		return fmt.Errorf("remap: no inputs")
 	}
 
 	// Phase 1: hash, diff, and scan changed inputs.
@@ -261,10 +330,11 @@ func (e *Engine) Update(inputs []Input) (*Result, error) {
 		}
 	}
 
-	// Unchanged input set in unchanged order: nothing to do. lastJournaled
-	// guards against serving a plain run's result (computed for a
-	// different input set) for the journaled one.
-	if e.journaled && !dupNames && toScan == 0 && len(inputs) == len(e.files) {
+	// Unchanged input set in unchanged order, and the last update was
+	// journaled: nothing to do — every vantage's cached result (keyed by
+	// updGen) stays valid. The plain guard keeps a plain update's
+	// generation from masquerading as the journaled one.
+	if e.journaled && e.plain == nil && !dupNames && toScan == 0 && len(inputs) == len(e.files) {
 		same := true
 		for i, s := range slots {
 			if e.files[i] != s.reuse {
@@ -272,14 +342,14 @@ func (e *Engine) Update(inputs []Input) (*Result, error) {
 				break
 			}
 		}
-		if same && e.last != nil && e.lastJournaled && !e.needFullMap {
+		if same {
 			for _, s := range slots {
 				if s.in.Release != nil {
 					s.in.Release()
 				}
 			}
 			e.Stats.Unchanged++
-			return e.last, nil
+			return nil
 		}
 	}
 
@@ -320,36 +390,25 @@ func (e *Engine) Update(inputs []Input) (*Result, error) {
 	// journaled (the MaxErrors budget couples files); serve a plain
 	// merge and leave the journaled state at its last clean input set.
 	anyErrors := false
+	frags := make([]*parser.Fragment, len(slots))
 	for i := range slots {
-		f := slots[i].frag
-		if f == nil {
-			f = slots[i].reuse.frag
+		if slots[i].frag != nil {
+			frags[i] = slots[i].frag
+		} else {
+			frags[i] = slots[i].reuse.frag
 		}
-		if f.ErrorCount() > 0 {
+		if frags[i].ErrorCount() > 0 {
 			anyErrors = true
 		}
 	}
 	if anyErrors || dupNames {
-		frags := make([]*parser.Fragment, len(slots))
-		for i := range slots {
-			if slots[i].frag != nil {
-				frags[i] = slots[i].frag
-			} else {
-				frags[i] = slots[i].reuse.frag
-			}
-		}
-		res, err := e.plainRun(frags)
+		err := e.plainSync(frags)
 		for i := range slots {
 			if slots[i].in.Release != nil {
 				slots[i].in.Release()
 			}
 		}
-		if err != nil {
-			return nil, err
-		}
-		e.last = res
-		e.lastJournaled = false
-		return res, nil
+		return err
 	}
 
 	// Phase 3: bring the journaled graph to the new input set.
@@ -418,21 +477,88 @@ func (e *Engine) Update(inputs []Input) (*Result, error) {
 		e.syncIncremental(newStates)
 	}
 
-	// Phase 4: map and print.
-	res, err := e.remap()
-	if err != nil {
-		e.needFullMap = true
-		return nil, err
+	// Phase 4: new generation — snapshot, change history, warnings.
+	e.jgen++
+	e.updGen++
+	e.plain = nil
+	e.recordHistory()
+	if e.ch.structural || e.snap == nil {
+		e.snap = e.g.Snapshot()
+	} else {
+		n := e.g.Len()
+		if cap(e.touchedBuf) >= n {
+			e.touchedBuf = e.touchedBuf[:n]
+			clear(e.touchedBuf)
+		} else {
+			e.touchedBuf = make([]bool, n)
+		}
+		for id := range e.ch.touched {
+			e.touchedBuf[id] = true
+		}
+		e.snap = e.g.SnapshotPatched(e.snap, e.touchedBuf)
 	}
-	e.needFullMap = false
-	e.last = res
-	e.lastJournaled = true
-	return res, nil
+	e.warnings = e.computeWarnings()
+	return nil
+}
+
+// recordHistory appends this journal generation's change set to the
+// retained history, pruning from the oldest end when over budget.
+func (e *Engine) recordHistory() {
+	gc := genChange{jgen: e.jgen, structural: e.ch.structural}
+	if !gc.structural {
+		// Structural generations force a full re-map for every vantage
+		// that hasn't crossed them; their event lists are never read.
+		gc.edges = append([]edgeEvent(nil), e.ch.edges...)
+		gc.attrs = append([]int32(nil), e.ch.attrs...)
+		gc.netFlips = append([]int32(nil), e.ch.netFlips...)
+	}
+	e.hist = append(e.hist, gc)
+	total := 0
+	for _, h := range e.hist {
+		total += len(h.edges) + len(h.attrs)
+	}
+	for len(e.hist) > maxHistGens || (total > maxHistEvents && len(e.hist) > 1) {
+		total -= len(e.hist[0].edges) + len(e.hist[0].attrs)
+		e.hist = e.hist[1:]
+	}
+}
+
+// eventsSince merges the change sets of every journal generation after
+// jgen. structural reports that the range contains a structural change
+// or reaches beyond the retained history — either way the vantage needs
+// a full re-map and the event lists are meaningless.
+func (e *Engine) eventsSince(jgen uint64) (structural bool, edges []edgeEvent, attrs, netFlips []int32) {
+	if jgen == e.jgen {
+		return false, nil, nil, nil
+	}
+	if len(e.hist) == 0 || e.hist[0].jgen > jgen+1 {
+		return true, nil, nil, nil
+	}
+	lo := 0
+	for lo < len(e.hist) && e.hist[lo].jgen <= jgen {
+		lo++
+	}
+	span := e.hist[lo:]
+	for _, h := range span {
+		if h.structural {
+			return true, nil, nil, nil
+		}
+	}
+	if len(span) == 1 {
+		return false, span[0].edges, span[0].attrs, span[0].netFlips
+	}
+	for _, h := range span {
+		edges = append(edges, h.edges...)
+		attrs = append(attrs, h.attrs...)
+		netFlips = append(netFlips, h.netFlips...)
+	}
+	return false, edges, attrs, netFlips
 }
 
 // rebuildAll reconstructs the journaled graph from scratch over the
 // (cached) fragments — the cold path: first update, input reorder, or
-// recovery after a plain run.
+// recovery after a plain run. The fresh graph obsoletes every vantage
+// machine (graphGen) and the retained change history.
 func (e *Engine) rebuildAll(states []*fileState) {
 	e.Stats.Rebuilds++
 	// Release files that are no longer present.
@@ -457,7 +583,8 @@ func (e *Engine) rebuildAll(states []*fileState) {
 	g.ReserveNames(total / 75)
 
 	e.g = g
-	e.mc = mapper.NewMachine(g, e.mopts)
+	e.graphGen++
+	e.hist = e.hist[:0]
 	e.snap = nil
 	e.nstates = e.nstates[:0]
 	e.stamp = e.stamp[:0]
@@ -485,7 +612,6 @@ func (e *Engine) rebuildAll(states []*fileState) {
 	}
 	e.applyPendings()
 	e.journaled = true
-	e.needFullMap = true
 }
 
 // syncIncremental patches the journaled graph from the current file set
@@ -505,20 +631,10 @@ func (e *Engine) syncIncremental(states []*fileState) {
 		clear(e.removedNow)
 	}
 
-	// Sweep last run's invented back links in one batch: a fresh parse
-	// starts from declared links only, and the invented links cluster on
-	// hub nodes where one-at-a-time removal would rescan long adjacency
-	// lists.
-	if invented := e.mc.TakeInvented(); len(invented) > 0 {
-		for _, l := range invented {
-			e.captureLink(l, true)
-			e.removedNow[l] = true
-		}
-		e.g.RemoveLinks(invented)
-	}
-
 	// Lift the pending dead/delete marks; they are re-derived at the
 	// end, and the capture layer nets out marks that come straight back.
+	// (Invented back links never touch the shared graph: each vantage
+	// machine keeps its own overlay and sweeps it at warm start.)
 	for _, l := range e.pendingMarks {
 		e.setLinkFlagsTracked(l, l.Flags&^(graph.LDead|graph.LDeleted))
 	}
@@ -632,120 +748,25 @@ func (e *Engine) applyPendings() {
 	// through the capture diff, which is all the snapshot patch needs.
 }
 
-// localNode resolves the engine's local host in the current graph; a
-// ghost (no current file references it) counts as absent, as it would
-// be in a fresh parse.
-func (e *Engine) localNode() (*graph.Node, error) {
-	n, ok := e.g.Lookup(e.opts.LocalHost)
+// localNodeFor resolves a vantage host in the current graph; a ghost
+// (no current file references it) counts as absent, as it would be in a
+// fresh parse. The name must already be case-folded.
+func (e *Engine) localNodeFor(host string) (*graph.Node, error) {
+	n, ok := e.g.Lookup(host)
 	if ok && e.nstate(n).ghost {
 		ok = false
 	}
 	if !ok {
-		return nil, fmt.Errorf("remap: local host %q not found in input", e.opts.LocalHost)
+		return nil, fmt.Errorf("remap: local host %q not found in input", host)
 	}
 	return n, nil
 }
 
-// remap runs the mapping phase over the patched graph — warm when the
-// delta allows, full otherwise — and refreshes the route state.
-func (e *Engine) remap() (*Result, error) {
-	local, err := e.localNode()
-	if err != nil {
-		return nil, err
-	}
-
-	structural := e.ch.structural || e.needFullMap || e.snap == nil ||
-		e.g.Len()*2 != e.mc.NumLabels()
-	var snap *graph.Snapshot
-	if structural {
-		snap = e.g.Snapshot()
-	} else {
-		n := e.g.Len()
-		if cap(e.touchedBuf) >= n {
-			e.touchedBuf = e.touchedBuf[:n]
-			clear(e.touchedBuf)
-		} else {
-			e.touchedBuf = make([]bool, n)
-		}
-		for id := range e.ch.touched {
-			e.touchedBuf[id] = true
-		}
-		snap = e.g.SnapshotPatched(e.snap, e.touchedBuf)
-	}
-
-	warm := !structural && !e.mopts.SecondBest &&
-		e.mc.SourceID() == int32(local.ID)
-	if warm {
-		warm = e.mc.BeginWarm() == nil
-	}
-	if warm {
-		invalidated := 0
-		rootHit := false
-		maxDirty := int(float64(e.mc.NumLabels()) * e.opts.MaxDirtyFrac)
-		for _, ev := range e.ch.edges {
-			lv := e.mc.Label(2 * ev.to)
-			if lv.Node != nil && lv.Via == ev.link {
-				n, hit := e.mc.InvalidateSubtree(ev.to)
-				invalidated += n
-				rootHit = rootHit || hit
-			}
-		}
-		for _, id := range e.ch.attrs {
-			n, hit := e.mc.InvalidateSubtree(id)
-			invalidated += n
-			rootHit = rootHit || hit
-			if invalidated > maxDirty {
-				break
-			}
-		}
-		if rootHit || invalidated > maxDirty {
-			warm = false
-		} else {
-			// Invalidation already re-queued the dirty region's cost
-			// frontier (each reset node's in-neighbors); what remains is
-			// seeding the sources of added/changed edges — possible
-			// improvements into still-mapped territory.
-			for _, ev := range e.ch.edges {
-				if !ev.removed {
-					e.mc.Seed(ev.from)
-				}
-			}
-		}
-	}
-
-	e.snap = snap
-	var res *mapper.Result
-	var changed []int32
-	if warm {
-		res, changed = e.mc.FinishWarm()
-		e.Stats.Incremental++
-	} else {
-		var err error
-		res, err = e.mc.FullRun(local)
-		if err != nil {
-			return nil, err
-		}
-		e.Stats.FullRemaps++
-	}
-
-	out := &Result{Reached: res.Reached, Incremental: warm}
-	if warm {
-		e.patchRoutes(changed)
-	} else {
-		e.rebuildRoutes()
-	}
-	out.Entries = e.assembleEntries()
-	out.Warnings = e.assembleWarnings()
-	for _, n := range res.Unreachable {
-		out.Unreachable = append(out.Unreachable, n.Name)
-	}
-	return out, nil
-}
-
-// assembleWarnings reconstructs the warning list a fresh run over the
+// computeWarnings reconstructs the warning list a fresh run over the
 // current inputs would produce: per-file scan warnings in input order,
-// then the pending-link warnings, then avoid-resolution warnings.
-func (e *Engine) assembleWarnings() []string {
+// then the pending-link warnings, then avoid-resolution warnings. The
+// list is vantage-independent.
+func (e *Engine) computeWarnings() []string {
 	var out []string
 	for _, f := range e.files {
 		out = append(out, f.frag.WarningTexts()...)
@@ -760,20 +781,17 @@ func (e *Engine) assembleWarnings() []string {
 	return out
 }
 
-// plainRun serves input sets the journal cannot represent (syntax
+// plainSync serves input sets the journal cannot represent (syntax
 // errors, duplicate input names) with a from-scratch merge over the
-// scanned fragments, leaving the journaled state untouched.
-func (e *Engine) plainRun(frags []*parser.Fragment) (*Result, error) {
+// scanned fragments, leaving the journaled state untouched. Vantage
+// results are then one-shot mapper runs over the merged graph.
+func (e *Engine) plainSync(frags []*parser.Fragment) error {
 	pres, err := parser.MergeFragments(e.popts, frags)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	g := pres.Graph
 	warnings := pres.Warnings
-	local, ok := g.Lookup(e.opts.LocalHost)
-	if !ok {
-		return nil, fmt.Errorf("remap: local host %q not found in input", e.opts.LocalHost)
-	}
 	for _, a := range e.opts.Avoid {
 		n, ok := g.Lookup(a)
 		if !ok {
@@ -782,17 +800,8 @@ func (e *Engine) plainRun(frags []*parser.Fragment) (*Result, error) {
 		}
 		g.AdjustNode(n, mapper.DefaultDeadPenalty)
 	}
-	mres, err := mapper.Run(g, local, e.mopts)
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{
-		Entries:  printer.Routes(mres, e.opts.Printer),
-		Warnings: warnings,
-		Reached:  mres.Reached,
-	}
-	for _, n := range mres.Unreachable {
-		out.Unreachable = append(out.Unreachable, n.Name)
-	}
-	return out, nil
+	e.plain = &plainState{g: g}
+	e.warnings = warnings
+	e.updGen++
+	return nil
 }

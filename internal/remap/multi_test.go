@@ -1,0 +1,287 @@
+package remap
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"pathalias/internal/mapgen"
+	"pathalias/internal/parser"
+)
+
+// checkVantage asserts that one vantage of a Multi matches a fresh
+// single-source run with that LocalHost — including matching errors
+// when the vantage host is absent.
+func checkVantage(t *testing.T, m *Multi, opts Options, inputs []Input, host, label string) {
+	t.Helper()
+	vopts := opts
+	vopts.LocalHost = host
+	got, gerr := m.ResultFor(host)
+	want, werr := freshRun(t, vopts, inputs)
+	// Errorf, not Fatalf: checkVantage runs on worker goroutines.
+	if (gerr != nil) != (werr != nil) {
+		t.Errorf("%s [%s]: error mismatch: multi=%v fresh=%v", label, host, gerr, werr)
+		return
+	}
+	if gerr != nil {
+		return
+	}
+	if g, w := renderEntries(got.Entries), renderEntries(want.Entries); g != w {
+		t.Errorf("%s [%s]: entries diverge\nfirst difference:\n%s", label, host, firstDiff(g, w))
+		return
+	}
+	if g, w := fmt.Sprint(got.Warnings), fmt.Sprint(want.Warnings); g != w {
+		t.Errorf("%s [%s]: warnings diverge\n got: %q\nwant: %q", label, host, g, w)
+		return
+	}
+	if g, w := fmt.Sprint(got.Unreachable), fmt.Sprint(want.Unreachable); g != w {
+		t.Errorf("%s [%s]: unreachable diverge\n got: %q\nwant: %q", label, host, g, w)
+	}
+}
+
+// paperHosts enumerates every node name in the paper map — hosts and the
+// ARPA network hub — each of which must be servable as a vantage.
+func paperHosts(t *testing.T, src string) []string {
+	t.Helper()
+	pres, err := parser.ParseWith(parser.Options{}, parser.Input{Name: "paper1981.map", Src: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, n := range pres.Graph.Nodes() {
+		if n.IsPrivate() || n.IsDeleted() {
+			continue
+		}
+		names = append(names, n.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestMultiEveryVantagePaperMap is the cross-vantage equivalence suite:
+// with testdata/paper1981.map loaded once into a shared MultiEngine,
+// EVERY host in the map serves as a vantage and must produce output
+// byte-identical to a fresh single-source run with that LocalHost.
+// Vantages are queried concurrently, so the shared snapshot and graph
+// reads are exercised under -race.
+func TestMultiEveryVantagePaperMap(t *testing.T) {
+	data, err := os.ReadFile("../../testdata/paper1981.map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(data)
+	hosts := paperHosts(t, src)
+	if len(hosts) < 8 {
+		t.Fatalf("paper map should have at least 8 nodes, found %d: %v", len(hosts), hosts)
+	}
+
+	opts := Options{}
+	m, err := NewMulti(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	inputs := []Input{{Name: "paper1981.map", Src: src}}
+	if err := m.Update(inputs); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for _, host := range hosts {
+		wg.Add(1)
+		go func(host string) {
+			defer wg.Done()
+			checkVantage(t, m, opts, inputs, host, "initial")
+		}(host)
+	}
+	wg.Wait()
+
+	// Edit a cost and re-check every vantage: those touched warm-remap,
+	// the rest catch up lazily, all must stay byte-identical.
+	edited := []Input{{Name: "paper1981.map",
+		Src: src + "\nresearch\tstanford(WEEKLY)\n"}}
+	if err := m.Update(edited); err != nil {
+		t.Fatal(err)
+	}
+	for _, host := range hosts {
+		wg.Add(1)
+		go func(host string) {
+			defer wg.Done()
+			checkVantage(t, m, opts, edited, host, "after edit")
+		}(host)
+	}
+	wg.Wait()
+
+	// An unknown vantage must fail like a fresh run would.
+	if _, err := m.ResultFor("no-such-host"); err == nil {
+		t.Fatal("expected error for unknown vantage host")
+	}
+}
+
+// TestMultiRandomizedEquivalence extends the randomized edit-sequence
+// equivalence test to multiple concurrent vantages: after every random
+// add/remove/modify/file-shuffle step, 3+ vantages of the shared engine
+// are byte-compared (concurrently) against fresh single-source runs.
+func TestMultiRandomizedEquivalence(t *testing.T) {
+	steps := 30
+	if testing.Short() {
+		steps = 10
+	}
+	for _, seed := range []int64{3, 11} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := mapgen.Small()
+			cfg.Seed = seed
+			cfg.CoreFiles = 4
+			pins, local := mapgen.Generate(cfg)
+			opts := Options{LocalHost: local, Workers: 4}
+			m, err := NewMulti(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+			vantages := []string{local, "host0", "host1", "host7"}
+
+			inputs := toInputs(pins)
+			if err := m.Update(inputs); err != nil {
+				t.Fatal(err)
+			}
+			check := func(label string) {
+				var wg sync.WaitGroup
+				for _, host := range vantages {
+					wg.Add(1)
+					go func(host string) {
+						defer wg.Done()
+						checkVantage(t, m, opts, inputs, host, label)
+					}(host)
+				}
+				wg.Wait()
+			}
+			check("initial")
+
+			nextID := 0
+			for step := 0; step < steps; step++ {
+				inputs = mutateMap(rng, inputs, &nextID)
+				if err := m.Update(inputs); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				check(fmt.Sprintf("step %d (seed %d)", step, seed))
+			}
+			t.Logf("seed %d: stats %+v", seed, m.Stats())
+		})
+	}
+}
+
+// TestMultiLazyCatchUp checks the multi-generation warm path: a vantage
+// queried only every few updates must replay the union of the change
+// sets it missed and still match a fresh run.
+func TestMultiLazyCatchUp(t *testing.T) {
+	cfg := mapgen.Small()
+	cfg.CoreFiles = 3
+	pins, local := mapgen.Generate(cfg)
+	opts := Options{LocalHost: local}
+	m, err := NewMulti(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	inputs := toInputs(pins)
+	if err := m.Update(inputs); err != nil {
+		t.Fatal(err)
+	}
+	// Materialize the lazy vantage once, then leave it idle.
+	checkVantage(t, m, opts, inputs, "host3", "initial")
+
+	rng := rand.New(rand.NewSource(99))
+	nextID := 0
+	for step := 0; step < 12; step++ {
+		inputs = mutateMap(rng, inputs, &nextID)
+		if err := m.Update(inputs); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		// The default vantage tracks every update (Update recomputes
+		// resident vantages eagerly); host3 is only re-checked every
+		// fourth step and must catch up across the missed generations.
+		checkVantage(t, m, opts, inputs, local, fmt.Sprintf("step %d default", step))
+		if step%4 == 3 {
+			checkVantage(t, m, opts, inputs, "host3", fmt.Sprintf("step %d lazy", step))
+		}
+	}
+}
+
+// TestMultiPlainMode: input sets the journal cannot represent
+// (duplicate input names) serve every vantage from the plain-merge
+// fallback, and recover to the journaled path afterwards.
+func TestMultiPlainMode(t *testing.T) {
+	opts := Options{}
+	m, err := NewMulti(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	base := []Input{{Name: "m", Src: "a\tb(10)\nb\tc(10)\n"}}
+	if err := m.Update(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"a", "b", "c"} {
+		checkVantage(t, m, opts, base, h, "journaled")
+	}
+
+	dup := []Input{{Name: "m", Src: "a\tb(10)\n"}, {Name: "m", Src: "b\tc(10)\nc\td(5)\n"}}
+	if err := m.Update(dup); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"a", "b", "d"} {
+		checkVantage(t, m, opts, dup, h, "plain")
+	}
+
+	if err := m.Update(base); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"a", "b", "c"} {
+		checkVantage(t, m, opts, base, h, "revert")
+	}
+}
+
+// TestMultiEviction: the vantage cap evicts least-recently-used
+// machines (never the default), and an evicted vantage is rebuilt
+// correctly when queried again.
+func TestMultiEviction(t *testing.T) {
+	pins, local := mapgen.Generate(mapgen.Small())
+	opts := Options{LocalHost: local, MaxVantages: 3}
+	m, err := NewMulti(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	inputs := toInputs(pins)
+	if err := m.Update(inputs); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, h := range []string{"host0", "host1", "host2", "host3", "host4"} {
+		if _, err := m.ResultFor(h); err != nil {
+			t.Fatalf("%s: %v", h, err)
+		}
+	}
+	vans := m.Vantages()
+	if len(vans) > 3 {
+		t.Fatalf("vantage cap not enforced: %v", vans)
+	}
+	found := false
+	for _, v := range vans {
+		if v == local {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("default vantage evicted: %v", vans)
+	}
+	// An evicted vantage comes back cold but correct.
+	checkVantage(t, m, opts, inputs, "host0", "revived")
+}

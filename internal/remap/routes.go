@@ -1,13 +1,13 @@
 package remap
 
-// Incremental route derivation. printer.Routes re-derives every format
-// string by a full tree traversal; the engine instead keeps one frame
-// per label — the traversal state printer passes down its recursion —
-// and recomputes frames only for labels whose value changed, plus their
-// descendants (a route string depends on every ancestor's frame). The
-// resulting entries live in one array kept in printer's output order, so
-// an update is a sorted merge: drop the dirty labels' old rows, merge in
-// their new ones.
+// Incremental route derivation, per vantage. printer.Routes re-derives
+// every format string by a full tree traversal; a vantage instead keeps
+// one frame per label — the traversal state printer passes down its
+// recursion — and recomputes frames only for labels whose value changed,
+// plus their descendants (a route string depends on every ancestor's
+// frame). The resulting entries live in one array kept in printer's
+// output order, so an update is a sorted merge: drop the dirty labels'
+// old rows, merge in their new ones.
 //
 // The frame rules are a transliteration of printer.extend/emit; the
 // randomized equivalence tests hold the two byte-identical.
@@ -44,15 +44,15 @@ type entryRow struct {
 // rowLess is the canonical output order: host name, then main entries
 // before domain-qualified ones (the printer's merge rule), then name
 // rank for determinism among qualified collisions.
-func (e *Engine) rowLess(a, b entryRow) bool {
+func (v *vantage) rowLess(rank []int32, a, b entryRow) bool {
 	if a.e.Host != b.e.Host {
 		return a.e.Host < b.e.Host
 	}
 	if a.odd != b.odd {
 		return !a.odd
 	}
-	ra := e.snap.Rank[e.mc.Label(a.label).Node.ID]
-	rb := e.snap.Rank[e.mc.Label(b.label).Node.ID]
+	ra := rank[v.mc.Label(a.label).Node.ID]
+	rb := rank[v.mc.Label(b.label).Node.ID]
 	if ra != rb {
 		return ra < rb
 	}
@@ -107,8 +107,8 @@ func extendFrame(parent, c mapper.LabelView, pf *frame) frame {
 }
 
 // entryFor applies printer.emit's rules to one label/frame pair.
-func (e *Engine) entryFor(li int32, f *frame) (printer.Entry, bool) {
-	lv := e.mc.Label(li)
+func (v *vantage) entryFor(e *Engine, li int32, f *frame) (printer.Entry, bool) {
+	lv := v.mc.Label(li)
 	n := lv.Node
 	if lv.State != graph.Mapped || n.IsPrivate() || n.IsDeleted() {
 		return printer.Entry{}, false
@@ -131,56 +131,59 @@ func (e *Engine) entryFor(li int32, f *frame) (printer.Entry, bool) {
 
 // rebuildRoutes derives every frame and entry from scratch (full-re-map
 // path): a DFS over the machine's shortest-path tree.
-func (e *Engine) rebuildRoutes() {
-	nl := e.mc.NumLabels()
-	if cap(e.frames) >= nl {
-		e.frames = e.frames[:nl]
-		clear(e.frames)
+func (v *vantage) rebuildRoutes(e *Engine) {
+	nl := v.mc.NumLabels()
+	if cap(v.frames) >= nl {
+		v.frames = v.frames[:nl]
+		clear(v.frames)
 	} else {
-		e.frames = make([]frame, nl)
+		v.frames = make([]frame, nl)
 	}
-	if cap(e.frameDirty) >= nl {
-		e.frameDirty = e.frameDirty[:nl]
+	if cap(v.frameDirty) >= nl {
+		v.frameDirty = v.frameDirty[:nl]
 	} else {
-		e.frameDirty = make([]uint32, nl)
-		e.frameEpoch = 0
+		v.frameDirty = make([]uint32, nl)
+		v.frameEpoch = 0
 	}
-	e.rows = e.rows[:0]
+	v.rows = v.rows[:0]
 
-	root := 2 * e.mc.SourceID()
-	rootView := e.mc.Label(root)
+	root := 2 * v.mc.SourceID()
+	rootView := v.mc.Label(root)
 	if rootView.Node == nil || rootView.State != graph.Mapped {
 		return
 	}
-	e.frames[root] = frame{route: "%s", name: rootView.Node.Name, valid: true}
+	rank := e.snap.Rank
+	v.frames[root] = frame{route: "%s", name: rootView.Node.Name, valid: true}
 	stack := []int32{root}
 	for len(stack) > 0 {
 		li := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		lv := e.mc.Label(li)
+		lv := v.mc.Label(li)
 		if li != root {
-			p := e.mc.Label(lv.Parent)
-			e.frames[li] = extendFrame(p, lv, &e.frames[lv.Parent])
+			p := v.mc.Label(lv.Parent)
+			v.frames[li] = extendFrame(p, lv, &v.frames[lv.Parent])
 		}
-		if en, ok := e.entryFor(li, &e.frames[li]); ok {
-			e.rows = append(e.rows, entryRow{e: en, label: li, odd: en.Host != lv.Node.Name})
+		if en, ok := v.entryFor(e, li, &v.frames[li]); ok {
+			v.rows = append(v.rows, entryRow{e: en, label: li, odd: en.Host != lv.Node.Name})
 		}
-		stack = append(stack, e.mc.Children(li)...)
+		stack = append(stack, v.mc.Children(li)...)
 	}
-	sort.Slice(e.rows, func(i, j int) bool { return e.rowLess(e.rows[i], e.rows[j]) })
+	sort.Slice(v.rows, func(i, j int) bool { return v.rowLess(rank, v.rows[i], v.rows[j]) })
 }
 
 // patchRoutes recomputes frames and entries for the changed labels and
-// their descendants after a warm run.
-func (e *Engine) patchRoutes(changed []int32) {
-	e.frameEpoch++
-	epoch := e.frameEpoch
+// their descendants after a warm run. netFlips lists nodes whose IsNet
+// flag flipped across the replayed generations (a print-only effect the
+// label diff cannot see).
+func (v *vantage) patchRoutes(e *Engine, changed []int32, netFlips []int32) {
+	v.frameEpoch++
+	epoch := v.frameEpoch
 	var dirty []int32
 	mark := func(li int32) bool {
-		if e.frameDirty[li] == epoch {
+		if v.frameDirty[li] == epoch {
 			return false
 		}
-		e.frameDirty[li] = epoch
+		v.frameDirty[li] = epoch
 		dirty = append(dirty, li)
 		return true
 	}
@@ -190,9 +193,9 @@ func (e *Engine) patchRoutes(changed []int32) {
 			stack = append(stack, li)
 		}
 	}
-	for _, id := range e.ch.netFlips {
+	for _, id := range netFlips {
 		li := 2 * id
-		if e.mc.Label(li).Node != nil && mark(li) {
+		if v.mc.Label(li).Node != nil && mark(li) {
 			stack = append(stack, li)
 		}
 	}
@@ -200,7 +203,7 @@ func (e *Engine) patchRoutes(changed []int32) {
 	for len(stack) > 0 {
 		li := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, c := range e.mc.Children(li) {
+		for _, c := range v.mc.Children(li) {
 			if mark(c) {
 				stack = append(stack, c)
 			}
@@ -209,64 +212,66 @@ func (e *Engine) patchRoutes(changed []int32) {
 
 	// Recompute top-down: parents strictly precede children in hop count.
 	slices.SortFunc(dirty, func(a, b int32) int {
-		return int(e.mc.Label(a).Hops) - int(e.mc.Label(b).Hops)
+		return int(v.mc.Label(a).Hops) - int(v.mc.Label(b).Hops)
 	})
+	rank := e.snap.Rank
 	var newRows []entryRow
-	root := 2 * e.mc.SourceID()
+	root := 2 * v.mc.SourceID()
 	for _, li := range dirty {
-		lv := e.mc.Label(li)
+		lv := v.mc.Label(li)
 		if lv.Node == nil || lv.State != graph.Mapped {
-			e.frames[li] = frame{}
+			v.frames[li] = frame{}
 			continue
 		}
 		if li == root {
-			e.frames[li] = frame{route: "%s", name: lv.Node.Name, valid: true}
+			v.frames[li] = frame{route: "%s", name: lv.Node.Name, valid: true}
 		} else {
-			e.frames[li] = extendFrame(e.mc.Label(lv.Parent), lv, &e.frames[lv.Parent])
+			v.frames[li] = extendFrame(v.mc.Label(lv.Parent), lv, &v.frames[lv.Parent])
 		}
-		if en, ok := e.entryFor(li, &e.frames[li]); ok {
+		if en, ok := v.entryFor(e, li, &v.frames[li]); ok {
 			newRows = append(newRows, entryRow{e: en, label: li, odd: en.Host != lv.Node.Name})
 		}
 	}
-	sort.Slice(newRows, func(i, j int) bool { return e.rowLess(newRows[i], newRows[j]) })
+	sort.Slice(newRows, func(i, j int) bool { return v.rowLess(rank, newRows[i], newRows[j]) })
 
 	// Merge: old rows minus dirty labels, plus the recomputed rows. The
 	// spare buffer ping-pongs with the live one to keep the merge
 	// allocation-free at steady state.
-	merged := e.rowsSpare[:0]
-	if cap(merged) < len(e.rows)+len(newRows) {
-		merged = make([]entryRow, 0, len(e.rows)+len(newRows))
+	merged := v.rowsSpare[:0]
+	if cap(merged) < len(v.rows)+len(newRows) {
+		merged = make([]entryRow, 0, len(v.rows)+len(newRows))
 	}
 	j := 0
-	for _, r := range e.rows {
-		if e.frameDirty[r.label] == epoch {
+	for _, r := range v.rows {
+		if v.frameDirty[r.label] == epoch {
 			continue // superseded (or gone)
 		}
-		for j < len(newRows) && e.rowLess(newRows[j], r) {
+		for j < len(newRows) && v.rowLess(rank, newRows[j], r) {
 			merged = append(merged, newRows[j])
 			j++
 		}
 		merged = append(merged, r)
 	}
 	merged = append(merged, newRows[j:]...)
-	e.rowsSpare = e.rows
-	e.rows = merged
+	v.rowsSpare = v.rows
+	v.rows = merged
 }
 
 // assembleEntries renders the row array into the Result's entry slice.
 // The two entry buffers ping-pong: the one handed out with the previous
-// Result is reused for the next-but-one update, which is why a Result's
-// Entries are documented as valid only until the second Update after it.
-func (e *Engine) assembleEntries() []printer.Entry {
-	out := e.entriesSpare[:0]
-	if cap(out) < len(e.rows) {
-		out = make([]printer.Entry, 0, len(e.rows)+len(e.rows)/4)
+// Result is reused for the next-but-one recompute, which is why a
+// Result's Entries are documented as valid only until the second
+// recompute of its vantage.
+func (v *vantage) assembleEntries(e *Engine) []printer.Entry {
+	out := v.entriesSpare[:0]
+	if cap(out) < len(v.rows) {
+		out = make([]printer.Entry, 0, len(v.rows)+len(v.rows)/4)
 	}
-	for _, r := range e.rows {
+	for _, r := range v.rows {
 		out = append(out, r.e)
 	}
-	e.entriesSpare = e.entriesLast
-	e.entriesLast = out
+	v.entriesSpare = v.entriesLast
+	v.entriesLast = out
 	if e.opts.Printer.SortByCost {
 		slices.SortFunc(out, func(a, b printer.Entry) int {
 			if a.Cost != b.Cost {

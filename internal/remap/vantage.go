@@ -1,0 +1,234 @@
+package remap
+
+// A vantage is the per-source half of the engine: everything that
+// depends on which LocalHost routes originate from. It owns a detached
+// mapper.Machine (private labels, queue, back-link overlay) over the
+// core's shared graph and CSR snapshot, the persistent route frames
+// (routes.go), and the latest Result. N vantages share one fragment
+// cache, one journaled graph, and one snapshot; each costs only its
+// labels and route strings.
+//
+// A vantage may fall behind the core by several updates (a Multi
+// recomputes lazily on query): recompute then replays the union of the
+// change sets in between (Engine.eventsSince), which preserves the
+// warm-start invariant — every label whose final value differs from the
+// machine's current labeling is either invalidated or reachable from a
+// seeded improvement source — because invalidation is keyed off the
+// machine's own current labels, not off any single update's view.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pathalias/internal/mapper"
+	"pathalias/internal/printer"
+)
+
+type vantage struct {
+	host string // case-folded vantage host name
+
+	// Machine state. graphGen names the core graph the machine is bound
+	// to (a journal rebuild allocates a fresh graph); jgen the journal
+	// generation the machine's labels reflect; needFull forces the next
+	// mapping run cold (new machine, failed run, structural change).
+	mc       *mapper.Machine
+	graphGen uint64
+	jgen     uint64
+	needFull bool
+
+	// Result cache: last/err are valid for core generation resGen.
+	resGen uint64
+	last   *Result
+	err    error
+
+	// Route state (routes.go).
+	frames     []frame
+	frameDirty []uint32
+	frameEpoch uint32
+	rows       []entryRow
+	rowsSpare  []entryRow
+
+	// Entry output buffers, ping-ponged by assembleEntries: the slice in
+	// the latest Result and the one from the Result before it.
+	entriesLast  []printer.Entry
+	entriesSpare []printer.Entry
+
+	// lastUsed is the Multi's LRU tick, atomic so cached reads under the
+	// shared read-lock can still touch it.
+	lastUsed atomic.Uint64
+}
+
+func newVantage(host string) *vantage {
+	return &vantage{host: host, needFull: true}
+}
+
+// resolve returns the vantage's result for the core's current update
+// generation, recomputing when stale. recomputed reports that a mapping
+// run happened (false when served from cache). Callers hold whatever
+// lock guards the core; the recompute itself writes only vantage state.
+func (v *vantage) resolve(e *Engine) (res *Result, recomputed bool, err error) {
+	if e.updGen > 0 && v.resGen == e.updGen {
+		if v.err != nil {
+			return nil, false, v.err
+		}
+		if v.last != nil {
+			return v.last, false, nil
+		}
+	}
+	if e.plain == nil && !e.journaled {
+		return nil, false, fmt.Errorf("remap: no inputs")
+	}
+	if e.plain != nil {
+		res, err = v.recomputePlain(e)
+	} else {
+		res, err = v.recompute(e)
+	}
+	return res, true, err
+}
+
+// result is resolve plus the single-engine stats accounting.
+func (v *vantage) result(e *Engine) (*Result, error) {
+	res, recomputed, err := v.resolve(e)
+	if recomputed && err == nil && e.plain == nil {
+		if res.Incremental {
+			e.Stats.Incremental++
+		} else {
+			e.Stats.FullRemaps++
+		}
+	}
+	return res, err
+}
+
+// fail records a recompute failure for the current generation. The
+// previous result keeps serving through v.last (Result()); the cached
+// error stops identical queries from re-running a doomed mapping.
+func (v *vantage) fail(e *Engine, err error) (*Result, error) {
+	v.err = err
+	v.resGen = e.updGen
+	return nil, err
+}
+
+// recompute maps the vantage over the core's journaled graph — warm
+// when the machine's labeling is close enough to the current journal
+// generation, cold otherwise — and refreshes the route state.
+func (v *vantage) recompute(e *Engine) (*Result, error) {
+	local, err := e.localNodeFor(v.host)
+	if err != nil {
+		return v.fail(e, err)
+	}
+	if v.mc == nil || v.graphGen != e.graphGen {
+		v.mc = mapper.NewDetachedMachine(e.g, e.mopts)
+		v.graphGen = e.graphGen
+		v.needFull = true
+	}
+	v.mc.UseSnapshot(e.snap)
+
+	structural, edges, attrs, netFlips := e.eventsSince(v.jgen)
+	warm := !structural && !v.needFull && v.mc.SourceID() == int32(local.ID)
+	if warm {
+		warm = v.mc.BeginWarm() == nil
+	}
+	if warm {
+		// The previous run's invented back links vanish first (a fresh
+		// parse starts from declared links only), then every path riding
+		// a changed or removed edge, then every path through a node
+		// whose attributes changed. Invalidation re-queues the dirty
+		// region's cost frontier; seeding the sources of added/changed
+		// edges covers possible improvements into still-mapped territory.
+		invalidated, rootHit := v.mc.SweepInvented()
+		maxDirty := int(float64(v.mc.NumLabels()) * e.opts.MaxDirtyFrac)
+		for _, ev := range edges {
+			lv := v.mc.Label(2 * ev.to)
+			if lv.Node != nil && lv.Via == ev.link {
+				n, hit := v.mc.InvalidateSubtree(ev.to)
+				invalidated += n
+				rootHit = rootHit || hit
+			}
+		}
+		for _, id := range attrs {
+			n, hit := v.mc.InvalidateSubtree(id)
+			invalidated += n
+			rootHit = rootHit || hit
+			if invalidated > maxDirty {
+				break
+			}
+		}
+		if rootHit || invalidated > maxDirty {
+			warm = false
+		} else {
+			for _, ev := range edges {
+				if !ev.removed {
+					v.mc.Seed(ev.from)
+				}
+			}
+		}
+	}
+
+	var res *mapper.Result
+	var changed []int32
+	if warm {
+		res, changed = v.mc.FinishWarm()
+	} else {
+		var err error
+		res, err = v.mc.FullRun(local)
+		if err != nil {
+			v.needFull = true
+			return v.fail(e, err)
+		}
+	}
+
+	out := &Result{Incremental: warm}
+	fillMapStats(out, res)
+	if warm {
+		v.patchRoutes(e, changed, netFlips)
+	} else {
+		v.rebuildRoutes(e)
+	}
+	out.Entries = v.assembleEntries(e)
+	out.Warnings = e.warnings
+	for _, n := range res.Unreachable {
+		out.Unreachable = append(out.Unreachable, n.Name)
+	}
+	v.jgen = e.jgen
+	v.resGen = e.updGen
+	v.needFull = false
+	v.err = nil
+	v.last = out
+	return out, nil
+}
+
+// recomputePlain serves the vantage from the core's plain-merge world: a
+// one-shot mapper run over the merged graph. The journaled machine state
+// is left untouched, so warm mapping resumes when a clean update
+// arrives. One-shot runs own the plain graph's Node.M; the core lock
+// serializes them.
+func (v *vantage) recomputePlain(e *Engine) (*Result, error) {
+	local, ok := e.plain.g.Lookup(v.host)
+	if !ok {
+		return v.fail(e, fmt.Errorf("remap: local host %q not found in input", v.host))
+	}
+	mres, err := mapper.Run(e.plain.g, local, e.mopts)
+	if err != nil {
+		return v.fail(e, err)
+	}
+	out := &Result{
+		Entries:  printer.Routes(mres, e.opts.Printer),
+		Warnings: e.warnings,
+	}
+	fillMapStats(out, mres)
+	for _, n := range mres.Unreachable {
+		out.Unreachable = append(out.Unreachable, n.Name)
+	}
+	v.resGen = e.updGen
+	v.err = nil
+	v.last = out
+	return out, nil
+}
+
+func fillMapStats(out *Result, res *mapper.Result) {
+	out.Reached = res.Reached
+	out.BackLinked = res.BackLinked
+	out.Penalized = res.Penalized
+	out.Extractions = res.Extractions
+	out.Relaxations = res.Relaxations
+}

@@ -77,6 +77,11 @@ type Options struct {
 	GatewayPenalty     int64
 	DomainRelayPenalty int64
 	DeadPenalty        int64
+
+	// MaxVantages caps how many vantage machines a MultiEngine keeps
+	// resident (least-recently-used eviction; the LocalHost vantage is
+	// never evicted). 0 means 64. Ignored everywhere else.
+	MaxVantages int
 }
 
 // Route is one computed route: a reachable name and the format string
