@@ -1,7 +1,7 @@
 package pathalias
 
 // Benchmark harness: one benchmark (or benchmark pair) per experiment with
-// a performance dimension, as indexed in DESIGN.md §4. Run with
+// a performance dimension, as indexed in DESIGN.md §5. Run with
 //
 //	go test -bench=. -benchmem
 //

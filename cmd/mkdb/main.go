@@ -7,9 +7,17 @@
 //
 //	pathalias -l here map | mkdb -o routes.db
 //	mkdb routes.txt -o routes.db
+//	mkdb -binary routes.txt -o routes.rdb
+//	mkdb routes.rdb -o routes.txt
 //
-// The output is sorted, deduplicated (cheapest route per host), and
-// always in the three-field "cost\thost\troute" form, ready for uupath.
+// By default the output is sorted, deduplicated (cheapest route per
+// host) text, always in the three-field "cost\thost\troute" form, ready
+// for uupath. With -binary, mkdb compiles the same database into the
+// mmap-served binary format (internal/rdb) that routed and uupath open
+// with no parsing — the historical `pathalias | makedb` dbm step. A
+// file argument that is already a compiled database is detected by its
+// magic bytes and loaded either way, so mkdb converts in both
+// directions.
 package main
 
 import (
@@ -28,42 +36,108 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mkdb", flag.ContinueOnError)
 	out := fs.String("o", "", "output file (default: stdout)")
+	binary := fs.Bool("binary", false, "emit the compiled binary database (rdb) instead of text")
+	fold := fs.Bool("i", false, "case-fold host names (for maps computed with pathalias -i)")
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	in := stdin
+	var db *routedb.DB
 	if fs.NArg() > 0 {
-		f, err := os.Open(fs.Arg(0))
+		path := fs.Arg(0)
+		isBin, err := routedb.IsBinaryFile(path)
 		if err != nil {
 			fmt.Fprintf(stderr, "mkdb: %v\n", err)
 			return 1
 		}
-		defer f.Close()
-		in = f
-	}
-
-	db, err := routedb.Load(in)
-	if err != nil {
-		fmt.Fprintf(stderr, "mkdb: %v\n", err)
-		return 1
-	}
-
-	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+		if isBin {
+			// Already compiled: load it (its header's fold option wins)
+			// so mkdb can convert back to text or re-emit. Conversion is
+			// the audit point, so run the deep checks the serving open
+			// path defers.
+			if db, err = routedb.OpenBinary(path); err != nil {
+				fmt.Fprintf(stderr, "mkdb: %v\n", err)
+				return 1
+			}
+			defer db.Close()
+			if err := db.DeepVerify(); err != nil {
+				fmt.Fprintf(stderr, "mkdb: %v\n", err)
+				return 1
+			}
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "mkdb: %v\n", err)
+				return 1
+			}
+			db, err = routedb.LoadWith(f, routedb.Options{FoldCase: *fold})
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(stderr, "mkdb: %v\n", err)
+				return 1
+			}
+		}
+	} else {
+		var err error
+		db, err = routedb.LoadWith(stdin, routedb.Options{FoldCase: *fold})
 		if err != nil {
 			fmt.Fprintf(stderr, "mkdb: %v\n", err)
 			return 1
 		}
-		defer f.Close()
-		w = f
 	}
-	if _, err := db.WriteTo(w); err != nil {
+
+	// Write the output, propagating every write AND close error: a full
+	// disk often surfaces only when buffers flush at close, and a
+	// swallowed error there means a silently truncated database. A file
+	// target is replaced atomically (temp file + rename), so a routed
+	// watcher serving the target never observes a half-written
+	// database, and a failed write leaves the previous file intact.
+	if *out == "" {
+		if err := writeOut(db, stdout, *binary); err != nil {
+			fmt.Fprintf(stderr, "mkdb: %v\n", err)
+			return 1
+		}
+	} else if err := writeFile(db, *out, *binary); err != nil {
 		fmt.Fprintf(stderr, "mkdb: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "mkdb: %d routes\n", db.Len())
+	format := "text"
+	if *binary {
+		format = "binary"
+	}
+	fmt.Fprintf(stderr, "mkdb: %d routes (%s)\n", db.Len(), format)
 	return 0
+}
+
+// writeOut emits the database in the requested format.
+func writeOut(db *routedb.DB, w io.Writer, binary bool) error {
+	if binary {
+		_, err := db.WriteBinary(w)
+		return err
+	}
+	_, err := db.WriteTo(w)
+	return err
+}
+
+// writeFile emits the database to path atomically: written to a temp
+// file in the same directory, closed with its error checked, renamed
+// into place. On any failure the temp file is removed and the previous
+// path contents survive untouched.
+func writeFile(db *routedb.DB, path string, binary bool) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := writeOut(db, f, binary); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -29,6 +29,12 @@
 //	-t    trace one host's links, attributes, and path on standard error
 //	-j    number of concurrent input-file scanners (0 = one per CPU)
 //
+// Compiled output:
+//
+//	-o-db file  also compile the routes into the binary route database
+//	            (rdb) at file, written atomically — the mmap-served
+//	            format routed -db and uupath open with no parsing
+//
 // Continuous regeneration:
 //
 //	-watch 2s  stay resident and regenerate when a map file changes
@@ -58,6 +64,7 @@ import (
 	"pathalias/internal/core"
 	"pathalias/internal/mapper"
 	"pathalias/internal/printer"
+	"pathalias/internal/routedb"
 )
 
 func main() {
@@ -82,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		memprofile  = fs.String("memprofile", "", "write a heap profile to `file`")
 		watchEvery  = fs.Duration("watch", 0, "stay resident and regenerate when a map file changes")
 		outPath     = fs.String("o", "", "output `file` instead of stdout (required with -watch)")
+		outDB       = fs.String("o-db", "", "also compile the routes into a binary route database at `file` (rdb, for routed -db / uupath)")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -189,6 +197,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pathalias: writing output: %v\n", err)
 		return 1
 	}
+	if *outDB != "" {
+		if err := writeBinaryDB(*outDB, rep.Entries, *ignoreCase); err != nil {
+			fmt.Fprintf(stderr, "pathalias: writing %s: %v\n", *outDB, err)
+			return 1
+		}
+	}
 	for _, name := range rep.Unreachable {
 		fmt.Fprintf(stderr, "pathalias: %s: no route\n", name)
 	}
@@ -199,4 +213,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		core.WriteReportStats(stderr, rep)
 	}
 	return 0
+}
+
+// writeBinaryDB compiles the run's routes straight into the mmap-served
+// binary database format (-o-db), atomically: written to a temp file in
+// the same directory and renamed into place, so a routed -db watcher of
+// the target never observes a partial file. Write and close errors are
+// propagated — a half-written database must not look like success.
+func writeBinaryDB(path string, entries []printer.Entry, fold bool) error {
+	db := routedb.BuildWith(entries, routedb.Options{FoldCase: fold})
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := db.WriteBinary(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathalias/internal/routedb"
+)
+
+// TestOutputDB: -o-db compiles the run's routes into a binary database
+// answering identically to the text output fed through routedb.
+func TestOutputDB(t *testing.T) {
+	p := writeMap(t, paperMap)
+	rdbPath := filepath.Join(t.TempDir(), "routes.rdb")
+	var out, errb strings.Builder
+	if code := run([]string{"-l", "unc", "-c", "-o-db", rdbPath, p}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+
+	want, err := routedb.Load(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := routedb.OpenBinary(rdbPath)
+	if err != nil {
+		t.Fatalf("OpenBinary: %v", err)
+	}
+	defer got.Close()
+	if got.Len() != want.Len() {
+		t.Fatalf("Len = %d want %d", got.Len(), want.Len())
+	}
+	for _, e := range want.Entries() {
+		ge, ok := got.Lookup(e.Host)
+		if !ok || ge != e {
+			t.Errorf("Lookup(%q) = %+v,%v want %+v", e.Host, ge, ok, e)
+		}
+	}
+	if _, ok := got.Binary(); !ok {
+		t.Error("-o-db output did not open as a binary database")
+	}
+}
+
+// TestOutputDBIgnoreCase: the -i flag is recorded in the compiled file.
+func TestOutputDBIgnoreCase(t *testing.T) {
+	p := writeMap(t, paperMap)
+	rdbPath := filepath.Join(t.TempDir(), "routes.rdb")
+	var out, errb strings.Builder
+	if code := run([]string{"-l", "UNC", "-i", "-o-db", rdbPath, p}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	db, err := routedb.OpenBinary(rdbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if !db.Options().FoldCase {
+		t.Error("FoldCase not recorded in compiled database")
+	}
+	if _, ok := db.Lookup("DUKE"); !ok {
+		t.Error("case-folded lookup missed")
+	}
+}
+
+// TestOutputDBWriteError: a failing -o-db target is an error exit, and
+// no partial file is left behind.
+func TestOutputDBWriteError(t *testing.T) {
+	p := writeMap(t, paperMap)
+	dir := filepath.Join(t.TempDir(), "nosuchdir")
+	rdbPath := filepath.Join(dir, "routes.rdb")
+	var out, errb strings.Builder
+	if code := run([]string{"-l", "unc", "-o-db", rdbPath, p}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d want 1 (stderr %q)", code, errb.String())
+	}
+	if _, err := os.Stat(rdbPath); !os.IsNotExist(err) {
+		t.Errorf("partial output left behind: %v", err)
+	}
+}

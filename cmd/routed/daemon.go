@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"pathalias/internal/parser"
+	"pathalias/internal/rdb"
 	"pathalias/internal/routedb"
 )
 
@@ -25,10 +26,11 @@ import (
 // precompiled route file (-d) or by an incremental re-map engine over
 // map sources (-map; see mapwatch.go) — the serving side is identical.
 type daemon struct {
-	path  string // route file; "" in -map mode
-	opts  routedb.Options
-	store *routedb.Store
-	logw  io.Writer
+	path   string // route file; "" in -map mode
+	binary bool   // path is a compiled rdb file (-db), mmap-served
+	opts   routedb.Options
+	store  *routedb.Store
+	logw   io.Writer
 
 	// vantage resolves a from=<host> query to that vantage's store,
 	// lazily spinning the vantage up over the shared map engine. Nil in
@@ -43,9 +45,13 @@ type daemon struct {
 	swaps    atomic.Uint64
 }
 
-// newDaemon loads path into a fresh store.
-func newDaemon(path string, opts routedb.Options, logw io.Writer) (*daemon, error) {
-	d := &daemon{path: path, opts: opts, store: routedb.NewStore(nil), logw: logw}
+// newDaemon loads path into a fresh store. With binary, path is a
+// compiled route database (rdb): it is memory-mapped and served with no
+// parse — the instant-start mode — and hot reloads swap in a fresh
+// mapping, leaving old ones to the garbage collector once in-flight
+// lookups drain.
+func newDaemon(path string, binary bool, opts routedb.Options, logw io.Writer) (*daemon, error) {
+	d := &daemon{path: path, binary: binary, opts: opts, store: routedb.NewStore(nil), logw: logw}
 	if err := d.reload(); err != nil {
 		return nil, err
 	}
@@ -73,9 +79,18 @@ func contentHash(data []byte) uint64 {
 // (mtime, size, hash) triple is recorded even when parsing fails, so a
 // persistently malformed file is not re-parsed on every watch tick —
 // only when it changes again.
+//
+// In binary mode no parsing happens at all: the compiled file is
+// mapped, checksummed, and validated, and its own integrity checksum
+// doubles as the content hash for the watcher. A superseded mapping is
+// released by the garbage collector once no in-flight lookup can hold
+// it (routedb ties the munmap to the old DB's reachability).
 func (d *daemon) reload() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.binary {
+		return d.reloadBinaryLocked()
+	}
 	data, err := os.ReadFile(d.path)
 	if err != nil {
 		return err
@@ -95,6 +110,44 @@ func (d *daemon) reload() error {
 	d.loadedAt = time.Now()
 	d.swaps.Add(1)
 	d.logf("loaded %d routes from %s", db.Len(), d.path)
+	return nil
+}
+
+// reloadBinaryLocked opens the compiled database and swaps it in;
+// d.mu must be held. The stat triple is recorded even when validation
+// fails, so a persistently corrupt file is re-probed only by its cheap
+// footer checksum until it changes again.
+func (d *daemon) reloadBinaryLocked() error {
+	fi, err := os.Stat(d.path)
+	if err != nil {
+		return err
+	}
+	d.mtime = fi.ModTime()
+	d.size = fi.Size()
+	db, err := routedb.OpenBinary(d.path)
+	if err != nil {
+		// Memoize what we observed so a persistently corrupt file is
+		// re-probed by its cheap footer checksum, not re-opened, until
+		// it changes again.
+		if crc, cerr := rdb.FileChecksum(d.path); cerr == nil {
+			d.hash = uint64(crc)
+		} else {
+			d.hash = 0
+		}
+		return err
+	}
+	// Record the served image's own checksum — not a separate file
+	// read, which could fingerprint a different image if the file is
+	// replaced between the two opens.
+	crc, _ := db.Binary()
+	d.hash = uint64(crc)
+	if got := db.Options(); got != d.opts {
+		d.logf("note: %s was compiled with FoldCase=%v; the file's setting wins over the -i flag", d.path, got.FoldCase)
+	}
+	d.store.Swap(db)
+	d.loadedAt = time.Now()
+	d.swaps.Add(1)
+	d.logf("mapped %d routes from %s (no parse)", db.Len(), d.path)
 	return nil
 }
 
@@ -123,6 +176,15 @@ func (d *daemon) changed() (bool, error) {
 	}
 	if time.Since(fi.ModTime()) > staleSettle {
 		return false, nil
+	}
+	if d.binary {
+		crc, err := rdb.FileChecksum(d.path)
+		if err != nil {
+			// Mid-replace or corrupt: treat as changed and let reload
+			// decide (it keeps the old database on failure).
+			return true, nil
+		}
+		return uint64(crc) != hash, nil
 	}
 	data, err := os.ReadFile(d.path)
 	if err != nil {

@@ -8,11 +8,19 @@
 // Usage:
 //
 //	routed -d routes.db [-tcp addr] [-http addr] [-watch 2s] [-i]
+//	routed -db routes.rdb [-tcp addr] [-http addr] [-watch 2s]
 //	routed -d routes.db -stdin
 //	routed -map -l localhost [-vantages 64] [-tcp addr] [-http addr] [-watch 2s] [-i] file...
 //
-// With -d, routed serves a precompiled route database and reloads it
-// when the file changes. With -map, routed owns the whole pipeline: it
+// With -d, routed serves a precompiled text route database and reloads
+// it when the file changes. With -db, it serves a compiled binary
+// database (`mkdb -binary` / `pathalias -o-db`): the file is
+// memory-mapped and served with no parsing and no per-entry allocation,
+// so a 200k-host daemon answers its first lookup tens of milliseconds
+// after exec instead of seconds — and several routed processes mapping
+// the same file share one physical copy in the page cache. Replacing
+// the file (atomically, via rename) hot-swaps the mapping under live
+// traffic. With -map, routed owns the whole pipeline: it
 // computes routes from the map sources in-process (the paper's three
 // phases), watches the sources, and on every edit re-scans only the
 // changed files and re-maps only the affected region of the network
@@ -64,6 +72,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("routed", flag.ContinueOnError)
 	var (
 		dbPath   = fs.String("d", "", "route database file (precompiled mode)")
+		binPath  = fs.String("db", "", "compiled binary route database (rdb): mmap-served, instant start")
 		mapMode  = fs.Bool("map", false, "compute routes from map source files (args) with the incremental engine")
 		local    = fs.String("l", "", "local host name (required with -map)")
 		tcpAddr  = fs.String("tcp", "", "serve the line protocol on this TCP address (e.g. :7411)")
@@ -78,15 +87,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	usage := func() int {
-		fmt.Fprintln(stderr, "usage: routed -d routes.db [-tcp addr] [-http addr] [-watch 2s] [-i] | -stdin")
+		fmt.Fprintln(stderr, "usage: routed -d routes.db | -db routes.rdb [-tcp addr] [-http addr] [-watch 2s] [-i] | -stdin")
 		fmt.Fprintln(stderr, "       routed -map -l localhost [-vantages 64] [-tcp addr] [-http addr] [-watch 2s] [-i] file...")
 		return 2
 	}
-	if *mapMode {
-		if *dbPath != "" || *local == "" || len(fs.Args()) == 0 {
-			return usage()
+	sources := 0
+	for _, set := range []bool{*dbPath != "", *binPath != "", *mapMode} {
+		if set {
+			sources++
 		}
-	} else if *dbPath == "" {
+	}
+	if sources != 1 {
+		return usage()
+	}
+	if *mapMode && (*local == "" || len(fs.Args()) == 0) {
 		return usage()
 	}
 	if !*useStdin && *tcpAddr == "" && *httpAddr == "" {
@@ -108,8 +122,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			go w.watch(ctx, *watch)
 		}
 	} else {
+		path, binary := *dbPath, false
+		if *binPath != "" {
+			path, binary = *binPath, true
+		}
 		var err error
-		d, err = newDaemon(*dbPath, routedb.Options{FoldCase: *fold}, stderr)
+		d, err = newDaemon(path, binary, routedb.Options{FoldCase: *fold}, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "routed: %v\n", err)
 			return 1

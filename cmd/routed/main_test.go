@@ -18,10 +18,17 @@ import (
 	"pathalias/internal/routedb"
 )
 
+// writeRoutes installs content atomically (write + rename), the way
+// watched route files are documented to be replaced: the 5ms-tick
+// watchers in these tests must never observe a half-written file.
 func writeRoutes(t *testing.T, dir, content string) string {
 	t.Helper()
 	path := filepath.Join(dir, "routes.db")
-	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
 		t.Fatal(err)
 	}
 	return path
@@ -67,7 +74,7 @@ func TestRunUsageErrors(t *testing.T) {
 
 func TestTCPProtocol(t *testing.T) {
 	path := writeRoutes(t, t.TempDir(), testRoutes)
-	d, err := newDaemon(path, routedb.Options{}, io.Discard)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +115,7 @@ func TestTCPProtocol(t *testing.T) {
 
 func TestHTTPEndpoints(t *testing.T) {
 	path := writeRoutes(t, t.TempDir(), testRoutes)
-	d, err := newDaemon(path, routedb.Options{}, io.Discard)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +160,7 @@ func TestHTTPEndpoints(t *testing.T) {
 func TestWatchHotSwapsOnChange(t *testing.T) {
 	dir := t.TempDir()
 	path := writeRoutes(t, dir, testRoutes)
-	d, err := newDaemon(path, routedb.Options{}, io.Discard)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,9 +191,7 @@ func TestWatchHotSwapsOnChange(t *testing.T) {
 	}
 
 	// A broken rewrite must not take down the serving database.
-	if err := os.WriteFile(path, []byte("not\ta\tvalid\tdb\n"), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	writeRoutes(t, dir, "not\ta\tvalid\tdb\n")
 	future = future.Add(2 * time.Second)
 	if err := os.Chtimes(path, future, future); err != nil {
 		t.Fatal(err)
@@ -204,7 +209,7 @@ func TestWatchHotSwapsOnChange(t *testing.T) {
 func TestWatchSameSecondRewrite(t *testing.T) {
 	dir := t.TempDir()
 	path := writeRoutes(t, dir, testRoutes)
-	d, err := newDaemon(path, routedb.Options{}, io.Discard)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +416,7 @@ func TestVantageProtocol(t *testing.T) {
 	}
 
 	// Precompiled mode has no vantage engine.
-	pd, err := newDaemon(writeRoutes(t, dir, testRoutes), routedb.Options{}, io.Discard)
+	pd, err := newDaemon(writeRoutes(t, dir, testRoutes), false, routedb.Options{}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}

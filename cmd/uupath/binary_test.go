@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pathalias/internal/routedb"
+)
+
+const binRoutes = "0\tunc\t%s\n500\tduke\tduke!%s\n10\t.edu\tseismo!%s\n"
+
+// writeBoth writes the same database as text and compiled binary.
+func writeBoth(t *testing.T, fold bool) (txtPath, rdbPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	txtPath = filepath.Join(dir, "routes.db")
+	if err := os.WriteFile(txtPath, []byte(binRoutes), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err := routedb.LoadWith(strings.NewReader(binRoutes), routedb.Options{FoldCase: fold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdbPath = filepath.Join(dir, "routes.rdb")
+	f, err := os.Create(rdbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.WriteBinary(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return txtPath, rdbPath
+}
+
+// TestAutoDetectBinary: -d with a compiled file answers identically to
+// -d with the text file, with no extra flag.
+func TestAutoDetectBinary(t *testing.T) {
+	txtPath, rdbPath := writeBoth(t, false)
+	for _, args := range [][]string{
+		{"caip.rutgers.edu", "pleasant"},
+		{"duke", "honey"},
+		{"-r", "-m", "rightmost", "-local", "unc", "a!duke!honey"},
+	} {
+		var wantOut, gotOut, errw strings.Builder
+		if code := run(append([]string{"-d", txtPath}, args...), &wantOut, &errw); code != 0 {
+			t.Fatalf("text run %v: exit %d: %s", args, code, errw.String())
+		}
+		if code := run(append([]string{"-d", rdbPath}, args...), &gotOut, &errw); code != 0 {
+			t.Fatalf("binary run %v: exit %d: %s", args, code, errw.String())
+		}
+		if gotOut.String() != wantOut.String() {
+			t.Errorf("args %v: binary output %q != text output %q", args, gotOut.String(), wantOut.String())
+		}
+	}
+}
+
+// TestBinaryFoldNote: when -i disagrees with the compiled file's
+// fold-case flag, the file wins and uupath says so.
+func TestBinaryFoldNote(t *testing.T) {
+	_, rdbPath := writeBoth(t, true)
+	var out, errw strings.Builder
+	if code := run([]string{"-d", rdbPath, "DUKE", "honey"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if out.String() != "duke!honey\n" {
+		t.Errorf("folded lookup = %q", out.String())
+	}
+	if !strings.Contains(errw.String(), "FoldCase=true") {
+		t.Errorf("no fold note on stderr: %q", errw.String())
+	}
+}

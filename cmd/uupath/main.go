@@ -5,9 +5,15 @@
 // Usage:
 //
 //	uupath -d routes.db dest [user]          # route to a destination
+//	uupath -d routes.rdb dest [user]         # same, compiled database
 //	uupath -d routes.db -r [-m mode] addr    # rewrite a relative address
 //	uupath -d routes.db -guess addr          # disambiguate mixed syntax
 //	uupath -maps a.map,b.map -f from dest    # route from another vantage
+//
+// The -d file's format is auto-detected by its magic bytes: a compiled
+// binary database (mkdb -binary, pathalias -o-db) is memory-mapped and
+// served with no parsing — the instant-start path — while anything
+// else is parsed as the classic linear text file.
 //
 // With -maps, uupath computes routes in-process from map sources instead
 // of loading a precompiled database, and -f picks the vantage host the
@@ -91,17 +97,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	} else {
-		f, err := os.Open(*dbPath)
+		var err error
+		db, err = openDB(*dbPath, *fold, stderr)
 		if err != nil {
 			fmt.Fprintf(stderr, "uupath: %v\n", err)
 			return 1
 		}
-		db, err = routedb.LoadWith(f, routedb.Options{FoldCase: *fold})
-		f.Close()
-		if err != nil {
-			fmt.Fprintf(stderr, "uupath: %v\n", err)
-			return 1
-		}
+		defer db.Close()
 	}
 
 	if *guess != "" {
@@ -149,6 +151,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, res.Address())
 	return 0
+}
+
+// openDB loads a route database of either format, sniffing the magic
+// bytes: a compiled binary database (mkdb -binary, pathalias -o-db) is
+// memory-mapped and served with no parse; anything else is parsed as
+// the linear text file. A binary file's own fold-case setting wins
+// over -i (with a note when they disagree).
+func openDB(path string, fold bool, stderr io.Writer) (*routedb.DB, error) {
+	isBin, err := routedb.IsBinaryFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isBin {
+		db, err := routedb.OpenBinary(path)
+		if err != nil {
+			return nil, err
+		}
+		if db.Options().FoldCase != fold {
+			fmt.Fprintf(stderr, "uupath: note: %s was compiled with FoldCase=%v; the file's setting wins\n",
+				path, db.Options().FoldCase)
+		}
+		return db, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return routedb.LoadWith(f, routedb.Options{FoldCase: fold})
 }
 
 // vantageDB computes the route database for one vantage of the given

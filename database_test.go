@@ -2,6 +2,8 @@ package pathalias
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -152,4 +154,67 @@ func TestConcurrentResultAndDatabase(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestWriteDBAndOpenDatabase locks the public compiled-store API: a
+// run's routes written with WriteDB open through OpenDatabase (format
+// auto-detected) and answer identically to the in-memory database;
+// the same path opens linear text files too.
+func TestWriteDBAndOpenDatabase(t *testing.T) {
+	res, err := RunString(Options{LocalHost: "unc"}, dbTestMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.NewDatabase()
+	dir := t.TempDir()
+
+	rdbPath := filepath.Join(dir, "routes.rdb")
+	f, err := os.Create(rdbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteDB(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	txtPath := filepath.Join(dir, "routes.db")
+	tf, err := os.Create(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.opts.PrintCosts = true
+	if err := res.WriteRoutes(tf); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{rdbPath, txtPath} {
+		got, err := OpenDatabase(path)
+		if err != nil {
+			t.Fatalf("OpenDatabase(%s): %v", path, err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("%s: Len = %d want %d", path, got.Len(), want.Len())
+		}
+		for _, rt := range res.Routes {
+			ge, ok := got.Lookup(rt.Host)
+			we, _ := want.Lookup(rt.Host)
+			if !ok || ge != we {
+				t.Errorf("%s: Lookup(%q) = %+v,%v want %+v", path, rt.Host, ge, ok, we)
+			}
+		}
+		gr, gerr := got.Resolve("caip.rutgers.edu", "pleasant")
+		wr, werr := want.Resolve("caip.rutgers.edu", "pleasant")
+		if (gerr == nil) != (werr == nil) || gr != wr {
+			t.Errorf("%s: suffix resolve = %q,%v want %q,%v", path, gr, gerr, wr, werr)
+		}
+		if err := got.Close(); err != nil { // releases the mapping; no-op for text
+			t.Errorf("%s: Close: %v", path, err)
+		}
+	}
 }

@@ -1,7 +1,7 @@
 package pathalias
 
 // This file regenerates every table and figure in the paper, one test per
-// experiment, as indexed in DESIGN.md §4 and recorded in EXPERIMENTS.md.
+// experiment, as indexed in DESIGN.md §5 and recorded in EXPERIMENTS.md.
 // The companion benchmarks live in bench_test.go.
 
 import (

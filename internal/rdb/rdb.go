@@ -1,0 +1,162 @@
+// Package rdb is the compiled route store: a versioned, checksummed,
+// mmap-able on-disk route database that a resolver serves directly off
+// the mapped pages — no parsing, no per-entry allocation at open, and a
+// page cache shared across every process mapping the same file.
+//
+// The paper's OUTPUT section: "a separate program may be used to
+// convert this file into a format appropriate for rapid database
+// retrieval" — historically `pathalias | makedb` fed a dbm file the
+// mailer consumed. This package is that format, designed for the
+// serving layer's cold path: where loading the linear text file costs a
+// full parse plus index build before the first lookup (seconds at
+// modern scale), opening an rdb file costs a checksum pass and a
+// structural validation walk over already-laid-out sections.
+//
+// # File format (version 1)
+//
+// A single flat file, all integers little-endian, sections 8-byte
+// aligned, in fixed order:
+//
+//	header   112 bytes: magic "\x89RDB\r\n\x1a\n", version, flags,
+//	         entry count, hash slot count, and the section table
+//	         (offset+length for strings, entries, hash, trie, plus the
+//	         trie root offset)
+//	strings  host names and route format strings: entry 0's host, then
+//	         its route, then entry 1's host, ... — contiguous in entry
+//	         order, covering the section exactly
+//	entries  one 16-byte record per route, sorted strictly ascending by
+//	         host name: host offset and route offset (u32, into
+//	         strings) and the cost as an int64. Lengths are implicit in
+//	         the contiguous layout: the host ends where the route
+//	         starts, the route where the next entry's host starts (or
+//	         the section ends) — which is also what makes bounds
+//	         validation a single monotonicity pass
+//	hash     open-addressed exact-match table: power-of-two u32 slots,
+//	         keyed on the host bytes by chunked FNV-1a (8-byte
+//	         little-endian chunks, a length-tagged tail, and a
+//	         Murmur-style finalizer for low-bit avalanche — byte-serial
+//	         FNV would dominate open-time validation at scale), linear
+//	         probing, slot value entry index + 1 (0 = empty)
+//	trie     the reversed-label domain-suffix trie, serialized
+//	         post-order: each node is entry index (u32, ~0 = none),
+//	         child count, then children {label off/len, node offset}
+//	         sorted by label bytes; child node offsets are strictly
+//	         smaller than their parent's, so the structure is acyclic
+//	         by construction
+//	footer   16 bytes: CRC-32C over everything before the footer, then
+//	         the tail magic "RDBend\r\n"
+//
+// Entry names are stored normalized exactly as package resolver
+// normalizes them (one trailing dot dropped, case folded when the
+// fold-case flag is set), sorted and deduplicated keeping the cheapest
+// route — the Writer runs them through resolver.New, so a compiled file
+// and the text-built index answer every query identically.
+//
+// The Writer is deterministic: the same entries and options produce the
+// same bytes, so compiled databases can be compared, cached, and
+// shipped by content hash.
+//
+// The Reader distrusts its input. Open verifies the checksum and then
+// structurally validates every section — bounds, sortedness, hash
+// table shape, and a full trie walk — before any lookup is served, so
+// a truncated, bit-flipped, or hostile file yields an error, never a
+// panic or an out-of-bounds read. The validation passes are designed
+// to read sequentially; the one check that inherently needs scattered
+// joins (probe reachability, see Reader.VerifyReachable) is deferred
+// off the cold path, where it buys no adversarial protection anyway.
+package rdb
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Format constants; see the package comment for the layout.
+const (
+	headerSize = 112
+	footerSize = 16
+	version1   = 1
+
+	entrySize = 16 // one entry record
+
+	flagFoldCase  = 1 << 0
+	knownFlags    = flagFoldCase
+	noEntry       = ^uint32(0) // trie node with no entry
+	trieNodeFixed = 8          // entry + child count
+	trieChildSize = 12         // label off/len + node offset
+)
+
+// magic opens every rdb file. PNG-style: a high bit to catch 7-bit
+// strippers, CRLF and LF to catch line-ending translation, ^Z to stop
+// accidental terminal cats. No pathalias text route file can share a
+// prefix with it.
+var magic = [8]byte{0x89, 'R', 'D', 'B', '\r', '\n', 0x1a, '\n'}
+
+// tailMagic closes the footer; a missing tail is the fast truncation
+// signal.
+var tailMagic = [8]byte{'R', 'D', 'B', 'e', 'n', 'd', '\r', '\n'}
+
+// le is the file's byte order.
+var le = binary.LittleEndian
+
+// crcTable is CRC-32C (Castagnoli), hardware-accelerated on current
+// CPUs, used for the integrity footer.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// IsMagic reports whether data begins with the rdb file magic. Eight
+// bytes suffice; shorter prefixes report false. This is how uupath and
+// friends auto-detect a compiled database versus a linear text file.
+func IsMagic(data []byte) bool {
+	return len(data) >= len(magic) && string(data[:len(magic)]) == string(magic[:])
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// keyHash is the exact-match table's key function: FNV-1a over 8-byte
+// little-endian chunks of the host name, the tail bytes packed with
+// the tail length, and a Murmur-style finalizer (plain FNV mixes the
+// last bytes poorly into the low bits, which are exactly the ones the
+// power-of-two table uses). Chunking matters: open-time validation
+// hashes every host, and byte-serial FNV would be the slowest pass.
+func keyHash(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for len(s) >= 8 {
+		c := uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+			uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56
+		h = (h ^ c) * fnvPrime64
+		s = s[8:]
+	}
+	var tail uint64
+	for i := 0; i < len(s); i++ {
+		tail |= uint64(s[i]) << (8 * i)
+	}
+	h = (h ^ tail ^ uint64(len(s))<<56) * fnvPrime64
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// keyHashBytes is keyHash for a []byte key (the validation pass).
+func keyHashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for len(b) >= 8 {
+		h = (h ^ le.Uint64(b)) * fnvPrime64
+		b = b[8:]
+	}
+	var tail uint64
+	for i := 0; i < len(b); i++ {
+		tail |= uint64(b[i]) << (8 * i)
+	}
+	h = (h ^ tail ^ uint64(len(b))<<56) * fnvPrime64
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n uint64) uint64 { return (n + 7) &^ 7 }

@@ -1,0 +1,336 @@
+package rdb
+
+import (
+	"bytes"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pathalias/internal/cost"
+	"pathalias/internal/resolver"
+)
+
+// testEntries is a small route set exercising every structural feature:
+// exact hosts, multi-level domain-suffix entries sharing labels, costs,
+// and names needing normalization (trailing dot, duplicates).
+func testEntries() []resolver.Entry {
+	return []resolver.Entry{
+		{Host: "unc", Route: "%s", Cost: 0},
+		{Host: "duke", Route: "duke!%s", Cost: 500},
+		{Host: "research", Route: "duke!research!%s", Cost: 800},
+		{Host: "ucbvax", Route: "duke!research!ucbvax!%s", Cost: 1100},
+		{Host: ".edu", Route: "seismo!%s", Cost: 900},
+		{Host: ".rutgers.edu", Route: "seismo!ru!%s", Cost: 950},
+		{Host: ".com", Route: "gateway!%s", Cost: 700},
+		{Host: "dup.host.", Route: "dup!%s", Cost: 100}, // trailing dot normalized away
+		{Host: "dup.host", Route: "cheap!%s", Cost: 50}, // wins the dedup
+	}
+}
+
+func compileT(t *testing.T, es []resolver.Entry, opts resolver.Options) []byte {
+	t.Helper()
+	img, err := Compile(es, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return img
+}
+
+func openT(t *testing.T, img []byte) *Reader {
+	t.Helper()
+	r, err := OpenBytes(img)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	return r
+}
+
+// TestRoundTrip compiles entries and checks the reader answers exactly
+// like the in-memory resolver built from the same inputs.
+func TestRoundTrip(t *testing.T) {
+	for _, fold := range []bool{false, true} {
+		opts := resolver.Options{FoldCase: fold}
+		es := testEntries()
+		want := resolver.New(es, opts)
+		r := openT(t, compileT(t, es, opts))
+		got := resolver.NewBacked(r, r.Options())
+
+		if r.Options() != opts {
+			t.Errorf("fold=%v: Options = %+v", fold, r.Options())
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("fold=%v: Len = %d want %d", fold, got.Len(), want.Len())
+		}
+		for i, we := range want.Entries() {
+			if ge := r.EntryAt(i); ge != we {
+				t.Errorf("fold=%v: entry %d = %+v want %+v", fold, i, ge, we)
+			}
+		}
+		queries := []string{
+			"unc", "duke", "dup.host", "dup.host.", "DUKE",
+			"caip.rutgers.edu", "x.edu", "deep.caip.rutgers.edu",
+			"a.com", "nosuch", "nosuch.org", ".edu", "edu",
+		}
+		for _, q := range queries {
+			we, wok := want.Lookup(q)
+			ge, gok := got.Lookup(q)
+			if wok != gok || we != ge {
+				t.Errorf("fold=%v: Lookup(%q) = %+v,%v want %+v,%v", fold, q, ge, gok, we, wok)
+			}
+			wr, werr := want.Resolve(q, "user")
+			gr, gerr := got.Resolve(q, "user")
+			if (werr == nil) != (gerr == nil) || wr != gr {
+				t.Errorf("fold=%v: Resolve(%q) = %+v,%v want %+v,%v", fold, q, gr, gerr, wr, werr)
+			}
+		}
+	}
+}
+
+// TestDeterministic compiles the same entries twice, in different input
+// orders, and expects identical bytes.
+func TestDeterministic(t *testing.T) {
+	es := testEntries()
+	a := compileT(t, es, resolver.Options{})
+	rev := make([]resolver.Entry, len(es))
+	for i, e := range es {
+		rev[len(es)-1-i] = e
+	}
+	// Reversal flips which duplicate is seen first; resolver keeps the
+	// cheapest, so the canonical set is unchanged.
+	b := compileT(t, rev, resolver.Options{})
+	if !bytes.Equal(a, b) {
+		t.Error("same canonical entries produced different images")
+	}
+}
+
+// TestEmpty round-trips a database with no routes.
+func TestEmpty(t *testing.T) {
+	r := openT(t, compileT(t, nil, resolver.Options{}))
+	if r.Len() != 0 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if _, ok := r.LookupExact("x"); ok {
+		t.Error("lookup hit in empty db")
+	}
+	if e, d := r.SuffixBest([]string{"a", "b"}, 1); e != -1 || d != 0 {
+		t.Errorf("SuffixBest = %d,%d", e, d)
+	}
+}
+
+// TestCompileRejects covers writer-side validation.
+func TestCompileRejects(t *testing.T) {
+	if _, err := Compile([]resolver.Entry{{Host: "a", Route: "a!user"}}, resolver.Options{}); err == nil {
+		t.Error("route without the marker accepted")
+	}
+	if _, err := Compile([]resolver.Entry{{Host: "", Route: "%s"}}, resolver.Options{}); err == nil {
+		t.Error("empty host accepted")
+	}
+}
+
+// TestOpenFile exercises the mmap path end to end.
+func TestOpenFile(t *testing.T) {
+	img := compileT(t, testEntries(), resolver.Options{})
+	path := filepath.Join(t.TempDir(), "routes.rdb")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if i, ok := r.LookupExact("duke"); !ok || r.EntryAt(i).Route != "duke!%s" {
+		t.Errorf("lookup duke failed")
+	}
+	crc, err := FileChecksum(path)
+	if err != nil {
+		t.Fatalf("FileChecksum: %v", err)
+	}
+	if crc != r.Checksum() {
+		t.Errorf("FileChecksum = %08x, Reader.Checksum = %08x", crc, r.Checksum())
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := r.Close(); err != nil { // idempotent
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestTruncations opens every prefix of a valid image; all must fail
+// cleanly (the last-byte-removed case loses the tail magic, shorter
+// ones lose sections or the header).
+func TestTruncations(t *testing.T) {
+	img := compileT(t, testEntries(), resolver.Options{})
+	for n := 0; n < len(img); n++ {
+		if _, err := OpenBytes(img[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+// TestBitFlips flips every bit of a small valid image; every mutation
+// must either fail validation or (never) be silently accepted with the
+// same checksum. A flip that leaves the file valid would have to beat
+// CRC-32C, so any acceptance is a bug.
+func TestBitFlips(t *testing.T) {
+	img := compileT(t, testEntries()[:4], resolver.Options{})
+	mut := make([]byte, len(img))
+	for i := 0; i < len(img); i++ {
+		for b := 0; b < 8; b++ {
+			copy(mut, img)
+			mut[i] ^= 1 << b
+			if _, err := OpenBytes(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d accepted", i, b)
+			}
+		}
+	}
+}
+
+// TestHostileImages hand-crafts corruptions that keep the checksum
+// valid (recomputing it after the edit), so the structural validators
+// themselves are what must catch them.
+func TestHostileImages(t *testing.T) {
+	base := compileT(t, testEntries(), resolver.Options{})
+
+	// reseal recomputes the CRC so only structural validation stands
+	// between the mutation and acceptance.
+	reseal := func(img []byte) []byte {
+		le.PutUint32(img[len(img)-footerSize:], crcChecksum(img[:len(img)-footerSize]))
+		return img
+	}
+	mutate := func(f func(img []byte)) []byte {
+		img := bytes.Clone(base)
+		f(img)
+		return reseal(img)
+	}
+
+	cases := map[string][]byte{
+		"entry count zeroed":   mutate(func(img []byte) { le.PutUint64(img[16:], 0) }),
+		"entry count inflated": mutate(func(img []byte) { le.PutUint64(img[16:], 1<<40) }),
+		"slots not pow2":       mutate(func(img []byte) { le.PutUint64(img[24:], 13) }),
+		"strings shifted":      mutate(func(img []byte) { le.PutUint64(img[32:], 120) }),
+		"trie root wild":       mutate(func(img []byte) { le.PutUint64(img[96:], 1<<30) }),
+		"reserved nonzero":     mutate(func(img []byte) { img[104] = 1 }),
+		"host unsorted": mutate(func(img []byte) {
+			// Swap the first two entry records; hosts fall out of order.
+			entOff := le.Uint64(img[48:])
+			a := img[entOff : entOff+entrySize]
+			b := img[entOff+entrySize : entOff+2*entrySize]
+			tmp := bytes.Clone(a)
+			copy(a, b)
+			copy(b, tmp)
+		}),
+		"hash slot dangling": mutate(func(img []byte) {
+			hashOff := le.Uint64(img[64:])
+			hashLen := le.Uint64(img[72:])
+			for s := uint64(0); s < hashLen/4; s++ {
+				if le.Uint32(img[hashOff+s*4:]) != 0 {
+					le.PutUint32(img[hashOff+s*4:], uint32(1<<20))
+					break
+				}
+			}
+		}),
+		"hash entry unreachable": mutate(func(img []byte) {
+			hashOff := le.Uint64(img[64:])
+			hashLen := le.Uint64(img[72:])
+			for s := uint64(0); s < hashLen/4; s++ {
+				if le.Uint32(img[hashOff+s*4:]) != 0 {
+					le.PutUint32(img[hashOff+s*4:], 0)
+					break
+				}
+			}
+		}),
+		"trie child above parent": mutate(func(img []byte) {
+			// Point the root's first child at the root itself: a cycle.
+			trieOff := le.Uint64(img[80:])
+			root := le.Uint64(img[96:])
+			le.PutUint32(img[trieOff+root+trieNodeFixed+8:], uint32(root))
+		}),
+	}
+	for name, img := range cases {
+		if _, err := OpenBytes(img); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestVerifyReachable pins the validation split: an image whose hash
+// table is well-shaped (in-range, unique, complete, has empties) but
+// hides one entry behind an empty slot passes Open — lookups for that
+// entry safely miss — and is rejected by the deep VerifyReachable
+// audit that mkdb runs on conversions.
+func TestVerifyReachable(t *testing.T) {
+	img := compileT(t, testEntries(), resolver.Options{})
+	r := openT(t, img)
+	if err := r.VerifyReachable(); err != nil {
+		t.Fatalf("pristine image failed VerifyReachable: %v", err)
+	}
+
+	hashOff := le.Uint64(img[64:])
+	slots := le.Uint64(img[24:])
+	slot := func(s uint64) uint32 { return le.Uint32(img[hashOff+s*4:]) }
+	setSlot := func(s uint64, v uint32) { le.PutUint32(img[hashOff+s*4:], v) }
+
+	// Move one entry's slot to an empty slot whose predecessor is also
+	// empty and which is not the entry's home — its probe sequence now
+	// crosses an empty slot before arriving.
+	moved := uint32(0)
+	var movedHost string
+	for s := uint64(0); s < slots && moved == 0; s++ {
+		v := slot(s)
+		if v == 0 {
+			continue
+		}
+		host := resolver.New(testEntries(), resolver.Options{}).Entries()[v-1].Host
+		home := keyHash(host) & (slots - 1)
+		for tgt := uint64(0); tgt < slots; tgt++ {
+			prev := (tgt - 1 + slots) % slots
+			if tgt != home && slot(tgt) == 0 && slot(prev) == 0 && prev != s {
+				setSlot(s, 0)
+				setSlot(tgt, v)
+				moved = v
+				movedHost = host
+				break
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("could not construct an unreachable slot")
+	}
+	le.PutUint32(img[len(img)-footerSize:], crcChecksum(img[:len(img)-footerSize]))
+
+	r2, err := OpenBytes(img)
+	if err != nil {
+		t.Fatalf("well-shaped-but-unreachable image rejected at open: %v", err)
+	}
+	if _, ok := r2.LookupExact(movedHost); ok {
+		t.Errorf("hidden entry %q still found", movedHost)
+	}
+	if err := r2.VerifyReachable(); err == nil {
+		t.Error("VerifyReachable accepted a hidden entry")
+	}
+}
+
+// TestCostRoundTrip checks negative and large costs survive the int64
+// encoding.
+func TestCostRoundTrip(t *testing.T) {
+	es := []resolver.Entry{
+		{Host: "neg", Route: "n!%s", Cost: cost.Cost(-12345)},
+		{Host: "big", Route: "b!%s", Cost: cost.Cost(1) << 60},
+	}
+	r := openT(t, compileT(t, es, resolver.Options{}))
+	for _, e := range es {
+		i, ok := r.LookupExact(e.Host)
+		if !ok || r.EntryAt(i).Cost != e.Cost {
+			t.Errorf("cost for %q: got %v want %v", e.Host, r.EntryAt(i).Cost, e.Cost)
+		}
+	}
+}
+
+// crcChecksum recomputes the integrity checksum the way the writer
+// does (test helper for resealing mutated images).
+func crcChecksum(body []byte) uint32 {
+	return crc32.Checksum(body, crcTable)
+}

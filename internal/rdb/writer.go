@@ -1,0 +1,238 @@
+package rdb
+
+import (
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"pathalias/internal/resolver"
+)
+
+// Compile serializes routes into a version-1 rdb file image. The
+// entries are normalized, sorted, and deduplicated through
+// resolver.New first — the compiled file indexes exactly what an
+// in-memory resolver built from the same entries and options would —
+// and the output is deterministic: same entries, same options, same
+// bytes.
+func Compile(entries []resolver.Entry, opts resolver.Options) ([]byte, error) {
+	return marshal(resolver.New(entries, opts).Entries(), opts)
+}
+
+// Write compiles routes (see Compile) and writes the image to w.
+func Write(w io.Writer, entries []resolver.Entry, opts resolver.Options) (int64, error) {
+	img, err := Compile(entries, opts)
+	if err != nil {
+		return 0, err
+	}
+	n, err := w.Write(img)
+	return int64(n), err
+}
+
+// entryRec is one fixed-size entry record before encoding. Lengths are
+// implicit: the strings section is contiguous in entry order.
+type entryRec struct {
+	hostOff, routeOff uint32
+	cost              uint64
+}
+
+// marshal lays out canonical (normalized, strictly sorted, deduplicated)
+// entries as a complete file image.
+func marshal(es []resolver.Entry, opts resolver.Options) ([]byte, error) {
+	// Strings section: hosts and routes, concatenated. Suffix-trie
+	// labels are substrings of their entry's host, so they get offsets
+	// into the same section for free.
+	var strs []byte
+	recs := make([]entryRec, len(es))
+	for i, e := range es {
+		if e.Host == "" {
+			return nil, fmt.Errorf("rdb: entry %d: empty host", i)
+		}
+		if !strings.Contains(e.Route, "%s") {
+			return nil, fmt.Errorf("rdb: entry %q: route %q has no %%s marker", e.Host, e.Route)
+		}
+		recs[i] = entryRec{
+			hostOff:  uint32(len(strs)),
+			routeOff: uint32(len(strs) + len(e.Host)),
+			cost:     uint64(int64(e.Cost)),
+		}
+		strs = append(strs, e.Host...)
+		strs = append(strs, e.Route...)
+		if len(strs) > math.MaxUint32 {
+			return nil, fmt.Errorf("rdb: string data exceeds 4 GiB")
+		}
+	}
+
+	// Exact-match hash table: power-of-two slots at ≤ 0.5 load, so
+	// probing always terminates at an empty slot. Filled in entry order
+	// for determinism.
+	var slots uint64
+	if len(es) > 0 {
+		slots = 4
+		for slots < uint64(len(es))*2 {
+			slots <<= 1
+		}
+	}
+	table := make([]uint32, slots)
+	for i, e := range es {
+		for s := keyHash(e.Host) & (slots - 1); ; s = (s + 1) & (slots - 1) {
+			if table[s] == 0 {
+				table[s] = uint32(i + 1)
+				break
+			}
+		}
+	}
+
+	trie, trieRoot, err := marshalTrie(es, recs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Section layout: fixed order, 8-byte aligned, nothing in between.
+	strOff := uint64(headerSize)
+	entOff := align8(strOff + uint64(len(strs)))
+	hashOff := align8(entOff + uint64(len(es))*entrySize)
+	trieOff := align8(hashOff + slots*4)
+	bodyEnd := align8(trieOff + uint64(len(trie)))
+
+	img := make([]byte, bodyEnd+footerSize)
+	copy(img[0:], magic[:])
+	le.PutUint32(img[8:], version1)
+	flags := uint32(0)
+	if opts.FoldCase {
+		flags |= flagFoldCase
+	}
+	le.PutUint32(img[12:], flags)
+	le.PutUint64(img[16:], uint64(len(es)))
+	le.PutUint64(img[24:], slots)
+	le.PutUint64(img[32:], strOff)
+	le.PutUint64(img[40:], uint64(len(strs)))
+	le.PutUint64(img[48:], entOff)
+	le.PutUint64(img[56:], uint64(len(es))*entrySize)
+	le.PutUint64(img[64:], hashOff)
+	le.PutUint64(img[72:], slots*4)
+	le.PutUint64(img[80:], trieOff)
+	le.PutUint64(img[88:], uint64(len(trie)))
+	le.PutUint64(img[96:], uint64(trieRoot))
+	// img[104:112] reserved, zero.
+
+	copy(img[strOff:], strs)
+	for i, r := range recs {
+		p := img[entOff+uint64(i)*entrySize:]
+		le.PutUint32(p[0:], r.hostOff)
+		le.PutUint32(p[4:], r.routeOff)
+		le.PutUint64(p[8:], r.cost)
+	}
+	for i, v := range table {
+		le.PutUint32(img[hashOff+uint64(i)*4:], v)
+	}
+	copy(img[trieOff:], trie)
+
+	foot := img[bodyEnd:]
+	le.PutUint32(foot[0:], crc32.Checksum(img[:bodyEnd], crcTable))
+	copy(foot[8:], tailMagic[:])
+	return img, nil
+}
+
+// wnode is a suffix-trie node under construction. children maps each
+// label to the child and the label's resting place in the strings
+// section (a substring of whichever entry's host first used it).
+type wnode struct {
+	entry    uint32 // entry index, noEntry if none
+	children map[string]*wchild
+}
+
+type wchild struct {
+	node               *wnode
+	labelOff, labelLen uint32
+}
+
+// marshalTrie builds and serializes the reversed-label suffix trie over
+// the leading-dot entries. Nodes are emitted post-order with children
+// sorted by label, so every child offset is strictly smaller than its
+// parent's and the serialized form is acyclic by construction; the
+// returned root offset is the last node written. An empty trie
+// serializes to zero bytes.
+func marshalTrie(es []resolver.Entry, recs []entryRec) (trie []byte, root uint32, err error) {
+	rootNode := &wnode{entry: noEntry}
+	any := false
+	for i, e := range es {
+		if !strings.HasPrefix(e.Host, ".") {
+			continue
+		}
+		any = true
+		labels := strings.Split(e.Host[1:], ".")
+		// Byte position of each label within the host string: host is
+		// "." + join(labels, ".").
+		pos := make([]uint32, len(labels))
+		p := uint32(1)
+		for j, l := range labels {
+			pos[j] = p
+			p += uint32(len(l)) + 1
+		}
+		n := rootNode
+		for j := len(labels) - 1; j >= 0; j-- {
+			if n.children == nil {
+				n.children = make(map[string]*wchild)
+			}
+			c := n.children[labels[j]]
+			if c == nil {
+				c = &wchild{
+					node:     &wnode{entry: noEntry},
+					labelOff: recs[i].hostOff + pos[j],
+					labelLen: uint32(len(labels[j])),
+				}
+				n.children[labels[j]] = c
+			}
+			n = c.node
+		}
+		if n.entry != noEntry {
+			return nil, 0, fmt.Errorf("rdb: duplicate suffix entry %q", e.Host)
+		}
+		n.entry = uint32(i)
+	}
+	if !any {
+		return nil, 0, nil
+	}
+
+	var emit func(n *wnode) (uint32, error)
+	emit = func(n *wnode) (uint32, error) {
+		labels := make([]string, 0, len(n.children))
+		for l := range n.children {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		offs := make([]uint32, len(labels))
+		for i, l := range labels {
+			off, err := emit(n.children[l].node)
+			if err != nil {
+				return 0, err
+			}
+			offs[i] = off
+		}
+		off := uint64(len(trie))
+		if off+trieNodeFixed+uint64(len(labels))*trieChildSize > math.MaxUint32 {
+			return 0, fmt.Errorf("rdb: suffix trie exceeds 4 GiB")
+		}
+		var hdr [trieNodeFixed]byte
+		le.PutUint32(hdr[0:], n.entry)
+		le.PutUint32(hdr[4:], uint32(len(labels)))
+		trie = append(trie, hdr[:]...)
+		for i, l := range labels {
+			c := n.children[l]
+			var enc [trieChildSize]byte
+			le.PutUint32(enc[0:], c.labelOff)
+			le.PutUint32(enc[4:], c.labelLen)
+			le.PutUint32(enc[8:], offs[i])
+			trie = append(trie, enc[:]...)
+		}
+		return uint32(off), nil
+	}
+	root, err = emit(rootNode)
+	if err != nil {
+		return nil, 0, err
+	}
+	return trie, root, nil
+}

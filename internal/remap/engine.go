@@ -211,7 +211,7 @@ type Engine struct {
 	jgen     uint64
 	graphGen uint64
 	hist     []genChange
-	warnings []string   // current update's warnings, shared by vantages
+	warnings []string    // current update's warnings, shared by vantages
 	plain    *plainState // non-nil while the last update took the plain path
 
 	touchedBuf []bool

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"pathalias/internal/cost"
@@ -74,12 +75,43 @@ type padCounter struct {
 	_ [56]byte
 }
 
+// Backing is the index a Resolver serves from. Two implementations
+// exist: the in-memory arrays New builds (hash map + pointer trie), and
+// package rdb's reader over the mapped sections of a compiled route
+// database file — the resolution procedure on top is identical.
+//
+// Entry names visible through a Backing are already normalized (one
+// trailing dot dropped, case folded when the index was built with
+// FoldCase) and strictly sorted ascending by name with no duplicates;
+// indices are positions in that order. A Backing must be safe for
+// concurrent readers.
+type Backing interface {
+	// Len returns the number of entries.
+	Len() int
+	// EntryAt returns entry i, 0 ≤ i < Len(). The returned strings must
+	// remain valid for the caller's lifetime (implementations over
+	// transient storage copy them out).
+	EntryAt(i int) Entry
+	// LookupExact finds the entry whose (already normalized) name is
+	// key.
+	LookupExact(key string) (int, bool)
+	// SuffixBest descends the reversed-label suffix trie: labels are a
+	// destination's dot-separated labels, and depths 1..maxDepth are
+	// considered, where depth d means the suffix formed by the last d
+	// labels (with a leading dot). It returns the deepest entry found
+	// and its depth, or (-1, 0).
+	SuffixBest(labels []string, maxDepth int) (entry, depth int)
+}
+
 // Resolver is an immutable route index.
 type Resolver struct {
-	opts    Options
-	entries []Entry        // sorted by Host, unique
-	exact   map[string]int // Host -> index into entries
-	suffix  *trieNode      // reversed-label trie over leading-dot entries
+	opts Options
+	b    Backing
+
+	// entries materializes the sorted entry slice on first use, for
+	// backings (mapped files) that don't hold one natively.
+	entriesOnce sync.Once
+	entries     []Entry
 
 	// Each query does exactly one counter increment (Resolves is derived
 	// in Stats), and each counter is cache-line padded, to keep the
@@ -88,6 +120,14 @@ type Resolver struct {
 	nHits       padCounter
 	nSuffixHits padCounter
 	nMisses     padCounter
+}
+
+// memBacking is the built-in-memory index: sorted entries, a hash map
+// for exact matches, and a reversed-label pointer trie for suffixes.
+type memBacking struct {
+	entries []Entry        // sorted by Host, unique
+	exact   map[string]int // Host -> index into entries
+	suffix  *trieNode      // reversed-label trie over leading-dot entries
 }
 
 // trieNode is one level of the reversed-label suffix trie. The entry
@@ -127,26 +167,33 @@ func New(entries []Entry, opts Options) *Resolver {
 	}
 	es = out
 
-	r := &Resolver{
-		opts:    opts,
+	m := &memBacking{
 		entries: es,
 		exact:   make(map[string]int, len(es)),
 		suffix:  newTrieNode(),
 	}
 	for i, e := range es {
-		r.exact[e.Host] = i
+		m.exact[e.Host] = i
 		if strings.HasPrefix(e.Host, ".") {
-			r.insertSuffix(e.Host, i)
+			m.insertSuffix(e.Host, i)
 		}
 	}
-	return r
+	return NewBacked(m, opts)
+}
+
+// NewBacked wraps an existing index — typically a mapped route database
+// file — in a Resolver. opts must describe how the backing's entry
+// names were normalized when it was built (FoldCase in particular), so
+// query keys fold the same way.
+func NewBacked(b Backing, opts Options) *Resolver {
+	return &Resolver{opts: opts, b: b}
 }
 
 // insertSuffix threads a leading-dot entry into the trie by its labels,
 // last label first.
-func (r *Resolver) insertSuffix(name string, idx int) {
+func (m *memBacking) insertSuffix(name string, idx int) {
 	labels := strings.Split(name[1:], ".")
-	n := r.suffix
+	n := m.suffix
 	for i := len(labels) - 1; i >= 0; i-- {
 		if n.children == nil {
 			n.children = make(map[string]*trieNode)
@@ -161,11 +208,54 @@ func (r *Resolver) insertSuffix(name string, idx int) {
 	n.entry = idx
 }
 
-// Len returns the number of routes.
-func (r *Resolver) Len() int { return len(r.entries) }
+func (m *memBacking) Len() int            { return len(m.entries) }
+func (m *memBacking) EntryAt(i int) Entry { return m.entries[i] }
 
-// Entries returns the sorted entries; callers must not modify the slice.
-func (r *Resolver) Entries() []Entry { return r.entries }
+func (m *memBacking) LookupExact(key string) (int, bool) {
+	i, ok := m.exact[key]
+	return i, ok
+}
+
+// SuffixBest walks the pointer trie by labels from the right; the
+// deepest node with an entry wins.
+func (m *memBacking) SuffixBest(labels []string, maxDepth int) (entry, depth int) {
+	best, bestDepth := -1, 0
+	n := m.suffix
+	for d := 1; d <= maxDepth; d++ {
+		n = n.children[labels[len(labels)-d]]
+		if n == nil {
+			break
+		}
+		if n.entry >= 0 {
+			best, bestDepth = n.entry, d
+		}
+	}
+	return best, bestDepth
+}
+
+// Len returns the number of routes.
+func (r *Resolver) Len() int { return r.b.Len() }
+
+// Entries returns the sorted entries; callers must not modify the
+// slice. For a mapped backing the slice is materialized once, on first
+// use, so a resolver that only ever answers queries never pays for it.
+func (r *Resolver) Entries() []Entry {
+	r.entriesOnce.Do(func() {
+		if m, ok := r.b.(*memBacking); ok {
+			r.entries = m.entries
+			return
+		}
+		es := make([]Entry, r.b.Len())
+		for i := range es {
+			es[i] = r.b.EntryAt(i)
+		}
+		r.entries = es
+	})
+	return r.entries
+}
+
+// Backing returns the index the resolver serves from.
+func (r *Resolver) Backing() Backing { return r.b }
 
 // Options returns the options the resolver was built with.
 func (r *Resolver) Options() Options { return r.opts }
@@ -191,43 +281,29 @@ func (r *Resolver) normalize(name string) string {
 // Lookup finds the route for an exact name.
 func (r *Resolver) Lookup(host string) (Entry, bool) {
 	r.nLookups.n.Add(1)
-	i, ok := r.exact[r.normalize(host)]
+	i, ok := r.b.LookupExact(r.normalize(host))
 	if !ok {
 		return Entry{}, false
 	}
-	return r.entries[i], true
+	return r.b.EntryAt(i), true
 }
 
 // lookupSuffix finds the longest proper domain suffix of dest with a
 // route: for "caip.rutgers.edu" it considers ".rutgers.edu" then ".edu"
-// (never ".caip.rutgers.edu" — the whole name is the exact match's job).
-// dest must already be normalized; a leading dot is ignored for label
-// splitting, matching the classic walk.
+// (never ".caip.rutgers.edu" — the whole name is the exact match's job,
+// hence maxDepth = len(labels)-1). dest must already be normalized; a
+// leading dot is ignored for label splitting, matching the classic walk.
 func (r *Resolver) lookupSuffix(dest string) (Entry, string, bool) {
 	name := strings.TrimPrefix(dest, ".")
 	labels := strings.Split(name, ".")
 	if len(labels) < 2 {
 		return Entry{}, "", false
 	}
-	best := -1
-	bestDepth := 0
-	n := r.suffix
-	// Descend by labels from the right; the deepest node with an entry
-	// wins, and the full-label-count depth is excluded (proper suffixes
-	// only).
-	for depth := 1; depth < len(labels); depth++ {
-		n = n.children[labels[len(labels)-depth]]
-		if n == nil {
-			break
-		}
-		if n.entry >= 0 {
-			best, bestDepth = n.entry, depth
-		}
-	}
+	best, bestDepth := r.b.SuffixBest(labels, len(labels)-1)
 	if best < 0 {
 		return Entry{}, "", false
 	}
-	return r.entries[best], "." + strings.Join(labels[len(labels)-bestDepth:], "."), true
+	return r.b.EntryAt(best), "." + strings.Join(labels[len(labels)-bestDepth:], "."), true
 }
 
 // Resolve routes user mail to dest: exact match first, then the domain
@@ -237,9 +313,9 @@ func (r *Resolver) lookupSuffix(dest string) (Entry, string, bool) {
 // suffix argument.
 func (r *Resolver) Resolve(dest, user string) (Resolution, error) {
 	key := r.normalize(dest)
-	if i, ok := r.exact[key]; ok {
+	if i, ok := r.b.LookupExact(key); ok {
 		r.nHits.n.Add(1)
-		return Resolution{Entry: r.entries[i], Matched: key, Argument: user}, nil
+		return Resolution{Entry: r.b.EntryAt(i), Matched: key, Argument: user}, nil
 	}
 	if e, matched, ok := r.lookupSuffix(key); ok {
 		r.nSuffixHits.n.Add(1)

@@ -19,12 +19,14 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
 
 	"pathalias/internal/cost"
 	"pathalias/internal/printer"
+	"pathalias/internal/rdb"
 	"pathalias/internal/resolver"
 )
 
@@ -42,9 +44,15 @@ type Options = resolver.Options
 type Stats = resolver.Stats
 
 // DB is an immutable route database: any number of goroutines may call
-// its query methods concurrently with no locking.
+// its query methods concurrently with no locking. It serves either
+// from an in-memory index (Build, Load) or directly off a compiled
+// file's mapped pages (OpenBinary; see binary.go).
 type DB struct {
 	r *resolver.Resolver
+
+	// Set only for binary (mmap-served) databases.
+	rdr     *rdb.Reader
+	cleanup runtime.Cleanup
 }
 
 // Build constructs a database from printer output entries.
@@ -110,30 +118,57 @@ func LoadWith(r io.Reader, opts Options) (*DB, error) {
 	return fromEntries(es, opts), nil
 }
 
-// Len returns the number of routes.
-func (db *DB) Len() int { return db.r.Len() }
+// Every query method ends with runtime.KeepAlive(db): a binary DB's
+// munmap is a GC cleanup keyed on the *DB, and without the keep-alive
+// the compiler may retire db after loading db.r while the resolver is
+// still probing the mapped pages — the use-after-unmap hazard the
+// runtime.AddCleanup documentation's mmap example warns about. For
+// in-memory databases the keep-alive compiles to nothing.
 
-// Entries returns the sorted entries; callers must not modify the slice.
-func (db *DB) Entries() []Entry { return db.r.Entries() }
+// Len returns the number of routes.
+func (db *DB) Len() int {
+	n := db.r.Len()
+	runtime.KeepAlive(db)
+	return n
+}
+
+// Entries returns the sorted entries; callers must not modify the
+// slice. (For a binary database the entries are materialized copies,
+// safe to use after the mapping is gone.)
+func (db *DB) Entries() []Entry {
+	es := db.r.Entries()
+	runtime.KeepAlive(db)
+	return es
+}
 
 // Lookup finds the route for an exact name.
-func (db *DB) Lookup(host string) (Entry, bool) { return db.r.Lookup(host) }
+func (db *DB) Lookup(host string) (Entry, bool) {
+	e, ok := db.r.Lookup(host)
+	runtime.KeepAlive(db)
+	return e, ok
+}
 
 // Resolve routes user mail to dest: exact match first, then the domain
 // suffix search. With a suffix match the argument becomes "dest!user",
 // a route relative to the domain gateway.
 func (db *DB) Resolve(dest, user string) (Resolution, error) {
-	return db.r.Resolve(dest, user)
+	res, err := db.r.Resolve(dest, user)
+	runtime.KeepAlive(db)
+	return res, err
 }
 
 // Stats returns a snapshot of this database's query counters.
-func (db *DB) Stats() Stats { return db.r.Stats() }
+func (db *DB) Stats() Stats {
+	s := db.r.Stats()
+	runtime.KeepAlive(db)
+	return s
+}
 
 // WriteTo emits the database as a linear route file with costs.
 func (db *DB) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var total int64
-	for _, e := range db.r.Entries() {
+	for _, e := range db.Entries() {
 		n, err := fmt.Fprintf(bw, "%d\t%s\t%s\n", int64(e.Cost), e.Host, e.Route)
 		total += int64(n)
 		if err != nil {

@@ -25,6 +25,7 @@ package pathalias
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -293,6 +294,17 @@ func (r *Result) NewDatabase() *Database {
 	return &Database{db: routedb.BuildWith(es, routedb.Options{FoldCase: r.opts.IgnoreCase})}
 }
 
+// WriteDB compiles the result's routes straight into the binary route
+// database format (the mmap-served rdb file that `routed -db` and
+// `uupath -d` open with no parsing) — the map run's output and the
+// serving format with no text round trip in between. The output is
+// deterministic and records IgnoreCase in its header. Equivalent to
+// r.NewDatabase() followed by Database.WriteBinary.
+func (r *Result) WriteDB(w io.Writer) error {
+	_, err := r.NewDatabase().WriteBinary(w)
+	return err
+}
+
 // LoadDatabase reads a route database from a linear route file.
 func LoadDatabase(rd io.Reader) (*Database, error) {
 	db, err := routedb.Load(rd)
@@ -396,4 +408,47 @@ func (d *Database) Stats() DatabaseStats {
 // WriteTo emits the database as a linear route file.
 func (d *Database) WriteTo(w io.Writer) (int64, error) {
 	return d.db.WriteTo(w)
+}
+
+// WriteBinary compiles the database into the binary rdb image — the
+// format OpenDatabase, `routed -db`, and `uupath -d` serve memory-
+// mapped with no parse (see internal/rdb for the layout).
+func (d *Database) WriteBinary(w io.Writer) (int64, error) {
+	return d.db.WriteBinary(w)
+}
+
+// Close releases a memory-mapped database's file mapping early instead
+// of waiting for the garbage collector — useful when opening many
+// compiled databases in sequence. It must not be called while queries
+// are in flight; results already returned remain valid. A no-op for
+// databases built in memory. Idempotent.
+func (d *Database) Close() error { return d.db.Close() }
+
+// OpenDatabase opens a route database file of either format, detected
+// by its magic bytes: a compiled binary database is memory-mapped,
+// validated, and served in place (its recorded fold-case setting
+// applies); a linear text file is parsed and indexed. The returned
+// Database's mapping, if any, is released when it becomes unreachable.
+func OpenDatabase(path string) (*Database, error) {
+	isBin, err := routedb.IsBinaryFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isBin {
+		db, err := routedb.OpenBinary(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Database{db: db}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := routedb.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
 }
