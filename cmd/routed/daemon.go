@@ -10,6 +10,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -274,25 +275,230 @@ func (d *daemon) storeFor(from string) (*routedb.Store, error) {
 	return d.vantage(from)
 }
 
-// serveConn runs the line protocol over one connection (or any
-// read/write pair, e.g. stdin/stdout).
-func (d *daemon) serveConn(r io.Reader, w io.Writer) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 4096), 1<<20)
-	bw := bufio.NewWriter(w)
-	for sc.Scan() {
-		reply, closing := d.handleLine(sc.Text())
-		if _, err := bw.WriteString(reply + "\n"); err != nil {
-			return err
-		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
-		if closing {
-			return nil
+// The serving hot path. A mailer that writes N requests back-to-back
+// gets N replies in about one round trip: replies accumulate in the
+// write buffer and are flushed only when the read side has no more
+// buffered input (i.e. the next read would block) or the buffer fills.
+// Requests are read as bytes (no per-line string), parsed into reusable
+// field slices, and answered through the allocation-free AppendResolve
+// path into a pooled per-connection buffer — steady state, a request on
+// the -db path allocates nothing and copies the route template straight
+// off the mapped database pages into the connection buffer.
+
+const (
+	// maxLineLen caps one request line; longer lines are consumed and
+	// answered with "err line too long" instead of killing the
+	// connection.
+	maxLineLen = 1 << 20
+	// connBufSize sizes the per-connection read and write buffers; it
+	// bounds how much pipelined batching one flush can carry.
+	connBufSize = 64 << 10
+)
+
+// lineState is the pooled per-connection scratch: the reply line being
+// built, the oversized-line accumulator, the request field split, and
+// the resolver's scratch. Nothing in it survives a request except
+// capacity.
+type lineState struct {
+	out    []byte
+	long   []byte
+	fields [][]byte
+	sc     routedb.Scratch
+}
+
+var linePool = sync.Pool{New: func() any { return new(lineState) }}
+
+// dropEOL trims one trailing \n and then one trailing \r, matching
+// bufio.ScanLines framing.
+func dropEOL(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
+}
+
+// readLine reads the next newline-terminated request. The returned
+// slice aliases the reader's buffer (or st.long) and is valid until the
+// next read. A line longer than maxLineLen is consumed to its newline
+// and reported tooLong with no line. err is io.EOF at end of input —
+// possibly alongside a final unterminated line.
+func readLine(br *bufio.Reader, st *lineState) (line []byte, tooLong bool, err error) {
+	chunk, err := br.ReadSlice('\n')
+	if err != bufio.ErrBufferFull {
+		return dropEOL(chunk), false, err
+	}
+	// Slow path: the line overflows the read buffer. Accumulate chunks
+	// up to the cap; past it, keep consuming but stop copying.
+	long := append(st.long[:0], chunk...)
+	for err == bufio.ErrBufferFull {
+		chunk, err = br.ReadSlice('\n')
+		if !tooLong {
+			if len(long)+len(chunk) > maxLineLen {
+				tooLong = true
+			} else {
+				long = append(long, chunk...)
+			}
 		}
 	}
-	return sc.Err()
+	st.long = long
+	if tooLong {
+		return nil, true, err
+	}
+	return dropEOL(long), false, err
+}
+
+// serveConn runs the line protocol over one connection (or any
+// read/write pair, e.g. stdin/stdout), pipelined: replies are flushed
+// when the input side would block, when the write buffer fills, or at
+// quit/EOF — never per line.
+func (d *daemon) serveConn(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, connBufSize)
+	bw := bufio.NewWriterSize(w, connBufSize)
+	st := linePool.Get().(*lineState)
+	defer linePool.Put(st)
+	for {
+		// Flush before a read that would block: the client has seen
+		// nothing of this batch yet, and the next request may be a
+		// reply away.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		}
+		line, tooLong, err := readLine(br, st)
+		switch {
+		case tooLong:
+			if _, werr := bw.WriteString("err line too long\n"); werr != nil {
+				return werr
+			}
+		case err == nil || (err == io.EOF && len(line) > 0):
+			var closing bool
+			st.out, closing = d.handleLineBytes(st.out[:0], line, st, true)
+			if _, werr := bw.Write(st.out); werr != nil {
+				return werr
+			}
+			if werr := bw.WriteByte('\n'); werr != nil {
+				return werr
+			}
+			if closing {
+				return bw.Flush()
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				return bw.Flush()
+			}
+			bw.Flush()
+			return err
+		}
+	}
+}
+
+// isSpaceByte matches unicode.IsSpace over the ASCII range — the only
+// range handleLineBytes parses; anything else falls back to the string
+// path.
+func isSpaceByte(c byte) bool {
+	switch c {
+	case '\t', '\n', '\v', '\f', '\r', ' ':
+		return true
+	}
+	return false
+}
+
+func asciiLine(b []byte) bool {
+	for _, c := range b {
+		if c >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendFields splits line into whitespace-separated fields, reusing
+// dst; the fields alias line.
+func appendFields(dst [][]byte, line []byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && isSpaceByte(line[i]) {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		j := i + 1
+		for j < len(line) && !isSpaceByte(line[j]) {
+			j++
+		}
+		dst = append(dst, line[i:j])
+		i = j
+	}
+	return dst
+}
+
+var (
+	fromPrefix  = []byte("from=")
+	quitWord    = []byte("quit")
+	statsWord   = []byte("stats")
+	defaultUser = []byte("%s")
+)
+
+// handleLineBytes is handleLine on the pipelined hot path: it appends
+// the reply for one request line to dst (no trailing newline) instead
+// of building strings. With commands false (the HTTP bulk endpoint),
+// the single-token stats/quit commands are not recognized and every
+// line is a resolve. Replies are byte-identical to handleLine's for
+// every input; a line with non-ASCII bytes is delegated to it outright
+// (case folding is not byte-local there).
+func (d *daemon) handleLineBytes(dst, line []byte, st *lineState, commands bool) (out []byte, closing bool) {
+	if !asciiLine(line) {
+		reply, closing := d.handleLine(string(line))
+		return append(dst, reply...), closing
+	}
+	st.fields = appendFields(st.fields[:0], line)
+	fields := st.fields
+	var from []byte
+	if len(fields) > 0 && bytes.HasPrefix(fields[0], fromPrefix) {
+		from = fields[0][len(fromPrefix):]
+		fields = fields[1:]
+	}
+	switch {
+	case len(fields) == 0:
+		return append(dst, "err empty request"...), false
+	case commands && len(fields) == 1 && len(from) == 0 && bytes.Equal(fields[0], quitWord):
+		return append(dst, "ok bye"...), true
+	case commands && len(fields) == 1 && len(from) == 0 && bytes.Equal(fields[0], statsWord):
+		dst = append(dst, "ok "...)
+		return append(dst, d.statsLine()...), false
+	case len(fields) > 2:
+		return append(dst, "err want: [from=host] dest [user]"...), false
+	}
+	user := defaultUser
+	if len(fields) == 2 {
+		user = fields[1]
+	}
+	dest := fields[0]
+	store := d.store
+	if len(from) > 0 {
+		s, err := d.storeFor(string(from))
+		if err != nil {
+			dst = append(dst, "err "...)
+			return append(dst, err.Error()...), false
+		}
+		store = s
+	}
+	mark := len(dst)
+	dst = append(dst, "ok "...)
+	out, ok := store.AppendResolve(dst, dest, user, &st.sc)
+	if !ok {
+		// The string path's miss error, rebuilt byte-compatibly:
+		// "routedb: no route to" + %q of the raw destination.
+		out = append(out[:mark], "err routedb: no route to "...)
+		out = strconv.AppendQuote(out, string(dest))
+	}
+	return out, false
 }
 
 // serveTCP accepts line-protocol connections until ctx is done.
@@ -382,6 +588,35 @@ func (d *daemon) handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, res.Address())
 	})
+	// POST /routes is the bulk/batch framing for HTTP clients: the body
+	// carries one request per line — "[from=host] dest [user]", the
+	// line protocol's resolve form — and the response carries one
+	// "ok ..."/"err ..." line per request, in order. One HTTP round
+	// trip resolves the whole batch through the same zero-copy path as
+	// the pipelined line protocol. The single-token stats/quit commands
+	// are not special here: every line is a resolve.
+	mux.HandleFunc("POST /routes", func(w http.ResponseWriter, r *http.Request) {
+		st := linePool.Get().(*lineState)
+		defer linePool.Put(st)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		br := bufio.NewReaderSize(r.Body, connBufSize)
+		bw := bufio.NewWriterSize(w, connBufSize)
+		for {
+			line, tooLong, err := readLine(br, st)
+			switch {
+			case tooLong:
+				bw.WriteString("err line too long\n")
+			case err == nil || (err == io.EOF && len(line) > 0):
+				st.out, _ = d.handleLineBytes(st.out[:0], line, st, false)
+				bw.Write(st.out)
+				bw.WriteByte('\n')
+			}
+			if err != nil {
+				break
+			}
+		}
+		bw.Flush()
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(d.snapshot())
@@ -392,9 +627,23 @@ func (d *daemon) handler() http.Handler {
 	return mux
 }
 
+// httpServer builds the daemon's http.Server. The timeouts keep one
+// slow or stalled client from pinning a goroutine (and its buffers)
+// forever: a peer must finish its request header within
+// ReadHeaderTimeout, and an idle keep-alive connection is closed after
+// IdleTimeout. No overall write timeout: a large bulk response to a
+// slow reader is legitimate.
+func (d *daemon) httpServer() *http.Server {
+	return &http.Server{
+		Handler:           d.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // serveHTTP runs the HTTP endpoints until ctx is done.
 func (d *daemon) serveHTTP(ctx context.Context, ln net.Listener) {
-	srv := &http.Server{Handler: d.handler()}
+	srv := d.httpServer()
 	go func() {
 		<-ctx.Done()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

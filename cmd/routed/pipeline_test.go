@@ -1,0 +1,406 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pathalias/internal/routedb"
+)
+
+// pipelineQueries exercises every reply shape of the line protocol:
+// exact hits, suffix hits, default users, misses (with %q-quoted
+// destinations), malformed requests, empty lines, commands, and
+// whitespace variants.
+var pipelineQueries = []string{
+	"duke honey",
+	"caip.rutgers.edu pleasant",
+	"unc",
+	"x.dept.edu",
+	"nowhere u",
+	"no.where.at.all",
+	"a b c",
+	"",
+	"   ",
+	"\tduke\thoney\t",
+	"duke. honey",
+	"stats extrauser",
+}
+
+// serveAll runs input through one pipelined serveConn and returns the
+// reply stream.
+func serveAll(t *testing.T, d *daemon, input string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := d.serveConn(strings.NewReader(input), &out); err != nil {
+		t.Fatalf("serveConn: %v", err)
+	}
+	return out.String()
+}
+
+// TestPipelinedMatchesSingleQuery byte-compares the pipelined batch
+// path against the unpipelined single-query path (handleLine, one
+// request per serve) for every query shape — the equivalence the
+// zero-copy rewrite must preserve.
+func TestPipelinedMatchesSingleQuery(t *testing.T) {
+	for _, fold := range []bool{false, true} {
+		t.Run(fmt.Sprintf("fold=%v", fold), func(t *testing.T) {
+			path := writeRoutes(t, t.TempDir(), testRoutes)
+			d, err := newDaemon(path, false, routedb.Options{FoldCase: fold}, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want strings.Builder
+			for _, q := range pipelineQueries {
+				reply, _ := d.handleLine(q)
+				want.WriteString(reply)
+				want.WriteByte('\n')
+			}
+			got := serveAll(t, d, strings.Join(pipelineQueries, "\n")+"\n")
+			if got != want.String() {
+				t.Errorf("pipelined replies diverge:\ngot:\n%s\nwant:\n%s", got, want.String())
+			}
+		})
+	}
+}
+
+// TestPipelinedMatchesSingleQueryBinary is the same equivalence over a
+// compiled (mmap-served) database — the -db zero-copy path.
+func TestPipelinedMatchesSingleQueryBinary(t *testing.T) {
+	dir := t.TempDir()
+	textPath := writeRoutes(t, dir, testRoutes)
+	td, err := newDaemon(textPath, false, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binPath := dir + "/routes.rdb"
+	f, err := newDaemonBinaryFile(td, binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.store.DB().Close()
+
+	var want strings.Builder
+	for _, q := range pipelineQueries {
+		reply, _ := td.handleLine(q)
+		want.WriteString(reply)
+		want.WriteByte('\n')
+	}
+	got := serveAll(t, f, strings.Join(pipelineQueries, "\n")+"\n")
+	if got != want.String() {
+		t.Errorf("binary pipelined replies diverge:\ngot:\n%s\nwant:\n%s", got, want.String())
+	}
+}
+
+// newDaemonBinaryFile compiles src's current database to path and opens
+// a -db daemon over it.
+func newDaemonBinaryFile(src *daemon, path string) (*daemon, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := src.store.DB().WriteBinary(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	return newDaemon(path, true, routedb.Options{}, io.Discard)
+}
+
+// TestLongLineKeepsServing is the satellite regression: a request line
+// beyond the 1 MiB cap must be answered with "err line too long" and
+// the connection must keep serving — the pre-fix behavior was a silent
+// bufio.ErrTooLong connection kill.
+func TestLongLineKeepsServing(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := strings.Repeat("x", maxLineLen+100)
+	input := "duke honey\n" + long + "\nduke honey\nquit\n"
+	got := serveAll(t, d, input)
+	want := "ok duke!honey\nerr line too long\nok duke!honey\nok bye\n"
+	if got != want {
+		t.Errorf("long-line replies = %q, want %q", got, want)
+	}
+}
+
+// TestLongLineUnterminatedAtEOF: a too-long line that hits EOF before
+// its newline still gets the error reply, and the stream ends cleanly.
+func TestLongLineUnterminatedAtEOF(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := "duke honey\n" + strings.Repeat("y", maxLineLen+100)
+	got := serveAll(t, d, input)
+	want := "ok duke!honey\nerr line too long\n"
+	if got != want {
+		t.Errorf("replies = %q, want %q", got, want)
+	}
+}
+
+// TestBoundaryLines drives lines around the read-buffer and cap sizes
+// through the slow accumulation path: a request longer than the 64 KiB
+// read buffer but under the cap must still resolve correctly.
+func TestBoundaryLines(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A >64 KiB user argument on an exact hit: crosses ReadSlice's
+	// buffer, stays under the cap.
+	bigUser := strings.Repeat("u", connBufSize+1000)
+	input := "duke " + bigUser + "\nquit\n"
+	got := serveAll(t, d, input)
+	want := "ok duke!" + bigUser + "\nok bye\n"
+	if got != want {
+		t.Errorf("big-user reply mismatch (got %d bytes, want %d)", len(got), len(want))
+	}
+}
+
+// TestPipelinedCRLF: \r\n line endings are framed like bufio.ScanLines
+// (the pre-rewrite scanner).
+func TestPipelinedCRLF(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := serveAll(t, d, "duke honey\r\nquit\r\n")
+	if want := "ok duke!honey\nok bye\n"; got != want {
+		t.Errorf("CRLF replies = %q, want %q", got, want)
+	}
+}
+
+// TestPipelinedNonASCII: non-ASCII requests take the string fallback
+// and still answer identically to handleLine.
+func TestPipelinedNonASCII(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), "0\tmüller\tvia!%s\n"+testRoutes)
+	d, err := newDaemon(path, false, routedb.Options{FoldCase: true}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"müller u", "MÜLLER u", "duke honey"}
+	var want strings.Builder
+	for _, q := range queries {
+		reply, _ := d.handleLine(q)
+		want.WriteString(reply)
+		want.WriteByte('\n')
+	}
+	got := serveAll(t, d, strings.Join(queries, "\n")+"\n")
+	if got != want.String() {
+		t.Errorf("non-ASCII replies:\ngot %q\nwant %q", got, want.String())
+	}
+}
+
+// TestConcurrentPipelinedProtocol is the satellite race suite: many
+// connections issue interleaved pipelined resolves and stats while the
+// store hot-swaps between equivalent databases. Every resolve reply is
+// byte-compared against the unpipelined single-query answer computed up
+// front; stats replies (counter-dependent) are shape-checked.
+func TestConcurrentPipelinedProtocol(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two databases with identical routes: swapping them churns the
+	// store pointer under load without changing any answer.
+	dbA := d.store.DB()
+	dbB, err := routedb.LoadWith(strings.NewReader(testRoutes), routedb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resolves := []string{
+		"duke honey", "caip.rutgers.edu pleasant", "unc", "x.dept.edu",
+		"nowhere u", "a b c", "", "duke. honey",
+	}
+	want := make(map[string]string, len(resolves))
+	for _, q := range resolves {
+		reply, _ := d.handleLine(q)
+		want[q] = reply
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.serveTCP(ctx, ln)
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				d.store.Swap(dbB)
+			} else {
+				d.store.Swap(dbA)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	const conns, rounds = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, conns)
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			// One pipelined batch per round: every resolve query plus a
+			// stats probe, written back-to-back, then all replies read.
+			var batch strings.Builder
+			for _, q := range resolves {
+				batch.WriteString(q)
+				batch.WriteByte('\n')
+			}
+			batch.WriteString("stats\n")
+			rd := bufio.NewReader(conn)
+			for r := 0; r < rounds; r++ {
+				if _, err := io.WriteString(conn, batch.String()); err != nil {
+					errs <- fmt.Errorf("conn %d: write: %w", c, err)
+					return
+				}
+				for _, q := range resolves {
+					line, err := rd.ReadString('\n')
+					if err != nil {
+						errs <- fmt.Errorf("conn %d: read: %w", c, err)
+						return
+					}
+					if got := strings.TrimSuffix(line, "\n"); got != want[q] {
+						errs <- fmt.Errorf("conn %d round %d: %q -> %q, want %q", c, r, q, got, want[q])
+						return
+					}
+				}
+				line, err := rd.ReadString('\n')
+				if err != nil {
+					errs <- fmt.Errorf("conn %d: stats read: %w", c, err)
+					return
+				}
+				if !strings.HasPrefix(line, "ok routes=3 ") {
+					errs <- fmt.Errorf("conn %d: stats reply %q", c, line)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+	swapper.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestHTTPBulkRoutes drives the POST /routes batch endpoint: one reply
+// line per request line, in order, matching the line protocol's resolve
+// answers; stats/quit are not commands here.
+func TestHTTPBulkRoutes(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.handler())
+	defer srv.Close()
+
+	body := "duke honey\ncaip.rutgers.edu pleasant\nnowhere u\n\na b c\nquit\n"
+	resp, err := http.Post(srv.URL+"/routes", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	want := "ok duke!honey\n" +
+		"ok seismo!caip.rutgers.edu!pleasant\n" +
+		`err routedb: no route to "nowhere"` + "\n" +
+		"err empty request\n" +
+		"err want: [from=host] dest [user]\n" +
+		`err routedb: no route to "quit"` + "\n"
+	if string(got) != want {
+		t.Errorf("POST /routes:\ngot  %q\nwant %q", got, want)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+}
+
+// TestHTTPBulkVantage: from= per body line answers from that vantage —
+// the bulk endpoint's pair-resolution form.
+func TestHTTPBulkVantage(t *testing.T) {
+	dir := t.TempDir()
+	mapPath := dir + "/test.map"
+	if err := os.WriteFile(mapPath, []byte(testMapSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := newMapDaemon(routedb.Options{}, io.Discard)
+	if _, err := newMapWatcher(d, "unc", 8, []string{mapPath}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.handler())
+	defer srv.Close()
+	body := "ucbvax honey\nfrom=duke ucbvax honey\nfrom=nosuchhost x y\n"
+	resp, err := http.Post(srv.URL+"/routes", "text/plain", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimRight(string(got), "\n"), "\n")
+	if len(lines) != 3 ||
+		lines[0] != "ok duke!research!ucbvax!honey" ||
+		lines[1] != "ok research!ucbvax!honey" ||
+		!strings.HasPrefix(lines[2], "err vantage nosuchhost:") {
+		t.Errorf("bulk vantage replies = %q", lines)
+	}
+}
+
+// TestHTTPServerTimeouts locks in the satellite: the daemon's server
+// must bound header reads and idle keep-alives so one slow client
+// cannot pin a goroutine forever.
+func TestHTTPServerTimeouts(t *testing.T) {
+	path := writeRoutes(t, t.TempDir(), testRoutes)
+	d, err := newDaemon(path, false, routedb.Options{}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := d.httpServer()
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: a stalled header read pins a goroutine forever")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset: an idle keep-alive connection is held forever")
+	}
+}

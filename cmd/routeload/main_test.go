@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeLineServer answers the routed line protocol: every request line
+// gets "ok <line>", dests starting with "bad" get an err reply.
+func fakeLineServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				bw := bufio.NewWriter(conn)
+				for sc.Scan() {
+					if strings.HasPrefix(sc.Text(), "bad") {
+						fmt.Fprintf(bw, "err no route to %s\n", sc.Text())
+					} else {
+						fmt.Fprintf(bw, "ok %s\n", sc.Text())
+					}
+					bw.Flush()
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func writeHosts(t *testing.T, names ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "hosts")
+	if err := os.WriteFile(path, []byte("# comment\n"+strings.Join(names, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func loadJSON(t *testing.T, args ...string) result {
+	t.Helper()
+	var out, errb strings.Builder
+	if code := run(append(args, "-json"), &out, &errb); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr %q", args, code, errb.String())
+	}
+	var res result
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("bad JSON %q: %v", out.String(), err)
+	}
+	return res
+}
+
+func TestTCPPipelined(t *testing.T) {
+	addr := fakeLineServer(t)
+	hosts := writeHosts(t, "duke", "research", "ucbvax")
+	res := loadJSON(t, "-tcp", addr, "-hosts", hosts, "-n", "100", "-c", "2", "-depth", "16")
+	if res.Mode != "tcp" || res.Requests != 100 || res.Errors != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.QPS <= 0 || res.P50us < 0 || res.P99us < res.P50us {
+		t.Errorf("implausible latency stats: %+v", res)
+	}
+}
+
+func TestTCPStopAndWait(t *testing.T) {
+	addr := fakeLineServer(t)
+	hosts := writeHosts(t, "duke")
+	res := loadJSON(t, "-tcp", addr, "-hosts", hosts, "-n", "20", "-depth", "1")
+	if res.Requests != 20 || res.Depth != 1 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestTCPErrorsCounted(t *testing.T) {
+	addr := fakeLineServer(t)
+	hosts := writeHosts(t, "duke", "badhost")
+	res := loadJSON(t, "-tcp", addr, "-hosts", hosts, "-n", "10", "-depth", "4")
+	if res.Errors != 5 {
+		t.Errorf("errors = %d, want 5 (half the round-robin)", res.Errors)
+	}
+}
+
+func TestHTTPBulk(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/routes" {
+			http.Error(w, "wrong endpoint", http.StatusNotFound)
+			return
+		}
+		sc := bufio.NewScanner(r.Body)
+		for sc.Scan() {
+			fmt.Fprintf(w, "ok %s\n", sc.Text())
+		}
+	}))
+	defer srv.Close()
+	hosts := writeHosts(t, "duke", "research")
+	res := loadJSON(t, "-http", srv.URL, "-hosts", hosts, "-n", "50", "-depth", "8")
+	if res.Mode != "http" || res.Requests != 50 || res.Errors != 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestDestsFromDB(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "routes.db")
+	if err := os.WriteFile(db, []byte("500\tduke\tduke!%s\n10\t.edu\tseismo!%s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dests, err := loadDests(db, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dests) != 2 {
+		t.Errorf("dests = %v, want 2 hosts", dests)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out, errb strings.Builder
+	for _, args := range [][]string{
+		{},                            // no target
+		{"-tcp", "x:1", "-http", "u"}, // both targets
+		{"-tcp", "x:1"},               // no dest source
+		{"-tcp", "x:1", "-hosts", "h", "-d", "f"}, // both sources
+		{"-tcp", "x:1", "-hosts", "h", "-n", "0"}, // bad n
+	} {
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -47,10 +47,10 @@ func TestAutoDetectBinary(t *testing.T) {
 		{"-r", "-m", "rightmost", "-local", "unc", "a!duke!honey"},
 	} {
 		var wantOut, gotOut, errw strings.Builder
-		if code := run(append([]string{"-d", txtPath}, args...), &wantOut, &errw); code != 0 {
+		if code := run(append([]string{"-d", txtPath}, args...), strings.NewReader(""), &wantOut, &errw); code != 0 {
 			t.Fatalf("text run %v: exit %d: %s", args, code, errw.String())
 		}
-		if code := run(append([]string{"-d", rdbPath}, args...), &gotOut, &errw); code != 0 {
+		if code := run(append([]string{"-d", rdbPath}, args...), strings.NewReader(""), &gotOut, &errw); code != 0 {
 			t.Fatalf("binary run %v: exit %d: %s", args, code, errw.String())
 		}
 		if gotOut.String() != wantOut.String() {
@@ -64,7 +64,7 @@ func TestAutoDetectBinary(t *testing.T) {
 func TestBinaryFoldNote(t *testing.T) {
 	_, rdbPath := writeBoth(t, true)
 	var out, errw strings.Builder
-	if code := run([]string{"-d", rdbPath, "DUKE", "honey"}, &out, &errw); code != 0 {
+	if code := run([]string{"-d", rdbPath, "DUKE", "honey"}, strings.NewReader(""), &out, &errw); code != 0 {
 		t.Fatalf("exit %d: %s", code, errw.String())
 	}
 	if out.String() != "duke!honey\n" {

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+// fakeRouted speaks the routed line protocol well enough for client
+// tests: "dest user" → "ok dest!user", dest "boom" → an err reply,
+// pipelined (replies flush when the input is drained).
+func fakeRouted(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				bw := bufio.NewWriter(conn)
+				for sc.Scan() {
+					fields := strings.Fields(sc.Text())
+					from := ""
+					if len(fields) > 0 && strings.HasPrefix(fields[0], "from=") {
+						from = strings.TrimPrefix(fields[0], "from=") + ">"
+						fields = fields[1:]
+					}
+					switch {
+					case len(fields) == 0:
+						fmt.Fprintln(bw, "err empty request")
+					case fields[0] == "boom":
+						fmt.Fprintln(bw, "err no route to boom")
+					default:
+						user := "%s"
+						if len(fields) > 1 {
+							user = fields[1]
+						}
+						fmt.Fprintf(bw, "ok %s%s!%s\n", from, fields[0], user)
+					}
+				}
+				bw.Flush()
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestClientSingleQuery(t *testing.T) {
+	addr := fakeRouted(t)
+	var out, errb strings.Builder
+	if code := run([]string{"-server", addr, "duke", "honey"}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errb.String())
+	}
+	if got := out.String(); got != "duke!honey\n" {
+		t.Errorf("stdout = %q, want %q", got, "duke!honey\n")
+	}
+}
+
+func TestClientStdinPipelined(t *testing.T) {
+	addr := fakeRouted(t)
+	stdin := "duke honey\n\n  research pleasant  \nucbvax\n"
+	var out, errb strings.Builder
+	if code := run([]string{"-server", addr}, strings.NewReader(stdin), &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errb.String())
+	}
+	want := "duke!honey\nresearch!pleasant\nucbvax!%s\n"
+	if got := out.String(); got != want {
+		t.Errorf("stdout = %q, want %q", got, want)
+	}
+}
+
+func TestClientFromPrefix(t *testing.T) {
+	addr := fakeRouted(t)
+	var out, errb strings.Builder
+	if code := run([]string{"-server", addr, "-f", "seismo", "duke"}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errb.String())
+	}
+	if got := out.String(); got != "seismo>duke!%s\n" {
+		t.Errorf("stdout = %q, want %q", got, "seismo>duke!%s\n")
+	}
+}
+
+func TestClientErrReply(t *testing.T) {
+	addr := fakeRouted(t)
+	stdin := "duke\nboom\nresearch\n"
+	var out, errb strings.Builder
+	if code := run([]string{"-server", addr}, strings.NewReader(stdin), &out, &errb); code != 1 {
+		t.Fatalf("run = %d, want 1 (an err reply)", code)
+	}
+	if got := out.String(); got != "duke!%s\nresearch!%s\n" {
+		t.Errorf("stdout = %q", got)
+	}
+	if !strings.Contains(errb.String(), "no route to boom") {
+		t.Errorf("stderr = %q, want the err reply surfaced", errb.String())
+	}
+}
+
+func TestClientRejectsLocalFlags(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-server", "x:1", "-d", "routes.db", "duke"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("-server with -d = %d, want usage error 2", code)
+	}
+}
+
+func TestClientDialError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-server", "127.0.0.1:1", "duke"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Errorf("dial failure = %d, want 1", code)
+	}
+}

@@ -9,6 +9,8 @@
 //	uupath -d routes.db -r [-m mode] addr    # rewrite a relative address
 //	uupath -d routes.db -guess addr          # disambiguate mixed syntax
 //	uupath -maps a.map,b.map -f from dest    # route from another vantage
+//	uupath -server host:port dest [user]     # ask a running routed daemon
+//	uupath -server host:port < dests         # bulk: stream stdin, pipelined
 //
 // The -d file's format is auto-detected by its magic bytes: a compiled
 // binary database (mkdb -binary, pathalias -o-db) is memory-mapped and
@@ -39,9 +41,11 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strings"
 
@@ -51,15 +55,16 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("uupath", flag.ContinueOnError)
 	var (
 		dbPath  = fs.String("d", "", "route database file")
 		maps    = fs.String("maps", "", "comma-separated map source files: compute routes in-process instead of -d")
 		from    = fs.String("f", "", "vantage host routes originate at (requires -maps)")
+		server  = fs.String("server", "", "routed line-protocol address: query a running daemon instead of a local database (pipelined)")
 		rewrite = fs.Bool("r", false, "rewrite a relative address instead of routing to a destination")
 		mode    = fs.String("m", "firsthop", "rewrite mode: off, firsthop, rightmost")
 		local   = fs.String("local", "localhost", "local host name for rewriting")
@@ -73,7 +78,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	usage := func() int {
 		fmt.Fprintln(stderr, "usage: uupath -d routes.db [-r [-m mode] [-local host]] dest [user]")
 		fmt.Fprintln(stderr, "       uupath -maps file,... -f from [-r [-m mode]] dest [user]")
+		fmt.Fprintln(stderr, "       uupath -server host:port [-f from] [dest [user]]  (no args: stream stdin, pipelined)")
 		return 2
+	}
+	if *server != "" {
+		if *dbPath != "" || *maps != "" || *rewrite || *guess != "" {
+			return usage()
+		}
+		return runClient(*server, *from, fs.Args(), stdin, stdout, stderr)
 	}
 	switch {
 	case (*dbPath == "") == (*maps == ""): // exactly one source of routes
@@ -180,6 +192,86 @@ func openDB(path string, fold bool, stderr io.Writer) (*routedb.DB, error) {
 	}
 	defer f.Close()
 	return routedb.LoadWith(f, routedb.Options{FoldCase: fold})
+}
+
+// runClient queries a running routed daemon over the line protocol —
+// the delivery-agent integration for a shared long-lived database.
+// With positional args it sends one query and prints the address. With
+// none it streams "dest [user]" lines from stdin to the server
+// *pipelined*: requests are written as fast as stdin supplies them
+// while replies are read concurrently, so resolving a large batch costs
+// about one network round trip instead of one per line. -f prefixes
+// every request with from=<host> (the server must be in -map mode).
+// Addresses print on stdout in request order; "err" replies go to
+// stderr and make the exit status 1.
+func runClient(addr, from string, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "uupath: %v\n", err)
+		return 1
+	}
+	defer conn.Close()
+	prefix := ""
+	if from != "" {
+		prefix = "from=" + from + " "
+	}
+
+	// Writer side: stream requests without waiting for replies, then
+	// half-close so the server answers everything and hangs up.
+	var werr error
+	go func() {
+		defer func() {
+			if cw, ok := conn.(interface{ CloseWrite() error }); ok {
+				cw.CloseWrite()
+			}
+		}()
+		if len(args) > 0 {
+			_, werr = fmt.Fprintf(conn, "%s%s\n", prefix, strings.Join(args, " "))
+			return
+		}
+		sc := bufio.NewScanner(stdin)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			if _, err := fmt.Fprintf(conn, "%s%s\n", prefix, line); err != nil {
+				werr = err
+				return
+			}
+		}
+		werr = sc.Err()
+	}()
+
+	failed := false
+	rd := bufio.NewScanner(conn)
+	rd.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for rd.Scan() {
+		reply := rd.Text()
+		switch {
+		case strings.HasPrefix(reply, "ok "):
+			fmt.Fprintln(stdout, reply[len("ok "):])
+		case strings.HasPrefix(reply, "err "):
+			fmt.Fprintf(stderr, "uupath: %s\n", reply[len("err "):])
+			failed = true
+		default:
+			fmt.Fprintf(stderr, "uupath: unexpected reply %q\n", reply)
+			failed = true
+		}
+	}
+	if err := rd.Err(); err != nil {
+		fmt.Fprintf(stderr, "uupath: %v\n", err)
+		return 1
+	}
+	if werr != nil {
+		fmt.Fprintf(stderr, "uupath: %v\n", werr)
+		return 1
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 // vantageDB computes the route database for one vantage of the given

@@ -20,7 +20,7 @@ func writeDB(t *testing.T) string {
 func TestResolveDestination(t *testing.T) {
 	db := writeDB(t)
 	var out, errb strings.Builder
-	if code := run([]string{"-d", db, "mcvax", "piet"}, &out, &errb); code != 0 {
+	if code := run([]string{"-d", db, "mcvax", "piet"}, strings.NewReader(""), &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if strings.TrimSpace(out.String()) != "seismo!mcvax!piet" {
@@ -31,7 +31,7 @@ func TestResolveDestination(t *testing.T) {
 func TestResolveWithoutUserKeepsMarker(t *testing.T) {
 	db := writeDB(t)
 	var out, errb strings.Builder
-	if code := run([]string{"-d", db, "seismo"}, &out, &errb); code != 0 {
+	if code := run([]string{"-d", db, "seismo"}, strings.NewReader(""), &out, &errb); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if strings.TrimSpace(out.String()) != "seismo!%s" {
@@ -42,7 +42,7 @@ func TestResolveWithoutUserKeepsMarker(t *testing.T) {
 func TestResolveDomainSuffix(t *testing.T) {
 	db := writeDB(t)
 	var out, errb strings.Builder
-	if code := run([]string{"-d", db, "caip.rutgers.edu", "pleasant"}, &out, &errb); code != 0 {
+	if code := run([]string{"-d", db, "caip.rutgers.edu", "pleasant"}, strings.NewReader(""), &out, &errb); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if strings.TrimSpace(out.String()) != "seismo!caip.rutgers.edu!pleasant" {
@@ -62,7 +62,7 @@ func TestRewriteModes(t *testing.T) {
 	}
 	for _, c := range cases {
 		var out, errb strings.Builder
-		code := run([]string{"-d", db, "-r", "-m", c.mode, "-local", "here", "a!b!seismo!mcvax!piet"}, &out, &errb)
+		code := run([]string{"-d", db, "-r", "-m", c.mode, "-local", "here", "a!b!seismo!mcvax!piet"}, strings.NewReader(""), &out, &errb)
 		if c.want == "" {
 			if code == 0 {
 				t.Errorf("mode %s: expected failure", c.mode)
@@ -84,14 +84,14 @@ func TestGuessFlag(t *testing.T) {
 	var out, errb strings.Builder
 	// Ambiguous a!b!user@seismo: RFC822 reading (seismo first) resolves,
 	// UUCP reading (a first) does not.
-	if code := run([]string{"-d", db, "-guess", "a!b!user@seismo"}, &out, &errb); code != 0 {
+	if code := run([]string{"-d", db, "-guess", "a!b!user@seismo"}, strings.NewReader(""), &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
 	if strings.TrimSpace(out.String()) != "seismo!a!b!user" {
 		t.Errorf("guess = %q", out.String())
 	}
 	out.Reset()
-	if code := run([]string{"-d", db, "-guess", "mcvax!user@unknown"}, &out, &errb); code != 0 {
+	if code := run([]string{"-d", db, "-guess", "mcvax!user@unknown"}, strings.NewReader(""), &out, &errb); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
 	if strings.TrimSpace(out.String()) != "mcvax!unknown!user" {
@@ -101,17 +101,17 @@ func TestGuessFlag(t *testing.T) {
 
 func TestUsageErrors(t *testing.T) {
 	var out, errb strings.Builder
-	if code := run(nil, &out, &errb); code != 2 {
+	if code := run(nil, strings.NewReader(""), &out, &errb); code != 2 {
 		t.Errorf("no args: exit %d want 2", code)
 	}
-	if code := run([]string{"-d", "/nonexistent", "x"}, &out, &errb); code != 1 {
+	if code := run([]string{"-d", "/nonexistent", "x"}, strings.NewReader(""), &out, &errb); code != 1 {
 		t.Errorf("bad db: exit %d want 1", code)
 	}
 	db := writeDB(t)
-	if code := run([]string{"-d", db, "-r", "-m", "bogus", "x!y"}, &out, &errb); code != 2 {
+	if code := run([]string{"-d", db, "-r", "-m", "bogus", "x!y"}, strings.NewReader(""), &out, &errb); code != 2 {
 		t.Errorf("bad mode: exit %d want 2", code)
 	}
-	if code := run([]string{"-d", db, "unknowable"}, &out, &errb); code != 1 {
+	if code := run([]string{"-d", db, "unknowable"}, strings.NewReader(""), &out, &errb); code != 1 {
 		t.Errorf("no route: exit %d want 1", code)
 	}
 }
@@ -145,7 +145,7 @@ func TestVantageQueries(t *testing.T) {
 	}
 	for _, c := range cases {
 		var out, errb strings.Builder
-		if code := run([]string{"-maps", mapPath, "-f", c.from, c.dest, "honey"}, &out, &errb); code != 0 {
+		if code := run([]string{"-maps", mapPath, "-f", c.from, c.dest, "honey"}, strings.NewReader(""), &out, &errb); code != 0 {
 			t.Fatalf("-f %s %s: exit %d, stderr %s", c.from, c.dest, code, errb.String())
 		}
 		if got := strings.TrimSpace(out.String()); got != c.want {
@@ -159,16 +159,16 @@ func TestVantageQueries(t *testing.T) {
 func TestVantageUsageErrors(t *testing.T) {
 	mapPath := writeMap(t)
 	var out, errb strings.Builder
-	if code := run([]string{"-maps", mapPath, "x"}, &out, &errb); code != 2 {
+	if code := run([]string{"-maps", mapPath, "x"}, strings.NewReader(""), &out, &errb); code != 2 {
 		t.Errorf("-maps without -f: exit %d want 2", code)
 	}
-	if code := run([]string{"-d", "x.db", "-f", "unc", "x"}, &out, &errb); code != 2 {
+	if code := run([]string{"-d", "x.db", "-f", "unc", "x"}, strings.NewReader(""), &out, &errb); code != 2 {
 		t.Errorf("-f with -d: exit %d want 2", code)
 	}
-	if code := run([]string{"-maps", mapPath, "-d", "x.db", "-f", "unc", "x"}, &out, &errb); code != 2 {
+	if code := run([]string{"-maps", mapPath, "-d", "x.db", "-f", "unc", "x"}, strings.NewReader(""), &out, &errb); code != 2 {
 		t.Errorf("-maps with -d: exit %d want 2", code)
 	}
-	if code := run([]string{"-maps", mapPath, "-f", "nosuchhost", "duke"}, &out, &errb); code != 1 {
+	if code := run([]string{"-maps", mapPath, "-f", "nosuchhost", "duke"}, strings.NewReader(""), &out, &errb); code != 1 {
 		t.Errorf("unknown vantage: exit %d want 1", code)
 	}
 }

@@ -334,3 +334,44 @@ func TestCostRoundTrip(t *testing.T) {
 func crcChecksum(body []byte) uint32 {
 	return crc32.Checksum(body, crcTable)
 }
+
+// TestAppendResolveMapped: the zero-copy append path over a compiled
+// image answers byte-identically to the in-memory string path for every
+// query shape, and allocates nothing at steady state.
+func TestAppendResolveMapped(t *testing.T) {
+	for _, fold := range []bool{false, true} {
+		opts := resolver.Options{FoldCase: fold}
+		es := testEntries()
+		want := resolver.New(es, opts)
+		r := openT(t, compileT(t, es, opts))
+		got := resolver.NewBacked(r, r.Options())
+
+		queries := []string{
+			"unc", "duke", "ucbvax", "dup.host", "dup.host.",
+			"caip.rutgers.edu", "x.edu", "deep.sub.rutgers.edu",
+			"shop.example.com", ".edu", ".sub.edu", "DUKE", "X.EDU",
+			"nowhere", "a", "", ".", "a..edu", "nomarker",
+		}
+		var s resolver.Scratch
+		for _, q := range queries {
+			res, err := want.Resolve(q, "honey")
+			out, ok := got.AppendResolve(nil, []byte(q), []byte("honey"), &s)
+			if ok != (err == nil) {
+				t.Errorf("fold=%v: AppendResolve(%q) ok=%v, want err=%v", fold, q, ok, err)
+				continue
+			}
+			if ok && string(out) != res.Address() {
+				t.Errorf("fold=%v: AppendResolve(%q) = %q, want %q", fold, q, out, res.Address())
+			}
+		}
+
+		dst := make([]byte, 0, 256)
+		suffixQ, exactQ, user := []byte("caip.rutgers.edu"), []byte("duke"), []byte("honey")
+		if n := testing.AllocsPerRun(100, func() {
+			dst, _ = got.AppendResolve(dst[:0], suffixQ, user, &s)
+			dst, _ = got.AppendResolve(dst[:0], exactQ, user, &s)
+		}); n != 0 {
+			t.Errorf("fold=%v: mapped AppendResolve allocates %.1f per 2 queries, want 0", fold, n)
+		}
+	}
+}

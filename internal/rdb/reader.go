@@ -546,6 +546,86 @@ func (r *Reader) SuffixBest(labels []string, maxDepth int) (entry, depth int) {
 	return best, bestDepth
 }
 
+// LookupExactBytes is LookupExact with a byte key
+// (resolver.AppendBacking): the same probe, no conversions.
+func (r *Reader) LookupExactBytes(key []byte) (int, bool) {
+	if r.slots == 0 {
+		return 0, false
+	}
+	mask := r.slots - 1
+	for s := uint32(keyHashBytes(key)) & mask; ; s = (s + 1) & mask {
+		v := le.Uint32(r.hash[s*4:])
+		if v == 0 {
+			return 0, false
+		}
+		i := int(v - 1)
+		if bytes.Equal(r.hostBytes(i), key) {
+			return i, true
+		}
+	}
+}
+
+// SuffixBestBytes is SuffixBest with byte labels
+// (resolver.AppendBacking).
+func (r *Reader) SuffixBestBytes(labels [][]byte, maxDepth int) (entry, depth int) {
+	if len(r.trie) == 0 {
+		return -1, 0
+	}
+	best, bestDepth := -1, 0
+	off := r.trieRoot
+	for d := 1; d <= maxDepth; d++ {
+		child, ok := r.childOfBytes(off, labels[len(labels)-d])
+		if !ok {
+			break
+		}
+		off = child
+		if e := le.Uint32(r.trie[off:]); e != noEntry {
+			best, bestDepth = int(e), d
+		}
+	}
+	return best, bestDepth
+}
+
+// AppendRoute appends entry i's route to dst with arg spliced in place
+// of the first %s marker (resolver.AppendBacking). The route bytes are
+// copied straight off the mapped pages into dst — the zero-copy answer
+// path; callers wrapping a mapped Reader must keep the mapping alive
+// until this returns (routedb does, via its KeepAlive discipline).
+func (r *Reader) AppendRoute(dst []byte, i int, arg []byte) []byte {
+	route := r.routeBytes(i)
+	j := bytes.Index(route, routeMarker)
+	if j < 0 {
+		return append(dst, route...)
+	}
+	dst = append(dst, route[:j]...)
+	dst = append(dst, arg...)
+	return append(dst, route[j+2:]...)
+}
+
+// routeMarker is the %s splice point in a route template.
+var routeMarker = []byte("%s")
+
+// childOfBytes is childOf with a byte label.
+func (r *Reader) childOfBytes(off uint32, label []byte) (uint32, bool) {
+	nchild := le.Uint32(r.trie[off+4:])
+	lo, hi := uint32(0), nchild
+	for lo < hi {
+		mid := (lo + hi) / 2
+		p := r.trie[uint64(off)+trieNodeFixed+uint64(mid)*trieChildSize:]
+		lOff, lLen := le.Uint32(p[0:]), le.Uint32(p[4:])
+		cand := r.strs[uint64(lOff) : uint64(lOff)+uint64(lLen)]
+		switch c := bytes.Compare(cand, label); {
+		case c < 0:
+			lo = mid + 1
+		case c > 0:
+			hi = mid
+		default:
+			return le.Uint32(p[8:]), true
+		}
+	}
+	return 0, false
+}
+
 // childOf binary-searches the node at off for the child whose label is
 // label. Label bytes are compared in place; no allocation.
 func (r *Reader) childOf(off uint32, label string) (uint32, bool) {

@@ -107,6 +107,7 @@ type Backing interface {
 type Resolver struct {
 	opts Options
 	b    Backing
+	ab   AppendBacking // b's byte-keyed fast path, nil if unimplemented
 
 	// entries materializes the sorted entry slice on first use, for
 	// backings (mapped files) that don't hold one natively.
@@ -186,7 +187,9 @@ func New(entries []Entry, opts Options) *Resolver {
 // names were normalized when it was built (FoldCase in particular), so
 // query keys fold the same way.
 func NewBacked(b Backing, opts Options) *Resolver {
-	return &Resolver{opts: opts, b: b}
+	r := &Resolver{opts: opts, b: b}
+	r.ab, _ = b.(AppendBacking)
+	return r
 }
 
 // insertSuffix threads a leading-dot entry into the trie by its labels,

@@ -178,3 +178,33 @@ func TestOpenBinaryRejectsText(t *testing.T) {
 		t.Errorf("OpenBinary(text) = %v", err)
 	}
 }
+
+// TestAppendResolveBothFormats: DB.AppendResolve and Store.AppendResolve
+// answer byte-identically to Resolve over both the text-built and the
+// mmap-served binary database.
+func TestAppendResolveBothFormats(t *testing.T) {
+	text, bin := buildBoth(t, binTestRoutes, Options{})
+	queries := []string{
+		"unc", "duke", "ucbvax", "caip.rutgers.edu", "x.edu",
+		"deep.sub.rutgers.edu", "nowhere", "duke.", "",
+	}
+	var s Scratch
+	for _, db := range []*DB{text, bin} {
+		store := NewStore(db)
+		for _, q := range queries {
+			res, err := db.Resolve(q, "honey")
+			out, ok := db.AppendResolve(nil, []byte(q), []byte("honey"), &s)
+			if ok != (err == nil) {
+				t.Errorf("AppendResolve(%q) ok=%v, want err=%v", q, ok, err)
+				continue
+			}
+			if ok && string(out) != res.Address() {
+				t.Errorf("AppendResolve(%q) = %q, want %q", q, out, res.Address())
+			}
+			sout, sok := store.AppendResolve(nil, []byte(q), []byte("honey"), &s)
+			if sok != ok || string(sout) != string(out) {
+				t.Errorf("Store.AppendResolve(%q) = %q,%v want %q,%v", q, sout, sok, out, ok)
+			}
+		}
+	}
+}

@@ -157,6 +157,23 @@ func (db *DB) Resolve(dest, user string) (Resolution, error) {
 	return res, err
 }
 
+// Scratch holds the per-caller reusable buffers AppendResolve needs;
+// see resolver.Scratch. Keep one per connection or goroutine.
+type Scratch = resolver.Scratch
+
+// AppendResolve is the allocation-free Resolve: it appends the finished
+// address for (dest, user) to dst and reports whether a route was
+// found, with dst returned unchanged on a miss. The appended bytes are
+// owned by dst — for a binary database they are copied off the mapped
+// pages before this returns — and the answer is byte-identical to
+// Resolve().Address() for every query. Counters are updated exactly as
+// by Resolve.
+func (db *DB) AppendResolve(dst []byte, dest, user []byte, s *Scratch) ([]byte, bool) {
+	out, ok := db.r.AppendResolve(dst, dest, user, s)
+	runtime.KeepAlive(db)
+	return out, ok
+}
+
 // Stats returns a snapshot of this database's query counters.
 func (db *DB) Stats() Stats {
 	s := db.r.Stats()
@@ -231,6 +248,12 @@ func (s *Store) Lookup(host string) (Entry, bool) { return s.DB().Lookup(host) }
 // Resolve resolves against the current database.
 func (s *Store) Resolve(dest, user string) (Resolution, error) {
 	return s.DB().Resolve(dest, user)
+}
+
+// AppendResolve resolves against the current database, appending the
+// finished address to dst; see DB.AppendResolve.
+func (s *Store) AppendResolve(dst []byte, dest, user []byte, sc *Scratch) ([]byte, bool) {
+	return s.DB().AppendResolve(dst, dest, user, sc)
 }
 
 // Stats returns the current database's query counters. Counters are

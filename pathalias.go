@@ -337,6 +337,23 @@ func (d *Database) Resolve(dest, user string) (string, error) {
 	return res.Address(), nil
 }
 
+// ResolveScratch holds the reusable buffers AppendResolve needs. A
+// scratch is not safe for concurrent use: keep one per goroutine (or
+// connection) and reuse it across calls.
+type ResolveScratch struct {
+	s routedb.Scratch
+}
+
+// AppendResolve is the allocation-free Resolve for serving hot paths:
+// it appends the finished address for (dest, user) to dst and reports
+// whether a route was found, with dst returned unchanged on a miss.
+// The answer bytes are identical to Resolve's for every query; a
+// steady-state call allocates nothing beyond amortized growth of dst
+// and scratch.
+func (d *Database) AppendResolve(dst []byte, dest, user []byte, s *ResolveScratch) ([]byte, bool) {
+	return d.db.AppendResolve(dst, dest, user, &s.s)
+}
+
 // BatchResult is one destination's outcome from ResolveBatch.
 type BatchResult struct {
 	Dest    string
