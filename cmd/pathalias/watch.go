@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"pathalias"
+	"pathalias/internal/fswatch"
 )
 
 // watchConfig carries the -watch invocation's parameters.
@@ -149,25 +150,33 @@ func (w *watcher) changed() bool {
 	return false
 }
 
-// loop polls until ctx is done, regenerating on change. Transient
-// errors (mid-edit syntax errors, vanished files) are logged; the last
-// good output file stays in place.
+// loop regenerates on change until ctx is done — woken by kernel file
+// events where available (fswatch), by the poll ticker otherwise; the
+// ticker always runs as the portable fallback. Transient errors
+// (mid-edit syntax errors, vanished files) are logged; the last good
+// output file stays in place.
 func (w *watcher) loop(ctx context.Context, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
+	var kicks <-chan struct{} // nil without event support: never ready
+	if fw, err := fswatch.New(w.paths); err == nil {
+		defer fw.Close()
+		kicks = fw.Kicks()
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			if !w.changed() {
-				continue
-			}
-			if wrote, err := w.regenerate(); err != nil {
-				fmt.Fprintf(w.stderr, "pathalias: watch: %v (keeping previous output)\n", err)
-			} else if wrote {
-				fmt.Fprintf(w.stderr, "pathalias: regenerated %s\n", w.outPath)
-			}
+		case <-kicks:
+		}
+		if !w.changed() {
+			continue
+		}
+		if wrote, err := w.regenerate(); err != nil {
+			fmt.Fprintf(w.stderr, "pathalias: watch: %v (keeping previous output)\n", err)
+		} else if wrote {
+			fmt.Fprintf(w.stderr, "pathalias: regenerated %s\n", w.outPath)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pathalias/internal/fswatch"
 	"pathalias/internal/parser"
 	"pathalias/internal/rdb"
 	"pathalias/internal/routedb"
@@ -194,28 +195,37 @@ func (d *daemon) changed() (bool, error) {
 	return contentHash(data) != hash, nil
 }
 
-// watch polls the route file and hot-swaps the store when it changes. A
-// vanished or malformed file is logged and the old database keeps
-// serving.
+// watch hot-swaps the store when the route file changes. Where the
+// kernel offers file events (fswatch), an edit is noticed within
+// milliseconds; the poll ticker stays as the portable correctness path
+// either way. A vanished or malformed file is logged and the old
+// database keeps serving.
 func (d *daemon) watch(ctx context.Context, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
+	var kicks <-chan struct{} // nil without event support: never ready
+	if fw, err := fswatch.New([]string{d.path}); err == nil {
+		defer fw.Close()
+		kicks = fw.Kicks()
+		d.logf("watching %s via file events (poll every %v as fallback)", d.path, interval)
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-t.C:
-			changed, err := d.changed()
-			if err != nil {
-				d.logf("watch: %v", err)
-				continue
-			}
-			if !changed {
-				continue
-			}
-			if err := d.reload(); err != nil {
-				d.logf("reload: %v (still serving previous database)", err)
-			}
+		case <-kicks:
+		}
+		changed, err := d.changed()
+		if err != nil {
+			d.logf("watch: %v", err)
+			continue
+		}
+		if !changed {
+			continue
+		}
+		if err := d.reload(); err != nil {
+			d.logf("reload: %v (still serving previous database)", err)
 		}
 	}
 }

@@ -78,7 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		tcpAddr  = fs.String("tcp", "", "serve the line protocol on this TCP address (e.g. :7411)")
 		httpAddr = fs.String("http", "", "serve HTTP on this address (e.g. :7412)")
 		useStdin = fs.Bool("stdin", false, "serve the line protocol on stdin/stdout and exit at EOF")
-		watch    = fs.Duration("watch", 2*time.Second, "file poll interval (0 disables hot reload)")
+		watch    = fs.Duration("watch", 2*time.Second, "hot-reload on change: file events plus this fallback poll interval (0 disables)")
 		fold     = fs.Bool("i", false, "case-fold queries (for maps computed with pathalias -i)")
 		vantages = fs.Int("vantages", 64, "max resident vantage machines for from= queries (-map mode)")
 	)

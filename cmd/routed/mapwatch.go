@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"pathalias/internal/core"
+	"pathalias/internal/fswatch"
 	"pathalias/internal/mapper"
 	"pathalias/internal/remap"
 	"pathalias/internal/routedb"
@@ -54,6 +55,13 @@ type mapWatcher struct {
 	// internal lock (both paths call eng.ResultFor while holding mu).
 	mu     sync.Mutex
 	stores map[string]*routedb.Store
+
+	// gens records the RouteGen each store (the default under the local
+	// host's name) was last built from, so a re-map that did not change a
+	// vantage's entries — a pure warm no-op for that source, the common
+	// case when one edit touches one corner of the network — skips that
+	// store's rebuild and swap entirely.
+	gens map[string]uint64
 }
 
 // newMapWatcher builds the engine, performs the initial full map
@@ -78,6 +86,7 @@ func newMapWatcher(d *daemon, localHost string, maxVantages int, paths []string)
 		paths:  paths,
 		sigs:   make([]fileSig, len(paths)),
 		stores: make(map[string]*routedb.Store),
+		gens:   make(map[string]uint64),
 	}
 	d.vantage = w.storeFor
 	if err := w.remap(); err != nil {
@@ -115,6 +124,7 @@ func (w *mapWatcher) storeFor(from string) (*routedb.Store, error) {
 	}
 	st := routedb.NewStore(routedb.BuildWith(res.Entries, w.d.opts))
 	w.stores[from] = st
+	w.gens[from] = res.RouteGen
 	w.d.logf("vantage %s: %d routes (lazy spin-up)", from, st.Len())
 	return st, nil
 }
@@ -156,18 +166,27 @@ func (w *mapWatcher) remap() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	routes := 0
+	skipped := 0
 	res, defErr := w.eng.ResultFor(w.local)
 	if defErr == nil {
 		for _, warn := range res.Warnings {
 			w.d.logf("map: %s", warn)
 		}
-		db := routedb.BuildWith(res.Entries, w.d.opts)
-		routes = db.Len()
-		w.d.store.Swap(db)
-		w.d.mu.Lock()
-		w.d.loadedAt = time.Now()
-		w.d.mu.Unlock()
-		w.d.swaps.Add(1)
+		if res.RouteGen == w.gens[w.local] && w.d.swaps.Load() > 0 {
+			// The edit re-mapped but this vantage's entries came out
+			// identical: the served database is already exact.
+			routes = w.d.store.Len()
+			skipped++
+		} else {
+			db := routedb.BuildWith(res.Entries, w.d.opts)
+			routes = db.Len()
+			w.d.store.Swap(db)
+			w.gens[w.local] = res.RouteGen
+			w.d.mu.Lock()
+			w.d.loadedAt = time.Now()
+			w.d.mu.Unlock()
+			w.d.swaps.Add(1)
+		}
 	} else {
 		w.d.logf("vantage %s (default): %v (still serving previous database)", w.local, defErr)
 	}
@@ -186,7 +205,12 @@ func (w *mapWatcher) remap() error {
 			w.d.logf("vantage %s: %v (still serving previous database)", from, err)
 			continue
 		}
+		if vres.RouteGen == w.gens[from] {
+			skipped++ // entries unchanged: the current store is exact
+			continue
+		}
 		st.Swap(routedb.BuildWith(vres.Entries, w.d.opts))
+		w.gens[from] = vres.RouteGen
 		swapped++
 	}
 	// Stores of evicted vantages are dropped; a later query re-creates
@@ -194,13 +218,14 @@ func (w *mapWatcher) remap() error {
 	for name := range w.stores {
 		if !live[name] {
 			delete(w.stores, name)
+			delete(w.gens, name)
 		}
 	}
 
 	warm := stats.Incremental - statsBefore.Incremental
 	full := stats.FullRemaps - statsBefore.FullRemaps
-	w.d.logf("mapped %d routes from %d files (+%d vantage stores; %d warm/%d full re-maps) in %v",
-		routes, len(w.paths), swapped, warm, full, time.Since(start).Round(time.Millisecond))
+	w.d.logf("mapped %d routes from %d files (+%d vantage stores, %d unchanged; %d warm/%d full re-maps) in %v",
+		routes, len(w.paths), swapped, skipped, warm, full, time.Since(start).Round(time.Millisecond))
 	return defErr
 }
 
@@ -223,24 +248,33 @@ func (w *mapWatcher) changed() bool {
 	return false
 }
 
-// watch polls the sources and re-maps on change. Errors (a mid-edit
-// syntax error, a vanished file) are logged and the previous databases
-// keep serving — exactly like the -d watcher.
+// watch re-maps when a source changes — on a kernel file event when the
+// platform has them (fswatch), at the poll interval otherwise. Errors (a
+// mid-edit syntax error, a vanished file) are logged and the previous
+// databases keep serving — exactly like the -d watcher.
 func (w *mapWatcher) watch(ctx context.Context, interval time.Duration) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
+	var kicks <-chan struct{} // nil without event support: never ready
+	if fw, err := fswatch.New(w.paths); err == nil {
+		defer fw.Close()
+		kicks = fw.Kicks()
+		w.d.logf("watching %d map sources via file events (poll every %v as fallback)",
+			len(w.paths), interval)
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			w.eng.Close()
 			return
 		case <-t.C:
-			if !w.changed() {
-				continue
-			}
-			if err := w.remap(); err != nil {
-				w.d.logf("remap: %v (still serving previous database)", err)
-			}
+		case <-kicks:
+		}
+		if !w.changed() {
+			continue
+		}
+		if err := w.remap(); err != nil {
+			w.d.logf("remap: %v (still serving previous database)", err)
 		}
 	}
 }

@@ -132,6 +132,7 @@ type EngineStats struct {
 	FullRemaps  int // full re-maps over the patched graph
 	Rebuilds    int // full rebuilds (first run, reorders, parse errors)
 	Rescanned   int // inputs re-scanned
+	TailApplies int // changed files journaled by replaying only an appended tail
 }
 
 // Stats returns engine activity counters.

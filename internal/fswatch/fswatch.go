@@ -1,0 +1,38 @@
+// Package fswatch delivers coalesced change notifications for a fixed
+// set of files, so watch loops can react to an edit in milliseconds
+// instead of waiting out their poll interval.
+//
+// A kick is a hint, not a verdict: the watcher watches the files'
+// parent directories (surviving the rename-replace idiom editors and
+// atomic writers use) and collapses any plausibly relevant activity
+// into a single buffered tick. Callers keep their (mtime, size) +
+// settle-hash verification and their poll ticker — the poll is the
+// correctness path, the kicks are latency. On platforms without a
+// kernel facility (or with the nofsevents build tag) New returns
+// ErrUnsupported and callers fall back to polling alone.
+package fswatch
+
+import "errors"
+
+// ErrUnsupported means this build has no kernel file-event facility;
+// the caller should poll.
+var ErrUnsupported = errors.New("fswatch: no file-event support in this build")
+
+// Watcher owns one kernel watch over the parent directories of the
+// paths it was created for.
+type Watcher struct {
+	kicks chan struct{}
+	close func() error
+}
+
+// Kicks returns the notification channel: one buffered tick per burst
+// of file activity. The channel is never closed; select against it
+// alongside a poll ticker.
+func (w *Watcher) Kicks() <-chan struct{} { return w.kicks }
+
+// Close releases the kernel watch and stops the reader goroutine.
+func (w *Watcher) Close() error { return w.close() }
+
+// New starts watching the given files (via their parent directories).
+// It returns ErrUnsupported when the platform has no event facility.
+func New(paths []string) (*Watcher, error) { return newPlatform(paths) }

@@ -1,0 +1,189 @@
+package fswatch
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// supported reports whether this build has the event backend compiled
+// in (linux without the nofsevents tag).
+func supported() bool {
+	_, err := New([]string{filepath.Join(os.TempDir(), "fswatch-probe")})
+	return err == nil
+}
+
+func newWatcher(t *testing.T, paths []string) *Watcher {
+	t.Helper()
+	w, err := New(paths)
+	if err != nil {
+		t.Fatalf("New(%v): %v", paths, err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+func expectKick(t *testing.T, w *Watcher, what string) {
+	t.Helper()
+	select {
+	case <-w.Kicks():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no kick within 5s after %s", what)
+	}
+}
+
+func expectQuiet(t *testing.T, w *Watcher, what string) {
+	t.Helper()
+	select {
+	case <-w.Kicks():
+		t.Fatalf("unexpected kick after %s", what)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestUnsupportedBuildReturnsError(t *testing.T) {
+	if supported() {
+		t.Skip("event backend compiled in")
+	}
+	if _, err := New([]string{"x"}); err != ErrUnsupported {
+		t.Fatalf("New = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestKickOnWrite(t *testing.T) {
+	if !supported() {
+		t.Skip("no event backend in this build (poll fallback)")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "map")
+	if err := os.WriteFile(path, []byte("a b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := newWatcher(t, []string{path})
+	if err := os.WriteFile(path, []byte("a b\nc d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectKick(t, w, "write")
+}
+
+func TestKickOnRenameReplace(t *testing.T) {
+	if !supported() {
+		t.Skip("no event backend in this build (poll fallback)")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "map")
+	if err := os.WriteFile(path, []byte("a b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := newWatcher(t, []string{path})
+	// The atomic-write idiom: write a temp file, rename over the target.
+	tmp := filepath.Join(dir, ".map.tmp")
+	if err := os.WriteFile(tmp, []byte("a b\nc d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Drain any kick from creating the temp file (nameless/unknown
+	// events may kick conservatively) before the rename.
+	select {
+	case <-w.Kicks():
+	case <-time.After(100 * time.Millisecond):
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+	expectKick(t, w, "rename-replace")
+}
+
+func TestKickOnDelete(t *testing.T) {
+	if !supported() {
+		t.Skip("no event backend in this build (poll fallback)")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "map")
+	if err := os.WriteFile(path, []byte("a b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := newWatcher(t, []string{path})
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	expectKick(t, w, "delete")
+}
+
+func TestIrrelevantSiblingIsQuiet(t *testing.T) {
+	if !supported() {
+		t.Skip("no event backend in this build (poll fallback)")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "map")
+	if err := os.WriteFile(path, []byte("a b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w := newWatcher(t, []string{path})
+	if err := os.WriteFile(filepath.Join(dir, "other"), []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectQuiet(t, w, "unrelated sibling write")
+}
+
+func TestMultiplePathsShareOneDirWatch(t *testing.T) {
+	if !supported() {
+		t.Skip("no event backend in this build (poll fallback)")
+	}
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	for _, p := range []string{a, b} {
+		if err := os.WriteFile(p, []byte("x y\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := newWatcher(t, []string{a, b})
+	if err := os.WriteFile(b, []byte("x y\nz w\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	expectKick(t, w, "write to second path")
+}
+
+func TestCloseStopsReader(t *testing.T) {
+	if !supported() {
+		t.Skip("no event backend in this build (poll fallback)")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "map")
+	if err := os.WriteFile(path, []byte("a b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ws := make([]*Watcher, 8)
+	for i := range ws {
+		w, err := New([]string{path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[i] = w
+	}
+	for _, w := range ws {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Readers exit on os.ErrClosed; give the scheduler a moment.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("reader goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestMissingDirFails(t *testing.T) {
+	if !supported() {
+		t.Skip("no event backend in this build (poll fallback)")
+	}
+	if _, err := New([]string{filepath.Join(t.TempDir(), "no-such-dir", "map")}); err == nil {
+		t.Fatal("New over a missing directory should fail")
+	}
+}

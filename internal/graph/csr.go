@@ -131,40 +131,90 @@ func (g *Graph) Snapshot() *Snapshot {
 	}
 	s.Row[n] = e
 
-	// Name ranks: sort node IDs by name, assign one rank per distinct
-	// name. Names are immutable and nodes only ever get added, so the
-	// result is cached on the graph and reused until the node list grows.
-	if len(g.rankCache) != n {
-		// Sort flat (name, id) pairs rather than indirecting through the
-		// node slice per compare; the sort is the dominant cost here.
-		type nameID struct {
-			name string
-			id   int32
-		}
-		arr := make([]nameID, n)
-		for i, nd := range nodes {
-			arr[i] = nameID{nd.Name, int32(i)}
-		}
-		slices.SortFunc(arr, func(a, b nameID) int {
-			return strings.Compare(a.name, b.name)
-		})
-		rank := make([]int32, n)
-		ids := make([]int32, n)
-		r := int32(-1)
-		prev := ""
-		for k := range arr {
-			if k == 0 || arr[k].name != prev {
-				r++
-				prev = arr[k].name
-			}
-			rank[arr[k].id] = r
-			ids[k] = arr[k].id
-		}
-		g.rankCache, g.byRankCache = rank, ids
-	}
-	s.Rank, s.ByRank = g.rankCache, g.byRankCache
+	s.Rank, s.ByRank = g.ranks()
 	g.snapCache = s
 	return s
+}
+
+type nameID struct {
+	name string
+	id   int32
+}
+
+// ranks returns the name-rank arrays for the current node set: Rank maps
+// node ID to its position in the sorted order of distinct node names
+// (nodes sharing a name share a rank), ByRank lists node IDs in that
+// order. Names are immutable and nodes only ever get added, so the
+// result is cached on the graph; when the node list has merely grown
+// since the cache was built, the new names are sorted on their own and
+// merged into the cached order in one O(n) pass instead of re-sorting
+// every name — the steady-state cost of a watched map absorbing small
+// edits. Order within a shared rank is whatever the merge (or the
+// unstable sort) produced; only the rank values are contractual.
+func (g *Graph) ranks() (rank, byRank []int32) {
+	nodes := g.nodes
+	n := len(nodes)
+	if old := len(g.rankCache); old == n {
+		return g.rankCache, g.byRankCache
+	} else if old > 0 && old < n {
+		add := make([]nameID, n-old)
+		for id := old; id < n; id++ {
+			add[id-old] = nameID{nodes[id].Name, int32(id)}
+		}
+		slices.SortFunc(add, func(a, b nameID) int {
+			return strings.Compare(a.name, b.name)
+		})
+		rank = make([]int32, n)
+		byRank = make([]int32, n)
+		oldByRank := g.byRankCache
+		r := int32(-1)
+		prev := ""
+		i, j := 0, 0
+		for k := 0; k < n; k++ {
+			var id int32
+			var name string
+			if i < old && (j == len(add) || nodes[oldByRank[i]].Name <= add[j].name) {
+				id = oldByRank[i]
+				name = nodes[id].Name
+				i++
+			} else {
+				id = add[j].id
+				name = add[j].name
+				j++
+			}
+			if k == 0 || name != prev {
+				r++
+				prev = name
+			}
+			rank[id] = r
+			byRank[k] = id
+		}
+		g.rankCache, g.byRankCache = rank, byRank
+		return rank, byRank
+	}
+	// Sort flat (name, id) pairs rather than indirecting through the
+	// node slice per compare; the sort is the dominant cost here.
+	arr := make([]nameID, n)
+	for i, nd := range nodes {
+		arr[i] = nameID{nd.Name, int32(i)}
+	}
+	slices.SortFunc(arr, func(a, b nameID) int {
+		return strings.Compare(a.name, b.name)
+	})
+	rank = make([]int32, n)
+	byRank = make([]int32, n)
+	r := int32(-1)
+	prev := ""
+	for k := range arr {
+		if k == 0 || arr[k].name != prev {
+			r++
+			prev = arr[k].name
+		}
+		rank[arr[k].id] = r
+		byRank[k] = arr[k].id
+	}
+	g.rankCache, g.byRankCache = rank, byRank
+	return rank, byRank
 }
 
 // AddEdge records a link created after the snapshot was built (the

@@ -221,18 +221,22 @@ func (g *Graph) CountDupLink() { g.dupLinks++ }
 // changed since old was built; their rows are rebuilt from the live
 // adjacency lists, everything else is block-copied from old. Node
 // attribute arrays (flags, adjustments, gateways) are always rebuilt —
-// they are O(nodes), not O(edges). The node set must be unchanged since
-// old was built (same length, no deletions flipped on untouched
-// in-neighbors); callers with structural changes use Snapshot instead.
+// they are O(nodes), not O(edges). The node set may have GROWN since
+// old was built — appended nodes are implicitly touched (their rows
+// build from the live lists, and the rank arrays merge the new names
+// into the cached order) — but it must not have shrunk, and no deletion
+// may have flipped on an untouched node or its out-neighbors; callers
+// with such structural changes use Snapshot instead.
 //
 // The result is installed as the graph's memoized snapshot, exactly as
 // if Snapshot had built it from scratch.
 func (g *Graph) SnapshotPatched(old *Snapshot, touched []bool) *Snapshot {
 	nodes := g.nodes
 	n := len(nodes)
-	if old == nil || len(old.Row) != n+1 {
+	if old == nil || len(old.Row) > n+1 {
 		return g.Snapshot()
 	}
+	nOld := len(old.Row) - 1
 	// Reuse the spare snapshot's buffers when one is parked (the
 	// snapshot displaced two patches ago): every array is fully
 	// overwritten below, so recycling skips both the allocation and the
@@ -269,7 +273,7 @@ func (g *Graph) SnapshotPatched(old *Snapshot, touched []bool) *Snapshot {
 			s.gateways[int32(id)] = gw
 		}
 		s.Row[id] = edges
-		if !touched[id] {
+		if id < nOld && !touched[id] {
 			edges += old.Row[id+1] - old.Row[id]
 			continue
 		}
@@ -290,7 +294,7 @@ func (g *Graph) SnapshotPatched(old *Snapshot, touched []bool) *Snapshot {
 	s.EdgeLink = resize(s.EdgeLink, int(edges))
 	for id, nd := range nodes {
 		e := s.Row[id]
-		if !touched[id] {
+		if id < nOld && !touched[id] {
 			lo, hi := old.Row[id], old.Row[id+1]
 			copy(s.To[e:], old.To[lo:hi])
 			copy(s.EdgeCost[e:], old.EdgeCost[lo:hi])
@@ -315,14 +319,9 @@ func (g *Graph) SnapshotPatched(old *Snapshot, touched []bool) *Snapshot {
 		}
 	}
 
-	// Ranks: the node set is unchanged, so the cached ranks are exact.
-	if len(g.rankCache) != n {
-		// Unexpected for the patched path, but recoverable: fall back to
-		// the full build, which recomputes ranks.
-		g.snapCache = nil
-		return g.Snapshot()
-	}
-	s.Rank, s.ByRank = g.rankCache, g.byRankCache
+	// Ranks: cached when the node set is unchanged, merged incrementally
+	// when it grew.
+	s.Rank, s.ByRank = g.ranks()
 	g.snapCache = s
 	// Park the displaced snapshot's buffers for the patch after next
 	// (the caller still copies from old this round).
@@ -332,9 +331,13 @@ func (g *Graph) SnapshotPatched(old *Snapshot, touched []bool) *Snapshot {
 
 // resize returns s with length n, reusing capacity when it fits. The
 // caller overwrites every element, so surviving contents don't matter.
+// resize returns s with length n, reallocating with 25% headroom when
+// the capacity falls short: patched snapshots grow by a node or two per
+// generation on a watched map, and exact-fit buffers would defeat the
+// spare-buffer recycling on every single patch.
 func resize[T any](s []T, n int) []T {
 	if cap(s) >= n {
 		return s[:n]
 	}
-	return make([]T, n)
+	return make([]T, n, n+n/4)
 }

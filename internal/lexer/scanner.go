@@ -53,6 +53,14 @@ func NewScannerString(file string, src string) *Scanner {
 	return &Scanner{src: src, file: file, line: 1}
 }
 
+// NewScannerStringAt is NewScannerString with positions reported from
+// the given 1-based starting line — for scanning a chunk of a larger
+// source that begins at a line start (a SplitStatements boundary), so
+// columns stay exact too.
+func NewScannerStringAt(file string, src string, line int) *Scanner {
+	return &Scanner{src: src, file: file, line: line}
+}
+
 // col returns the 1-based column of the current position.
 func (s *Scanner) col() int { return s.pos - s.lineStart + 1 }
 

@@ -1,0 +1,107 @@
+package lexer
+
+import "strings"
+
+// SplitStatements cuts src into at most chunks pieces of roughly equal
+// size, each beginning at a statement boundary, so one huge map file —
+// the realistic published-map shape — can be scanned by parallel chunk
+// scanners whose concatenated output equals one serial scan. It returns
+// the start offset of every chunk; offs[0] is always 0, offsets are
+// strictly increasing, and every offset lands on the first byte of a
+// line that starts a new statement.
+//
+// A statement boundary is the position after a newline that actually
+// terminates a statement, which is exactly where a fresh Scanner (no
+// token history) behaves identically to the serial scanner (last token:
+// Newline). The pre-scan therefore mirrors the Scanner's continuation
+// rules byte for byte:
+//
+//   - a backslash immediately before a newline continues the line;
+//   - a newline after a trailing comma is suppressed — and stays
+//     suppressed across blank and comment-only lines, since the scanner
+//     keeps its last-token state until the next real token;
+//   - '#' comments run to end of line (the newline keeps its meaning);
+//   - '(' ... ')' cost text is one token: commas and '#' inside it are
+//     literal, and a newline inside it is a scan error.
+//
+// Where the serial scanner would abandon the file with a scan error (an
+// illegal byte, a newline inside a cost expression), the pre-scan stops
+// splitting, leaving everything from the error on in the final chunk:
+// the chunk scanner reproduces the error there, and the caller falls
+// back to a serial scan on any chunk error, so error recovery — like
+// everything else — stays byte-identical.
+func SplitStatements(src string, chunks int) []int {
+	offs := []int{0}
+	if chunks <= 1 || len(src) == 0 {
+		return offs
+	}
+	target := len(src) / chunks
+	if target < 1 {
+		target = 1
+	}
+	nextCut := target
+	lastComma := false // last token was a comma: newlines are suppressed
+	i := 0
+scan:
+	for i < len(src) && len(offs) < chunks {
+		switch c := src[i]; {
+		case c == '\n':
+			i++
+			if lastComma {
+				continue // trailing comma: the statement continues
+			}
+			if i >= nextCut && i < len(src) {
+				offs = append(offs, i)
+				nextCut = i + target
+			}
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			// Comments cannot contain the newline; jump to it.
+			j := strings.IndexByte(src[i:], '\n')
+			if j < 0 {
+				break scan
+			}
+			i += j
+		case c == '\\':
+			if i+1 < len(src) && src[i+1] == '\n' {
+				i += 2 // line continuation: no token, state unchanged
+				continue
+			}
+			break scan // illegal character: the scanner abandons the file
+		case c == '(':
+			// Cost expression: one token, nested parens respected. A
+			// newline inside (or an unterminated expression) is a scan
+			// error that abandons the file.
+			depth := 1
+			for i++; i < len(src); i++ {
+				switch src[i] {
+				case '\n':
+					break scan
+				case '(':
+					depth++
+				case ')':
+					depth--
+				}
+				if depth == 0 {
+					break
+				}
+			}
+			if depth != 0 {
+				break scan
+			}
+			i++ // closing paren
+			lastComma = false
+		case c == ',':
+			i++
+			lastComma = true
+		default:
+			// Any other byte is (part of) an ordinary token — a name
+			// byte, net char, '=', '{', '}' — or an illegal byte, whose
+			// error is reproduced inside whichever chunk holds it.
+			i++
+			lastComma = false
+		}
+	}
+	return offs
+}

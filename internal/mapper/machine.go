@@ -25,10 +25,12 @@ package mapper
 // improvable) lands on exactly the labels a full run would compute.
 //
 // Warm runs do not support SecondBest (two labels per node) — the engine
-// falls back to FullRun for that mode — and require the graph's node set
-// to be unchanged since the last run (new nodes shift name ranks, which
-// the cached tie keys bake in; the engine falls back on any node-count
-// change).
+// falls back to FullRun for that mode. The graph's node set may GROW
+// between runs (node IDs only append, so every existing label keeps its
+// slot): the engine calls RebaseGrow first, which rewrites the name
+// ranks the cached tie keys bake in and appends fresh label slots for
+// the new nodes. Only node removal (a user delete{} flip) still forces
+// a full run.
 
 import (
 	"fmt"
@@ -70,7 +72,8 @@ type LabelView struct {
 // NewMachine returns a machine for g. The label array is sized on the
 // first run.
 func NewMachine(g *graph.Graph, opts Options) *Machine {
-	return &Machine{g: g, mach: machine{g: g, opts: opts}, sourceID: -1}
+	return &Machine{g: g, mach: machine{g: g, opts: opts, persistWB: true, wbGrownFrom: -1},
+		sourceID: -1}
 }
 
 // NewDetachedMachine returns a machine that treats g and its snapshot as
@@ -82,7 +85,8 @@ func NewMachine(g *graph.Graph, opts Options) *Machine {
 // the caller must supply the current snapshot through UseSnapshot before
 // every run.
 func NewDetachedMachine(g *graph.Graph, opts Options) *Machine {
-	mc := &Machine{g: g, mach: machine{g: g, opts: opts, detached: true}, sourceID: -1}
+	mc := &Machine{g: g, mach: machine{g: g, opts: opts, detached: true,
+		persistWB: true, wbGrownFrom: -1}, sourceID: -1}
 	mc.mach.overlay = make(map[int32][]graph.SpillEdge)
 	mc.mach.overlayIdx = make(map[uint64]*graph.Link)
 	return mc
@@ -182,10 +186,93 @@ func (mc *Machine) FullRun(source *graph.Node) (*Result, error) {
 	return m.res, nil
 }
 
+// RebaseGrow extends the machine's persistent state over a graph that
+// gained nodes since the last run (and lost none). New nodes append to
+// the node table, so every existing label keeps its slot and the
+// committed shortest-path tree stays intact; what shifts is the name
+// rank baked into each cached tie key, because ranks follow sorted name
+// order and a new name re-ranks every name after it. RebaseGrow
+// rewrites the live tie keys against the new snapshot's ranks and
+// appends zeroed label slots for the new nodes, which then behave as
+// ordinary never-reached labels (initialized lazily on their first
+// offer). Call after UseSnapshot and before BeginWarm; on error the
+// caller must fall back to FullRun.
+func (mc *Machine) RebaseGrow() error {
+	m := &mc.mach
+	if !mc.ran {
+		return fmt.Errorf("mapper: RebaseGrow before a full run")
+	}
+	if m.opts.SecondBest {
+		return fmt.Errorf("mapper: warm runs do not support SecondBest")
+	}
+	want := 2 * mc.g.Len()
+	old := len(m.labels)
+	if old > want {
+		return fmt.Errorf("mapper: node set shrank (%d labels, %d nodes); full run required",
+			old, mc.g.Len())
+	}
+	snap := mc.snapshot()
+	if 2*len(snap.Rank) != want {
+		return fmt.Errorf("mapper: snapshot covers %d nodes, graph has %d; full run required",
+			len(snap.Rank), mc.g.Len())
+	}
+	// Rewrite the surviving tie keys. The queue drains completely every
+	// run, so between runs every label is Mapped (valid tie) or Unmapped
+	// (tie unread until setLabel rewrites it) — only the mapped ones
+	// need re-packing.
+	for i := range m.labels {
+		lb := &m.labels[i]
+		if lb.node == nil || lb.state != graph.Mapped {
+			continue
+		}
+		lb.tie = uint64(uint32(lb.hops))<<32 |
+			uint64(uint32(snap.Rank[lb.id]))<<1 | uint64(lb.taint)
+	}
+	if old < want {
+		m.labels = growClear(m.labels, want)
+		m.changedMark = growClear(m.changedMark, want)
+		if m.wbValid {
+			m.wbNodeMark = growClear(m.wbNodeMark, mc.g.Len())
+			m.wbState = growClear(m.wbState, mc.g.Len())
+			if m.wbGrownFrom < 0 {
+				m.wbGrownFrom = int32(old / 2)
+			}
+		}
+	}
+	return nil
+}
+
+// growClear extends s to length want, zeroing the extension (the spare
+// capacity may hold stale state from an earlier, shorter slicing). A
+// reallocation takes 25% headroom so a run of single-node adds — the
+// steady state of a watched map — amortizes to O(1) copies per add
+// instead of copying every array on every generation.
+func growClear[T any](s []T, want int) []T {
+	old := len(s)
+	if cap(s) >= want {
+		s = s[:want]
+		clear(s[old:])
+		return s
+	}
+	ns := make([]T, want, want+want/4)
+	copy(ns, s)
+	return ns
+}
+
+// MarkNodeDirty tells the next FinishWarm's batched write-back to
+// reconsider node id even if none of its labels change: node-level
+// effects — an IsNet flip, a changed attribute — alter a node's
+// result contribution (unreachable membership, penalty counting)
+// without touching its labels. Call between BeginWarm and FinishWarm.
+func (mc *Machine) MarkNodeDirty(id int32) {
+	mc.mach.markNodeDirty(id)
+}
+
 // BeginWarm starts a warm run over the graph's current snapshot (which
 // the engine has already built or patched). It must follow a successful
-// FullRun or warm run, with the node set unchanged since. The caller
-// then applies InvalidateSubtree and Seed before FinishWarm.
+// FullRun or warm run, with the node set unchanged since (after a
+// RebaseGrow for generations that added nodes). The caller then applies
+// InvalidateSubtree and Seed before FinishWarm.
 func (mc *Machine) BeginWarm() error {
 	m := &mc.mach
 	if !mc.ran {

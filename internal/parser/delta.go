@@ -3,6 +3,8 @@ package parser
 // Exported fragment API for the incremental re-map engine (internal/remap).
 //
 import (
+	"runtime"
+
 	"pathalias/internal/cost"
 	"pathalias/internal/graph"
 )
@@ -67,10 +69,16 @@ func hashChunk(h uint64, s string) uint64 {
 }
 
 // ScanFragment scans one input into a reusable fragment (phase one of the
-// parse, file-local and independent of every other input).
+// parse, file-local and independent of every other input). Large inputs
+// scan in statement-boundary chunks across Options.Workers goroutines
+// (split.go); the fragment is identical either way.
 func ScanFragment(opts Options, in Input) *Fragment {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	return &Fragment{
-		frag:     scanFile(opts, in),
+		frag:     scanFileParallel(opts, in, workers),
 		foldCase: opts.FoldCase,
 		srcLen:   len(in.Src),
 		hash:     HashInput(in),
@@ -129,6 +137,48 @@ type ReplayOp struct {
 	Members []string // ReplayNet: member names (view into fragment storage)
 }
 
+// Extends reports whether f's replay log strictly extends old's: old's
+// statements, net-member lists, and pending links are an
+// element-for-element prefix of f's (compared by content — the two
+// fragments alias different source buffers). On success it returns the
+// prefix lengths — the statement and pending-link counts already
+// covered by old — so a journaling engine can replay only the appended
+// tail (OpsFrom) on top of old's journal instead of undoing and redoing
+// the whole file.
+//
+// The contract only holds when replaying the tail starts from the state
+// a full replay reaches at the cut: both fragments must be error-free
+// (the budget couples statements), share name and case folding, and
+// old must not switch file{} scope mid-stream (the tail would begin in
+// the wrong private scope). Private declarations in the prefix are fine:
+// bindings are (name, file)-keyed and persist, so a tail replayed under
+// the file's own scope resolves exactly as the full replay would.
+func (f *Fragment) Extends(old *Fragment) (stmts, pendings int, ok bool) {
+	a, b := old.frag, f.frag
+	if a.name != b.name || old.foldCase != f.foldCase ||
+		len(a.errors) > 0 || len(b.errors) > 0 || a.sawFile ||
+		len(a.stmts) > len(b.stmts) || len(a.members) > len(b.members) ||
+		len(a.pending) > len(b.pending) {
+		return 0, 0, false
+	}
+	for i := range a.stmts {
+		if a.stmts[i] != b.stmts[i] {
+			return 0, 0, false
+		}
+	}
+	for i := range a.members {
+		if a.members[i] != b.members[i] {
+			return 0, 0, false
+		}
+	}
+	for i := range a.pending {
+		if a.pending[i] != b.pending[i] {
+			return 0, 0, false
+		}
+	}
+	return len(a.stmts), len(a.pending), true
+}
+
 // Ops calls yield for each replay operation in order, reusing one
 // ReplayOp buffer across calls; the callback must not retain it. It
 // stops early if yield returns false.
@@ -137,9 +187,13 @@ type ReplayOp struct {
 // parser's MaxErrors truncation (fragments with errors) must use
 // MergeFragments instead — the engine only journals error-free
 // fragments, where the two agree.
-func (f *Fragment) Ops(yield func(*ReplayOp) bool) {
+func (f *Fragment) Ops(yield func(*ReplayOp) bool) { f.OpsFrom(0, yield) }
+
+// OpsFrom is Ops starting at statement index from (0 = all), the replay
+// companion of Extends.
+func (f *Fragment) OpsFrom(from int, yield func(*ReplayOp) bool) {
 	var op ReplayOp
-	for i := range f.frag.stmts {
+	for i := from; i < len(f.frag.stmts); i++ {
 		st := &f.frag.stmts[i]
 		op = ReplayOp{
 			Kind:   ReplayKind(st.op),

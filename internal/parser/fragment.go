@@ -79,6 +79,7 @@ type fragment struct {
 	errors   []note
 	warnings []note
 	pending  []pendingLinkOp
+	sawFile  bool // a file{} scope switch appeared (chunk-merge guard)
 }
 
 // fileScanner drives the lexer over one file. It has two sinks: in
@@ -533,6 +534,9 @@ func (s *fileScanner) scanCommandItem(word string) bool {
 		// so pending dead/delete items resolve in the right file.
 		s.emit(&stmt{op: opFile, a: first})
 		s.curFile = first
+		if s.frag != nil {
+			s.frag.sawFile = true
+		}
 	}
 	return true
 }

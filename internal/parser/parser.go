@@ -112,10 +112,8 @@ func ParseWith(opts Options, inputs ...Input) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(inputs) {
-		workers = len(inputs)
-	}
-	if workers <= 1 {
+	switch {
+	case workers <= 1:
 		// Serial: stream each file straight into the graph — no replay
 		// log, no buffering. This is the sequential parse, verbatim.
 		for _, in := range inputs {
@@ -124,7 +122,15 @@ func ParseWith(opts Options, inputs ...Input) (*Result, error) {
 			}
 			scanStream(opts, in, m)
 		}
-	} else {
+	case len(inputs) == 1:
+		// One input: parallelism comes from splitting the file itself at
+		// statement boundaries (split.go). Small files stream serially.
+		if in := inputs[0]; len(in.Src) < 2*minChunkBytes {
+			scanStream(opts, in, m)
+		} else {
+			m.merge(scanFileParallel(opts, in, workers))
+		}
+	default:
 		// Parallel: files scan concurrently (private declarations are
 		// file-scoped, so scans are independent); the merge consumes
 		// fragments strictly in input order as they complete.

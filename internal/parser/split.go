@@ -1,0 +1,137 @@
+package parser
+
+// Single-file parallel scanning. The multi-file parallel path helps only
+// when the map arrives as many files; the realistic published-map shape
+// is one huge file, which used to pin phase one to a single core. Here
+// one input is pre-cut at statement boundaries (lexer.SplitStatements),
+// each chunk scanned by an independent fileScanner, and the chunk
+// fragments concatenated into one — byte-identical to a serial scan,
+// because chunk boundaries are exactly the points where a fresh scanner
+// and the serial scanner agree.
+//
+// Anything that could make concatenation diverge from a serial scan
+// falls back to one: a chunk with errors (the serial scanner abandons a
+// file at its first scan error, and statement-level recovery interacts
+// with the MaxErrors budget, which is file-global), or a file{} scope
+// switch in a non-final chunk (later chunks would have scanned their
+// pending dead/delete items under the wrong private scope). Error-free
+// fragments concatenate exactly: statement order is position order,
+// every budget counter is zero on both paths, and only opNet member
+// ranges need re-basing onto the merged member array.
+
+import (
+	"strings"
+	"sync"
+
+	"pathalias/internal/lexer"
+)
+
+// minChunkBytes is the smallest chunk worth a goroutine: below this the
+// split pre-scan and concatenation overhead beat the parallel win.
+const minChunkBytes = 256 << 10
+
+// scanFileParallel scans one input with up to workers chunk scanners,
+// returning a fragment byte-identical to scanFile's.
+func scanFileParallel(opts Options, in Input, workers int) *fragment {
+	if workers <= 1 || len(in.Src) < 2*minChunkBytes {
+		return scanFile(opts, in)
+	}
+	chunks := workers
+	if m := len(in.Src) / minChunkBytes; chunks > m {
+		chunks = m
+	}
+	return scanFileChunks(opts, in, chunks)
+}
+
+// scanFileChunks is scanFileParallel past its size gates: split into (at
+// most) the given chunk count, scan, concatenate or fall back. Split out
+// so tests can force chunking on small sources.
+func scanFileChunks(opts Options, in Input, chunks int) *fragment {
+	offs := lexer.SplitStatements(in.Src, chunks)
+	if len(offs) <= 1 {
+		return scanFile(opts, in)
+	}
+
+	frags := make([]*fragment, len(offs))
+	var wg sync.WaitGroup
+	line := 1
+	for i, off := range offs {
+		end := len(in.Src)
+		if i+1 < len(offs) {
+			end = offs[i+1]
+		}
+		src := in.Src[off:end]
+		wg.Add(1)
+		go func(i int, src string, line int) {
+			defer wg.Done()
+			frags[i] = scanChunk(opts, in.Name, src, line)
+		}(i, src, line)
+		// Chunks begin at line starts, so the next chunk's first line is
+		// this chunk's newline count further on.
+		line += strings.Count(src, "\n")
+	}
+	wg.Wait()
+
+	stmts, members, warns, pend := 0, 0, 0, 0
+	for i, f := range frags {
+		if len(f.errors) > 0 {
+			// The serial scanner's error recovery is not chunk-local
+			// (scan errors abandon the whole file); rescan serially so
+			// diagnostics and the statement cutoff stay byte-identical.
+			return scanFile(opts, in)
+		}
+		if f.sawFile && i < len(frags)-1 {
+			// file{} switched the private scope: chunks after it scanned
+			// their pending items under the wrong scope.
+			return scanFile(opts, in)
+		}
+		stmts += len(f.stmts)
+		members += len(f.members)
+		warns += len(f.warnings)
+		pend += len(f.pending)
+	}
+
+	out := &fragment{name: in.Name, stmts: make([]stmt, 0, stmts)}
+	if members > 0 {
+		out.members = make([]string, 0, members)
+	}
+	if warns > 0 {
+		out.warnings = make([]note, 0, warns)
+	}
+	if pend > 0 {
+		out.pending = make([]pendingLinkOp, 0, pend)
+	}
+	for _, f := range frags {
+		base := int32(len(out.members))
+		start := len(out.stmts)
+		out.stmts = append(out.stmts, f.stmts...)
+		if base != 0 {
+			for j := start; j < len(out.stmts); j++ {
+				if out.stmts[j].op == opNet {
+					out.stmts[j].mlo += base
+					out.stmts[j].mhi += base
+				}
+			}
+		}
+		out.members = append(out.members, f.members...)
+		out.warnings = append(out.warnings, f.warnings...)
+		out.pending = append(out.pending, f.pending...)
+		out.sawFile = out.sawFile || f.sawFile
+	}
+	return out
+}
+
+// scanChunk scans one chunk of a larger source into its own fragment,
+// with token positions reported from the chunk's true starting line.
+func scanChunk(opts Options, name, src string, line int) *fragment {
+	f := &fragment{name: name, stmts: make([]stmt, 0, len(src)/14+16)}
+	s := &fileScanner{
+		frag:    f,
+		opts:    opts,
+		sc:      lexer.NewScannerStringAt(name, src, line),
+		curFile: name,
+	}
+	s.run()
+	f.members = s.members
+	return f
+}

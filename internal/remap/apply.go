@@ -144,7 +144,8 @@ type changes struct {
 	edges      []edgeEvent    // added/changed/removed links
 	attrs      []int32        // nodes with attribute changes (flags, adjust, gateways)
 	netFlips   []int32        // nodes whose IsNet changed (print-only effect)
-	structural bool           // new nodes / user-delete flips: full snapshot + full re-map
+	structural bool           // user-delete flips / rebuilds: full snapshot + full re-map
+	grown      bool           // new nodes appended: full snapshot, but warm-mappable after a rank re-base
 }
 
 func (c *changes) reset() {
@@ -157,6 +158,7 @@ func (c *changes) reset() {
 	c.attrs = c.attrs[:0]
 	c.netFlips = c.netFlips[:0]
 	c.structural = false
+	c.grown = false
 }
 
 func (c *changes) edge(l *graph.Link, removed bool) {
@@ -325,7 +327,7 @@ func (e *Engine) recomputeNode(n *graph.Node) {
 // --- apply -------------------------------------------------------------
 
 // note journals a node reference for f: refcount, ghost resurrection,
-// and new-node (structural) detection. Idempotent per (file, node).
+// and new-node (grown) detection. Idempotent per (file, node).
 func (e *Engine) note(f *fileState, n *graph.Node) {
 	ns := e.nstate(n)
 	if e.stamp[n.ID] != e.stampGen {
@@ -338,10 +340,14 @@ func (e *Engine) note(f *fileState, n *graph.Node) {
 		e.recomputeNode(n)
 	}
 	if int32(n.ID) >= e.firstNewNode {
-		// Created this update: new name, new rank — structural. A fresh
-		// node also needs its derived attributes initialized when the
-		// avoid list names it (nothing else triggers a recompute).
-		e.ch.structural = true
+		// Created this update: new name, new rank. Node IDs only ever
+		// append, so existing labels and route frames stay valid — the
+		// vantage machines re-base their cached tie keys onto the new
+		// ranks (mapper.RebaseGrow) instead of falling back to a full
+		// re-map. A fresh node also needs its derived attributes
+		// initialized when the avoid list names it (nothing else
+		// triggers a recompute).
+		e.ch.grown = true
 		if len(e.avoid) > 0 && e.avoid[n.Name] {
 			e.recomputeNode(n)
 		}
@@ -501,11 +507,22 @@ func (f *fileState) scanScopeOps() {
 // apply replays frag into the graph under f's journal. The fragment must
 // be error-free (the engine falls back to a plain merge otherwise).
 func (e *Engine) apply(f *fileState, frag *parser.Fragment) {
+	e.applyFrom(f, frag, 0, 0)
+}
+
+// applyFrom replays frag into the graph under f's journal, starting at
+// statement fromStmt and pending-link fromPending — the append fast
+// path (syncIncremental): when an edited file Extends its cached
+// predecessor, the journaled prefix is already in the graph and only
+// the appended tail replays. Statement sequence numbers (f.j.seq) and
+// private-scope state carry over from the prefix's apply, so the tail
+// lands exactly as a full replay would.
+func (e *Engine) applyFrom(f *fileState, frag *parser.Fragment, fromStmt, fromPending int) {
 	e.stampGen++
 	g := e.g
 	g.BeginFile(f.name)
 	e.clearRefCaches()
-	frag.Ops(func(op *parser.ReplayOp) bool {
+	frag.OpsFrom(fromStmt, func(op *parser.ReplayOp) bool {
 		switch op.Kind {
 		case parser.ReplayRef:
 			e.refFast(f, op.A)
@@ -576,7 +593,7 @@ func (e *Engine) apply(f *fileState, frag *parser.Fragment) {
 				e.recomputeNode(p)
 			}
 			if int32(p.ID) >= e.firstNewNode {
-				e.ch.structural = true
+				e.ch.grown = true
 			}
 			name := strings.Clone(op.A)
 			file := g.CurrentFile()
@@ -628,7 +645,7 @@ func (e *Engine) apply(f *fileState, frag *parser.Fragment) {
 	// Pending dead/delete link items: journal them (cloned out of the
 	// fragment's backing text) and reference their names now, in the
 	// scope they will resolve in, so the refcounts cover them.
-	for _, p := range frag.PendingLinks() {
+	for _, p := range frag.PendingLinks()[fromPending:] {
 		p.From = strings.Clone(p.From)
 		p.To = strings.Clone(p.To)
 		p.File = strings.Clone(p.File)

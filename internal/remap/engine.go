@@ -121,6 +121,12 @@ type Result struct {
 	// Incremental reports whether this update took the warm path (false
 	// for full re-maps and plain rebuilds) — observability only.
 	Incremental bool
+	// RouteGen is the vantage's route-set generation: it advances only
+	// when a recompute changed (or may have changed) Entries, so a
+	// consumer holding the previous Result's RouteGen can skip rebuilding
+	// downstream artifacts — e.g. routed's resolver stores — when an
+	// update was a no-op for this vantage.
+	RouteGen uint64
 }
 
 // plainState is the fallback world for input sets the journal cannot
@@ -138,6 +144,7 @@ type plainState struct {
 type genChange struct {
 	jgen       uint64
 	structural bool
+	grown      bool
 	edges      []edgeEvent
 	attrs      []int32
 	netFlips   []int32
@@ -233,6 +240,7 @@ type EngineStats struct {
 	FullRemaps  int // full vantage re-maps over the patched graph
 	Rebuilds    int // full journal rebuilds (first run, reorders, errors)
 	Rescanned   int // inputs re-scanned
+	TailApplies int // changed files journaled by replaying only an appended tail
 }
 
 // NewEngine returns a single-vantage engine for the given options.
@@ -485,6 +493,9 @@ func (e *Engine) sync(inputs []Input) error {
 	if e.ch.structural || e.snap == nil {
 		e.snap = e.g.Snapshot()
 	} else {
+		// Grown generations patch too: SnapshotPatched treats appended
+		// nodes as touched and merge-ranks the new names, so a host add
+		// pays O(changed) + O(nodes), not a full CSR rebuild and re-sort.
 		n := e.g.Len()
 		if cap(e.touchedBuf) >= n {
 			e.touchedBuf = e.touchedBuf[:n]
@@ -504,10 +515,12 @@ func (e *Engine) sync(inputs []Input) error {
 // recordHistory appends this journal generation's change set to the
 // retained history, pruning from the oldest end when over budget.
 func (e *Engine) recordHistory() {
-	gc := genChange{jgen: e.jgen, structural: e.ch.structural}
+	gc := genChange{jgen: e.jgen, structural: e.ch.structural, grown: e.ch.grown}
 	if !gc.structural {
 		// Structural generations force a full re-map for every vantage
 		// that hasn't crossed them; their event lists are never read.
+		// Grown generations stay warm-mappable (the machines re-base
+		// their ranks), so their events are retained like any other.
 		gc.edges = append([]edgeEvent(nil), e.ch.edges...)
 		gc.attrs = append([]int32(nil), e.ch.attrs...)
 		gc.netFlips = append([]int32(nil), e.ch.netFlips...)
@@ -526,13 +539,15 @@ func (e *Engine) recordHistory() {
 // eventsSince merges the change sets of every journal generation after
 // jgen. structural reports that the range contains a structural change
 // or reaches beyond the retained history — either way the vantage needs
-// a full re-map and the event lists are meaningless.
-func (e *Engine) eventsSince(jgen uint64) (structural bool, edges []edgeEvent, attrs, netFlips []int32) {
+// a full re-map and the event lists are meaningless. grown reports that
+// the range added nodes: the events are still usable, but the vantage
+// must re-base its machine's ranks (mapper.RebaseGrow) before warming.
+func (e *Engine) eventsSince(jgen uint64) (structural, grown bool, edges []edgeEvent, attrs, netFlips []int32) {
 	if jgen == e.jgen {
-		return false, nil, nil, nil
+		return false, false, nil, nil, nil
 	}
 	if len(e.hist) == 0 || e.hist[0].jgen > jgen+1 {
-		return true, nil, nil, nil
+		return true, false, nil, nil, nil
 	}
 	lo := 0
 	for lo < len(e.hist) && e.hist[lo].jgen <= jgen {
@@ -541,18 +556,19 @@ func (e *Engine) eventsSince(jgen uint64) (structural bool, edges []edgeEvent, a
 	span := e.hist[lo:]
 	for _, h := range span {
 		if h.structural {
-			return true, nil, nil, nil
+			return true, false, nil, nil, nil
 		}
+		grown = grown || h.grown
 	}
 	if len(span) == 1 {
-		return false, span[0].edges, span[0].attrs, span[0].netFlips
+		return false, grown, span[0].edges, span[0].attrs, span[0].netFlips
 	}
 	for _, h := range span {
 		edges = append(edges, h.edges...)
 		attrs = append(attrs, h.attrs...)
 		netFlips = append(netFlips, h.netFlips...)
 	}
-	return false, edges, attrs, netFlips
+	return false, grown, edges, attrs, netFlips
 }
 
 // rebuildAll reconstructs the journaled graph from scratch over the
@@ -677,6 +693,30 @@ func (e *Engine) syncIncremental(states []*fileState) {
 		old := e.byName[f.name]
 		if old == f {
 			continue // unchanged, journal intact
+		}
+		if old != nil {
+			if ps, pp, ok := f.frag.Extends(old.frag); ok {
+				// Append fast path: the edited file strictly extends its
+				// cached predecessor, so the journaled prefix is already
+				// in the graph — adopt the old journal (and the old file
+				// id, which the prefix's declaration records carry) and
+				// replay only the appended tail. The journal holds no
+				// references into the old source text (names are interned,
+				// pending/private strings cloned), so the old input
+				// releases as usual.
+				e.posOf[old.id] = e.posOf[f.id]
+				f.id = old.id
+				f.j = old.j
+				old.j = journal{}
+				if old.release != nil {
+					old.release()
+					old.release = nil
+				}
+				e.applyFrom(f, f.frag, ps, pp)
+				e.byName[f.name] = f
+				e.Stats.TailApplies++
+				continue
+			}
 		}
 		if old != nil && (old.hasPrivate || f.hasPrivate) {
 			e.undo(old)

@@ -259,7 +259,9 @@ func TestEnginePlainRunDoesNotPoisonFastPath(t *testing.T) {
 
 // mutateMap applies one random edit to a copy of the inputs: cost
 // change, line removal, line addition, file removal, file addition.
-func mutateMap(rng *rand.Rand, inputs []Input, nextID *int) []Input {
+// addHost reports that the edit only introduced a brand-new host (plus
+// its link) — an edit the engine must keep on the warm path.
+func mutateMap(rng *rand.Rand, inputs []Input, nextID *int) (_ []Input, addHost bool) {
 	out := make([]Input, len(inputs))
 	copy(out, inputs)
 	costs := []string{"DEMAND", "HOURLY", "DAILY", "WEEKLY", "EVENING", "DIRECT", "POLLED"}
@@ -291,6 +293,7 @@ func mutateMap(rng *rand.Rand, inputs []Input, nextID *int) []Input {
 		switch rng.Intn(4) {
 		case 0:
 			add = fmt.Sprintf("\nnewhost%d\thost%d(%s)\n", id, rng.Intn(40), costs[rng.Intn(len(costs))])
+			addHost = true
 		case 1:
 			add = fmt.Sprintf("\nhost%d\thost%d(%s)\n", rng.Intn(40), rng.Intn(300), costs[rng.Intn(len(costs))])
 		case 2:
@@ -314,7 +317,7 @@ func mutateMap(rng *rand.Rand, inputs []Input, nextID *int) []Input {
 			Src:  fmt.Sprintf("exhost%d\thost%d(%s)\n", id, rng.Intn(40), costs[rng.Intn(len(costs))]),
 		})
 	}
-	return out
+	return out, addHost
 }
 
 // TestEngineRandomizedEquivalence drives the engine through random edit
@@ -350,13 +353,21 @@ func TestEngineRandomizedEquivalence(t *testing.T) {
 			nextID := 0
 			warm := 0
 			for step := 0; step < steps; step++ {
-				inputs = mutateMap(rng, inputs, &nextID)
+				var addHost bool
+				inputs, addHost = mutateMap(rng, inputs, &nextID)
+				fullBefore := e.Stats.FullRemaps
 				res, err = e.Update(inputs)
 				if err != nil {
 					t.Fatalf("step %d: %v", step, err)
 				}
 				if res.Incremental {
 					warm++
+				}
+				// Host-add edits must stay on the warm path: growth is a
+				// rank re-base, not a rebuild.
+				if addHost && (!res.Incremental || e.Stats.FullRemaps != fullBefore) {
+					t.Fatalf("step %d (seed %d): host-add edit re-mapped fully (stats %+v)",
+						step, seed, e.Stats)
 				}
 				checkEquivalent(t, opts, inputs, res, fmt.Sprintf("step %d (seed %d)", step, seed))
 			}

@@ -165,11 +165,21 @@ func TestMultiRandomizedEquivalence(t *testing.T) {
 
 			nextID := 0
 			for step := 0; step < steps; step++ {
-				inputs = mutateMap(rng, inputs, &nextID)
+				var addHost bool
+				inputs, addHost = mutateMap(rng, inputs, &nextID)
+				fullBefore := m.Stats().FullRemaps
 				if err := m.Update(inputs); err != nil {
 					t.Fatalf("step %d: %v", step, err)
 				}
 				check(fmt.Sprintf("step %d (seed %d)", step, seed))
+				// check resolved every vantage; a host-add edit must have
+				// kept all of them warm.
+				if addHost {
+					if got := m.Stats().FullRemaps; got != fullBefore {
+						t.Fatalf("step %d (seed %d): host-add edit re-mapped fully (%d -> %d)",
+							step, seed, fullBefore, got)
+					}
+				}
 			}
 			t.Logf("seed %d: stats %+v", seed, m.Stats())
 		})
@@ -200,7 +210,7 @@ func TestMultiLazyCatchUp(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
 	nextID := 0
 	for step := 0; step < 12; step++ {
-		inputs = mutateMap(rng, inputs, &nextID)
+		inputs, _ = mutateMap(rng, inputs, &nextID)
 		if err := m.Update(inputs); err != nil {
 			t.Fatalf("step %d: %v", step, err)
 		}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package remap
+
+const raceEnabled = false

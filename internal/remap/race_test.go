@@ -1,0 +1,7 @@
+//go:build race
+
+package remap
+
+// raceEnabled gates timing-floor tests: race instrumentation distorts
+// the warm/full ratio, so speedup assertions only run uninstrumented.
+const raceEnabled = true

@@ -174,8 +174,16 @@ func (v *vantage) rebuildRoutes(e *Engine) {
 // patchRoutes recomputes frames and entries for the changed labels and
 // their descendants after a warm run. netFlips lists nodes whose IsNet
 // flag flipped across the replayed generations (a print-only effect the
-// label diff cannot see).
-func (v *vantage) patchRoutes(e *Engine, changed []int32, netFlips []int32) {
+// label diff cannot see). It reports whether any entry may have changed
+// (false = the previous rows are provably still exact).
+func (v *vantage) patchRoutes(e *Engine, changed []int32, netFlips []int32) bool {
+	if nl := v.mc.NumLabels(); len(v.frames) < nl {
+		// The label array grew (rank re-basing): fresh labels start with
+		// no frame and clean dirty stamps. Existing frames stay valid —
+		// node IDs and label slots are stable under growth.
+		v.frames = append(v.frames, make([]frame, nl-len(v.frames))...)
+		v.frameDirty = append(v.frameDirty, make([]uint32, nl-len(v.frameDirty))...)
+	}
 	v.frameEpoch++
 	epoch := v.frameEpoch
 	var dirty []int32
@@ -210,6 +218,10 @@ func (v *vantage) patchRoutes(e *Engine, changed []int32, netFlips []int32) {
 		}
 	}
 
+	if len(dirty) == 0 {
+		return false // nothing changed: the previous rows are exact
+	}
+
 	// Recompute top-down: parents strictly precede children in hop count.
 	slices.SortFunc(dirty, func(a, b int32) int {
 		return int(v.mc.Label(a).Hops) - int(v.mc.Label(b).Hops)
@@ -238,8 +250,11 @@ func (v *vantage) patchRoutes(e *Engine, changed []int32, netFlips []int32) {
 	// spare buffer ping-pongs with the live one to keep the merge
 	// allocation-free at steady state.
 	merged := v.rowsSpare[:0]
-	if cap(merged) < len(v.rows)+len(newRows) {
-		merged = make([]entryRow, 0, len(v.rows)+len(newRows))
+	if need := len(v.rows) + len(newRows); cap(merged) < need {
+		// 25% headroom: the row count creeps up by a few entries per
+		// host-add generation, and an exact-fit spare would force this
+		// allocation every single patch.
+		merged = make([]entryRow, 0, need+need/4)
 	}
 	j := 0
 	for _, r := range v.rows {
@@ -255,6 +270,7 @@ func (v *vantage) patchRoutes(e *Engine, changed []int32, netFlips []int32) {
 	merged = append(merged, newRows[j:]...)
 	v.rowsSpare = v.rows
 	v.rows = merged
+	return len(dirty) > 0
 }
 
 // assembleEntries renders the row array into the Result's entry slice.

@@ -41,12 +41,15 @@ type vantage struct {
 	last   *Result
 	err    error
 
-	// Route state (routes.go).
+	// Route state (routes.go). routeGen counts recomputes that actually
+	// changed (or may have changed) the entry set, so consumers can skip
+	// rebuilding downstream artifacts on no-op updates.
 	frames     []frame
 	frameDirty []uint32
 	frameEpoch uint32
 	rows       []entryRow
 	rowsSpare  []entryRow
+	routeGen   uint64
 
 	// Entry output buffers, ping-ponged by assembleEntries: the slice in
 	// the latest Result and the one from the Result before it.
@@ -123,8 +126,15 @@ func (v *vantage) recompute(e *Engine) (*Result, error) {
 	}
 	v.mc.UseSnapshot(e.snap)
 
-	structural, edges, attrs, netFlips := e.eventsSince(v.jgen)
+	structural, grown, edges, attrs, netFlips := e.eventsSince(v.jgen)
 	warm := !structural && !v.needFull && v.mc.SourceID() == int32(local.ID)
+	if warm && grown {
+		// The replayed generations added nodes (removed none): re-base
+		// the machine's cached tie ranks onto the new snapshot and grow
+		// its label array; the new nodes then warm-map as ordinary
+		// never-reached labels.
+		warm = v.mc.RebaseGrow() == nil
+	}
 	if warm {
 		warm = v.mc.BeginWarm() == nil
 	}
@@ -161,6 +171,16 @@ func (v *vantage) recompute(e *Engine) (*Result, error) {
 					v.mc.Seed(ev.from)
 				}
 			}
+			// Node-level effects the label diff cannot see — attribute
+			// and IsNet flips change a node's write-back contribution
+			// (unreachable membership, penalty counting) even when its
+			// labels end up identical.
+			for _, id := range attrs {
+				v.mc.MarkNodeDirty(id)
+			}
+			for _, id := range netFlips {
+				v.mc.MarkNodeDirty(id)
+			}
 		}
 	}
 
@@ -180,10 +200,14 @@ func (v *vantage) recompute(e *Engine) (*Result, error) {
 	out := &Result{Incremental: warm}
 	fillMapStats(out, res)
 	if warm {
-		v.patchRoutes(e, changed, netFlips)
+		if v.patchRoutes(e, changed, netFlips) {
+			v.routeGen++
+		}
 	} else {
 		v.rebuildRoutes(e)
+		v.routeGen++
 	}
+	out.RouteGen = v.routeGen
 	out.Entries = v.assembleEntries(e)
 	out.Warnings = e.warnings
 	for _, n := range res.Unreachable {
@@ -211,9 +235,11 @@ func (v *vantage) recomputePlain(e *Engine) (*Result, error) {
 	if err != nil {
 		return v.fail(e, err)
 	}
+	v.routeGen++
 	out := &Result{
 		Entries:  printer.Routes(mres, e.opts.Printer),
 		Warnings: e.warnings,
+		RouteGen: v.routeGen,
 	}
 	fillMapStats(out, mres)
 	for _, n := range mres.Unreachable {
