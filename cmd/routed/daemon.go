@@ -20,6 +20,7 @@ import (
 	"pathalias/internal/parser"
 	"pathalias/internal/rdb"
 	"pathalias/internal/routedb"
+	"pathalias/internal/whatif"
 )
 
 // daemon serves one route database: a hot-swappable store, the line
@@ -38,6 +39,17 @@ type daemon struct {
 	// lazily spinning the vantage up over the shared map engine. Nil in
 	// precompiled (-d) mode, where only the default store exists.
 	vantage func(from string) (*routedb.Store, error)
+
+	// whatif answers overlay queries (resolve-under-overlay, explain,
+	// impact) against the live map engine. Nil outside -map mode — the
+	// precompiled modes have no graph to hypothesize over.
+	whatif *whatif.Evaluator
+	// defaultVantage is the -l host what-if queries default to when the
+	// request carries no from=.
+	defaultVantage string
+	// residentVantages reports each resident vantage's route count for
+	// /stats. Nil outside -map mode.
+	residentVantages func() map[string]int
 
 	mu       sync.Mutex // guards reloads (watch loop + explicit reload)
 	mtime    time.Time
@@ -232,35 +244,67 @@ func (d *daemon) watch(ctx context.Context, interval time.Duration) {
 
 // handleLine answers one request line of the line-oriented protocol:
 //
-//	[from=host] dest [user]   resolve a destination (user defaults to
+//	[from=host] [overlay=spec] dest [user]
+//	                          resolve a destination (user defaults to
 //	                          the %s marker), optionally from another
-//	                          vantage host (-map mode only)
+//	                          vantage host, optionally under a what-if
+//	                          overlay (both -map mode only)
+//	explain [from=host] [overlay=spec] dest
+//	                          explain the route hop by hop — and, with
+//	                          an overlay, how it changes (-map mode)
+//	impact [from=host] overlay=spec
+//	                          report every host whose route changes
+//	                          under the overlay (-map mode)
 //	stats                     one-line counter dump
 //	quit                      close the connection
 //
-// Replies are "ok <payload>" or "err <message>". The single-token
-// commands shadow hosts literally named "stats"/"quit"; query those with
-// an explicit user argument.
+// An overlay spec is the what-if edit language with commas for
+// whitespace so it fits one token: "dead,a,b;cost,a,c,DEMAND".
+//
+// Replies are "ok <payload>" or "err <message>" — a malformed or
+// rejected what-if query is always answered, never dropped. The command
+// words shadow hosts literally named "stats"/"quit"/"explain"/"impact",
+// but only in the first field: resolve those with an explicit user
+// argument ("stats someuser") or a leading vantage ("from=unc explain").
 func (d *daemon) handleLine(line string) (reply string, closing bool) {
 	fields := strings.Fields(line)
+	if len(fields) > 0 && (fields[0] == "explain" || fields[0] == "impact") {
+		return d.whatifLine(fields[0], fields[1:]), false
+	}
 	from := ""
 	if len(fields) > 0 && strings.HasPrefix(fields[0], "from=") {
 		from = strings.TrimPrefix(fields[0], "from=")
 		fields = fields[1:]
 	}
+	overlay, hasOverlay := "", false
+	if len(fields) > 0 && strings.HasPrefix(fields[0], "overlay=") {
+		overlay = strings.TrimPrefix(fields[0], "overlay=")
+		hasOverlay = true
+		fields = fields[1:]
+	}
 	switch {
 	case len(fields) == 0:
 		return "err empty request", false
-	case len(fields) == 1 && fields[0] == "quit" && from == "":
+	case len(fields) == 1 && fields[0] == "quit" && from == "" && !hasOverlay:
 		return "ok bye", true
-	case len(fields) == 1 && fields[0] == "stats" && from == "":
+	case len(fields) == 1 && fields[0] == "stats" && from == "" && !hasOverlay:
 		return "ok " + d.statsLine(), false
 	case len(fields) > 2:
-		return "err want: [from=host] dest [user]", false
+		return "err want: [from=host] [overlay=spec] dest [user]", false
 	}
 	user := "%s"
 	if len(fields) == 2 {
 		user = fields[1]
+	}
+	if hasOverlay {
+		if d.whatif == nil {
+			return "err what-if queries require -map mode", false
+		}
+		addr, err := d.whatif.Resolve(d.whatifFrom(from), overlay, fields[0], user)
+		if err != nil {
+			return "err " + err.Error(), false
+		}
+		return "ok " + addr, false
 	}
 	store, err := d.storeFor(from)
 	if err != nil {
@@ -271,6 +315,79 @@ func (d *daemon) handleLine(line string) (reply string, closing bool) {
 		return "err " + err.Error(), false
 	}
 	return "ok " + res.Address(), false
+}
+
+// whatifFrom maps an optional from= value to the vantage what-if
+// evaluates at: the -l default when empty.
+func (d *daemon) whatifFrom(from string) string {
+	if from == "" {
+		return d.defaultVantage
+	}
+	return from
+}
+
+// whatifLine answers the explain and impact commands.
+func (d *daemon) whatifLine(cmd string, fields []string) string {
+	if d.whatif == nil {
+		return "err what-if queries require -map mode"
+	}
+	from, overlay := "", ""
+	hasOverlay := false
+	for len(fields) > 0 {
+		if v, ok := strings.CutPrefix(fields[0], "from="); ok {
+			from = v
+		} else if v, ok := strings.CutPrefix(fields[0], "overlay="); ok {
+			overlay, hasOverlay = v, true
+		} else {
+			break
+		}
+		fields = fields[1:]
+	}
+	if hasOverlay && overlay == "" {
+		return "err whatif: empty overlay spec"
+	}
+	switch cmd {
+	case "explain":
+		if len(fields) != 1 {
+			return "err want: explain [from=host] [overlay=spec] dest"
+		}
+		res, err := d.whatif.Explain(d.whatifFrom(from), overlay, fields[0])
+		if err != nil {
+			return "err " + err.Error()
+		}
+		if res.Under != nil {
+			return "ok base: " + res.Base.Line() + " || overlay: " + res.Under.Line()
+		}
+		return "ok " + res.Base.Line()
+	default: // impact
+		if overlay == "" || len(fields) != 0 {
+			return "err want: impact [from=host] overlay=spec"
+		}
+		imp, err := d.whatif.ImpactOf(d.whatifFrom(from), overlay)
+		if err != nil {
+			return "err " + err.Error()
+		}
+		return "ok " + impactLine(imp)
+	}
+}
+
+// impactLineMax caps how many per-host changes the one-line impact reply
+// lists; the full report is available as JSON via POST /whatif.
+const impactLineMax = 64
+
+func impactLine(imp *whatif.Impact) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen=%d routes=%d changed=%d added=%d removed=%d rerouted=%d recosted=%d",
+		imp.Gen, imp.Routes, len(imp.Changed),
+		imp.Stats.Added, imp.Stats.Removed, imp.Stats.Rerouted, imp.Stats.Recosted)
+	for i, c := range imp.Changed {
+		if i == impactLineMax {
+			fmt.Fprintf(&b, " +%d more (POST /whatif for the full report)", len(imp.Changed)-impactLineMax)
+			break
+		}
+		fmt.Fprintf(&b, " %s:%s", c.Host, c.Kind)
+	}
+	return b.String()
 }
 
 // storeFor picks the store answering a query: the default store for an
@@ -453,7 +570,31 @@ var (
 	quitWord    = []byte("quit")
 	statsWord   = []byte("stats")
 	defaultUser = []byte("%s")
+	overlayTok  = []byte("overlay=")
+	explainWord = []byte("explain")
+	impactWord  = []byte("impact")
 )
+
+// whatifRequestBytes reports whether a request line is a what-if form —
+// an overlay= token anywhere, or an explain/impact command word first —
+// which the byte path hands to the string handler: what-if evaluation
+// maps a graph, so shaving the line parse is beside the point.
+func whatifRequestBytes(line []byte) bool {
+	if bytes.Contains(line, overlayTok) {
+		return true
+	}
+	i := 0
+	for i < len(line) && isSpaceByte(line[i]) {
+		i++
+	}
+	rest := line[i:]
+	for _, w := range [][]byte{explainWord, impactWord} {
+		if bytes.HasPrefix(rest, w) && (len(rest) == len(w) || isSpaceByte(rest[len(w)])) {
+			return true
+		}
+	}
+	return false
+}
 
 // handleLineBytes is handleLine on the pipelined hot path: it appends
 // the reply for one request line to dst (no trailing newline) instead
@@ -463,7 +604,7 @@ var (
 // every input; a line with non-ASCII bytes is delegated to it outright
 // (case folding is not byte-local there).
 func (d *daemon) handleLineBytes(dst, line []byte, st *lineState, commands bool) (out []byte, closing bool) {
-	if !asciiLine(line) {
+	if !asciiLine(line) || whatifRequestBytes(line) {
 		reply, closing := d.handleLine(string(line))
 		return append(dst, reply...), closing
 	}
@@ -483,7 +624,7 @@ func (d *daemon) handleLineBytes(dst, line []byte, st *lineState, commands bool)
 		dst = append(dst, "ok "...)
 		return append(dst, d.statsLine()...), false
 	case len(fields) > 2:
-		return append(dst, "err want: [from=host] dest [user]"...), false
+		return append(dst, "err want: [from=host] [overlay=spec] dest [user]"...), false
 	}
 	user := defaultUser
 	if len(fields) == 2 {
@@ -535,7 +676,9 @@ func (d *daemon) serveTCP(ctx context.Context, ln net.Listener) {
 	}
 }
 
-// statsSnapshot is the JSON shape of /stats.
+// statsSnapshot is the JSON shape of /stats. The what-if and vantage
+// fields appear only in -map mode; the precompiled modes' JSON is
+// unchanged.
 type statsSnapshot struct {
 	Routes     int       `json:"routes"`
 	Swaps      uint64    `json:"swaps"`
@@ -545,6 +688,11 @@ type statsSnapshot struct {
 	Hits       uint64    `json:"hits"`
 	SuffixHits uint64    `json:"suffix_hits"`
 	Misses     uint64    `json:"misses"`
+	// WhatIf carries the overlay cache counters: hits, misses,
+	// evictions, and resident overlay machines.
+	WhatIf *whatif.Stats `json:"whatif,omitempty"`
+	// Vantages maps each resident vantage to its route count.
+	Vantages map[string]int `json:"vantages,omitempty"`
 }
 
 func (d *daemon) snapshot() statsSnapshot {
@@ -553,7 +701,7 @@ func (d *daemon) snapshot() statsSnapshot {
 	d.mu.Lock()
 	loadedAt := d.loadedAt
 	d.mu.Unlock()
-	return statsSnapshot{
+	snap := statsSnapshot{
 		Routes:     db.Len(),
 		Swaps:      d.swaps.Load(),
 		LoadedAt:   loadedAt,
@@ -563,15 +711,29 @@ func (d *daemon) snapshot() statsSnapshot {
 		SuffixHits: s.SuffixHits,
 		Misses:     s.Misses,
 	}
+	if d.whatif != nil {
+		ws := d.whatif.Stats()
+		snap.WhatIf = &ws
+	}
+	if d.residentVantages != nil {
+		snap.Vantages = d.residentVantages()
+	}
+	return snap
 }
 
 func (d *daemon) statsLine() string {
 	s := d.snapshot()
-	return fmt.Sprintf("routes=%d swaps=%d lookups=%d resolves=%d hits=%d suffix_hits=%d misses=%d",
+	line := fmt.Sprintf("routes=%d swaps=%d lookups=%d resolves=%d hits=%d suffix_hits=%d misses=%d",
 		s.Routes, s.Swaps, s.Lookups, s.Resolves, s.Hits, s.SuffixHits, s.Misses)
+	if s.WhatIf != nil {
+		line += fmt.Sprintf(" whatif_hits=%d whatif_misses=%d whatif_evictions=%d whatif_resident=%d vantages=%d",
+			s.WhatIf.Hits, s.WhatIf.Misses, s.WhatIf.Evictions, s.WhatIf.Resident, len(s.Vantages))
+	}
+	return line
 }
 
-// handler builds the HTTP mux: GET /route?dest=...&user=..., /stats,
+// handler builds the HTTP mux: GET /route?dest=...&user=..., POST
+// /routes (bulk), POST /whatif (overlay queries as JSON), /stats,
 // /healthz.
 func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -585,6 +747,20 @@ func (d *daemon) handler() http.Handler {
 		if user == "" {
 			user = "%s"
 		}
+		if overlay := r.URL.Query().Get("overlay"); overlay != "" {
+			if d.whatif == nil {
+				http.Error(w, "what-if queries require -map mode", http.StatusBadRequest)
+				return
+			}
+			addr, err := d.whatif.Resolve(d.whatifFrom(r.URL.Query().Get("from")), overlay, dest, user)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, addr)
+			return
+		}
 		store, err := d.storeFor(r.URL.Query().Get("from"))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -597,6 +773,55 @@ func (d *daemon) handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, res.Address())
+	})
+	// POST /whatif evaluates one overlay query and returns the full
+	// structured answer — the line protocol's explain/impact replies are
+	// the compact rendering of the same objects. Request body:
+	//
+	//	{"op": "resolve"|"explain"|"impact",
+	//	 "from": "host", "overlay": "dead a b; cost a c 300",
+	//	 "dest": "host", "user": "lou"}
+	mux.HandleFunc("POST /whatif", func(w http.ResponseWriter, r *http.Request) {
+		if d.whatif == nil {
+			http.Error(w, "what-if queries require -map mode", http.StatusBadRequest)
+			return
+		}
+		var req struct {
+			Op      string `json:"op"`
+			From    string `json:"from"`
+			Overlay string `json:"overlay"`
+			Dest    string `json:"dest"`
+			User    string `json:"user"`
+		}
+		if err := json.NewDecoder(io.LimitReader(r.Body, maxLineLen)).Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.User == "" {
+			req.User = "%s"
+		}
+		from := d.whatifFrom(req.From)
+		var out any
+		var err error
+		switch req.Op {
+		case "resolve":
+			var addr string
+			if addr, err = d.whatif.Resolve(from, req.Overlay, req.Dest, req.User); err == nil {
+				out = map[string]string{"address": addr}
+			}
+		case "explain":
+			out, err = d.whatif.Explain(from, req.Overlay, req.Dest)
+		case "impact":
+			out, err = d.whatif.ImpactOf(from, req.Overlay)
+		default:
+			err = fmt.Errorf("op must be resolve, explain, or impact")
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
 	})
 	// POST /routes is the bulk/batch framing for HTTP clients: the body
 	// carries one request per line — "[from=host] dest [user]", the

@@ -49,7 +49,7 @@ func TestStdinProtocol(t *testing.T) {
 		"ok seismo!caip.rutgers.edu!pleasant",
 		`err routedb: no route to "nowhere"`,
 		"ok routes=3 swaps=1 lookups=0 resolves=3 hits=1 suffix_hits=1 misses=1",
-		"err want: [from=host] dest [user]",
+		"err want: [from=host] [overlay=spec] dest [user]",
 		"ok bye",
 	}
 	if len(lines) != len(want) {
@@ -371,7 +371,7 @@ func TestVantageProtocol(t *testing.T) {
 		{"from=ucbvax duke honey", "ok research!duke!honey"},
 		{"from=nosuchhost duke honey", `err vantage nosuchhost: remap: local host "nosuchhost" not found in input`},
 		{"from=duke", "err empty request"},
-		{"from=duke a b c", "err want: [from=host] dest [user]"},
+		{"from=duke a b c", "err want: [from=host] [overlay=spec] dest [user]"},
 	}
 	for _, c := range cases {
 		if got, _ := d.handleLine(c.line); got != c.want {

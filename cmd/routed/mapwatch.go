@@ -28,6 +28,7 @@ import (
 	"pathalias/internal/mapper"
 	"pathalias/internal/remap"
 	"pathalias/internal/routedb"
+	"pathalias/internal/whatif"
 )
 
 // fileSig is one watched source's last observed stat signature.
@@ -89,10 +90,27 @@ func newMapWatcher(d *daemon, localHost string, maxVantages int, paths []string)
 		gens:   make(map[string]uint64),
 	}
 	d.vantage = w.storeFor
+	d.whatif = whatif.New(eng, whatif.Options{FoldCase: d.opts.FoldCase})
+	d.defaultVantage = localHost
+	d.residentVantages = w.residentCounts
 	if err := w.remap(); err != nil {
 		return nil, err
 	}
 	return w, nil
+}
+
+// residentCounts reports each resident vantage's served route count for
+// /stats: the default store under the -l host's name plus every
+// lazily-registered vantage store.
+func (w *mapWatcher) residentCounts() map[string]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]int, len(w.stores)+1)
+	out[w.local] = w.d.store.Len()
+	for name, st := range w.stores {
+		out[name] = st.Len()
+	}
+	return out
 }
 
 // fold normalizes a vantage name under the daemon's case policy, so the

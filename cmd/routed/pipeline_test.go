@@ -347,7 +347,7 @@ func TestHTTPBulkRoutes(t *testing.T) {
 		"ok seismo!caip.rutgers.edu!pleasant\n" +
 		`err routedb: no route to "nowhere"` + "\n" +
 		"err empty request\n" +
-		"err want: [from=host] dest [user]\n" +
+		"err want: [from=host] [overlay=spec] dest [user]\n" +
 		`err routedb: no route to "quit"` + "\n"
 	if string(got) != want {
 		t.Errorf("POST /routes:\ngot  %q\nwant %q", got, want)

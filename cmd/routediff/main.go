@@ -25,6 +25,7 @@ import (
 	"os"
 
 	"pathalias/internal/routedb"
+	"pathalias/internal/whatif/diff"
 )
 
 func main() {
@@ -62,14 +63,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	changes := routedb.Diff(old, new)
+	changes := diff.Diff(old.Entries(), new.Entries())
 	if !*summary {
-		if err := routedb.WriteChanges(stdout, changes); err != nil {
+		if err := diff.WriteChanges(stdout, changes); err != nil {
 			fmt.Fprintf(stderr, "routediff: %v\n", err)
 			return 1
 		}
 	}
-	st := routedb.Summarize(changes)
+	st := diff.Summarize(changes)
 	fmt.Fprintf(stderr, "routediff: %d added, %d removed, %d rerouted, %d recosted (%d routes -> %d)\n",
 		st.Added, st.Removed, st.Rerouted, st.Recosted, old.Len(), new.Len())
 	if len(changes) > 0 {

@@ -58,6 +58,32 @@ func TestSummaryOnly(t *testing.T) {
 	}
 }
 
+// TestGoldenPaperDiff pins the exact output on routes computed from the
+// golden paper1981 map (one edit adding, removing, rerouting, and
+// recosting hosts). The goldens were captured before the diff logic
+// moved to internal/whatif/diff; this proves the refactor changed
+// nothing.
+func TestGoldenPaperDiff(t *testing.T) {
+	read := func(name string) string {
+		b, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	var out, errb strings.Builder
+	code := run([]string{"testdata/paper-old.db", "testdata/paper-new.db"}, &out, &errb)
+	if code != 3 {
+		t.Errorf("exit %d want 3", code)
+	}
+	if want := read("paper-diff.golden"); out.String() != want {
+		t.Errorf("stdout:\n%s\nwant:\n%s", out.String(), want)
+	}
+	if want := read("paper-diff.stderr"); errb.String() != want {
+		t.Errorf("stderr:\n%s\nwant:\n%s", errb.String(), want)
+	}
+}
+
 func TestUsageAndErrors(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"only-one"}, &out, &errb); code != 2 {

@@ -35,6 +35,10 @@ func fakeRouted(t *testing.T) string {
 						from = strings.TrimPrefix(fields[0], "from=") + ">"
 						fields = fields[1:]
 					}
+					if len(fields) > 0 && strings.HasPrefix(fields[0], "overlay=") {
+						from += "[" + strings.TrimPrefix(fields[0], "overlay=") + "]"
+						fields = fields[1:]
+					}
 					switch {
 					case len(fields) == 0:
 						fmt.Fprintln(bw, "err empty request")
@@ -87,6 +91,62 @@ func TestClientFromPrefix(t *testing.T) {
 	}
 	if got := out.String(); got != "seismo>duke!%s\n" {
 		t.Errorf("stdout = %q, want %q", got, "seismo>duke!%s\n")
+	}
+}
+
+// -x parses the spec locally, canonicalizes it to the whitespace-free
+// comma form, and prefixes every request with overlay=<token> — after
+// from=, matching the server grammar ("[from=host] [overlay=spec]
+// dest [user]").
+func TestClientOverlayPrefix(t *testing.T) {
+	addr := fakeRouted(t)
+	var out, errb strings.Builder
+	args := []string{"-server", addr, "-f", "seismo", "-x", "cost a c DEMAND; dead a b", "duke"}
+	if code := run(args, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errb.String())
+	}
+	want := "seismo>[dead,a,b;cost,a,c,300]duke!%s\n"
+	if got := out.String(); got != want {
+		t.Errorf("stdout = %q, want %q", got, want)
+	}
+}
+
+// The overlay prefix applies to every pipelined stdin line, not just
+// single-query mode.
+func TestClientOverlayStdin(t *testing.T) {
+	addr := fakeRouted(t)
+	var out, errb strings.Builder
+	args := []string{"-server", addr, "-x", "dead a b"}
+	if code := run(args, strings.NewReader("duke honey\nresearch\n"), &out, &errb); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errb.String())
+	}
+	want := "[dead,a,b]duke!honey\n[dead,a,b]research!%s\n"
+	if got := out.String(); got != want {
+		t.Errorf("stdout = %q, want %q", got, want)
+	}
+}
+
+// A malformed -x spec fails fast at the client, before any connection,
+// with the spec parser's message.
+func TestClientOverlayBadSpec(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-server", "127.0.0.1:1", "-x", "dead a", "duke"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("bad -x spec = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "dead wants 2 arguments") {
+		t.Errorf("stderr = %q, want the parse error surfaced", errb.String())
+	}
+}
+
+// -x needs a daemon: the local -d/-maps modes have no overlay
+// machinery.
+func TestClientOverlayRequiresServer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-d", "routes.db", "-x", "dead a b", "duke"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("-x without -server = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-x requires -server") {
+		t.Errorf("stderr = %q", errb.String())
 	}
 }
 

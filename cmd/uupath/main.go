@@ -11,6 +11,7 @@
 //	uupath -maps a.map,b.map -f from dest    # route from another vantage
 //	uupath -server host:port dest [user]     # ask a running routed daemon
 //	uupath -server host:port < dests         # bulk: stream stdin, pipelined
+//	uupath -server host:port -x 'dead a b' dest   # what-if: route under edits
 //
 // The -d file's format is auto-detected by its magic bytes: a compiled
 // binary database (mkdb -binary, pathalias -o-db) is memory-mapped and
@@ -23,6 +24,12 @@
 // ucbvax?") that a single routes.db, compiled for one LocalHost, cannot
 // answer. All query modes (-r, -guess, plain dest) work against the
 // computed vantage.
+//
+// With -server, -x sends every query under a what-if overlay: a
+// spec of "dead a b", "cost a b EXPR", and "link a b N" edits
+// (semicolon-separated) that the daemon applies to a scratch copy of
+// the map before routing — the served tables are untouched. The
+// daemon must be running in -map mode.
 //
 // Examples:
 //
@@ -52,6 +59,7 @@ import (
 	"pathalias/internal/mailer"
 	"pathalias/internal/remap"
 	"pathalias/internal/routedb"
+	"pathalias/internal/whatif"
 )
 
 func main() {
@@ -70,6 +78,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		local   = fs.String("local", "localhost", "local host name for rewriting")
 		guess   = fs.String("guess", "", "disambiguate a mixed-syntax address against the database")
 		fold    = fs.Bool("i", false, "case-fold queries (for maps computed with pathalias -i)")
+		overlay = fs.String("x", "", "what-if overlay spec, e.g. 'dead a b; cost a c DEMAND' (requires -server to a -map daemon)")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -78,14 +87,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	usage := func() int {
 		fmt.Fprintln(stderr, "usage: uupath -d routes.db [-r [-m mode] [-local host]] dest [user]")
 		fmt.Fprintln(stderr, "       uupath -maps file,... -f from [-r [-m mode]] dest [user]")
-		fmt.Fprintln(stderr, "       uupath -server host:port [-f from] [dest [user]]  (no args: stream stdin, pipelined)")
+		fmt.Fprintln(stderr, "       uupath -server host:port [-f from] [-x overlay] [dest [user]]  (no args: stream stdin, pipelined)")
 		return 2
 	}
 	if *server != "" {
 		if *dbPath != "" || *maps != "" || *rewrite || *guess != "" {
 			return usage()
 		}
-		return runClient(*server, *from, fs.Args(), stdin, stdout, stderr)
+		// Parse the overlay locally so a typo fails fast with the spec
+		// parser's message instead of one "err ..." reply per query, and
+		// send the canonical single-token form the line protocol wants.
+		overlayTok := ""
+		if *overlay != "" {
+			sp, err := whatif.ParseSpec(*overlay)
+			if err != nil {
+				fmt.Fprintf(stderr, "uupath: -x: %v\n", err)
+				return 2
+			}
+			overlayTok = sp.LineToken()
+		}
+		return runClient(*server, *from, overlayTok, fs.Args(), stdin, stdout, stderr)
+	}
+	if *overlay != "" {
+		fmt.Fprintln(stderr, "uupath: -x requires -server (what-if overlays are evaluated by a -map daemon)")
+		return 2
 	}
 	switch {
 	case (*dbPath == "") == (*maps == ""): // exactly one source of routes
@@ -201,10 +226,10 @@ func openDB(path string, fold bool, stderr io.Writer) (*routedb.DB, error) {
 // *pipelined*: requests are written as fast as stdin supplies them
 // while replies are read concurrently, so resolving a large batch costs
 // about one network round trip instead of one per line. -f prefixes
-// every request with from=<host> (the server must be in -map mode).
-// Addresses print on stdout in request order; "err" replies go to
-// stderr and make the exit status 1.
-func runClient(addr, from string, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+// every request with from=<host>, -x with overlay=<spec> (both need
+// the server in -map mode). Addresses print on stdout in request
+// order; "err" replies go to stderr and make the exit status 1.
+func runClient(addr, from, overlayTok string, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "uupath: %v\n", err)
@@ -214,6 +239,9 @@ func runClient(addr, from string, args []string, stdin io.Reader, stdout, stderr
 	prefix := ""
 	if from != "" {
 		prefix = "from=" + from + " "
+	}
+	if overlayTok != "" {
+		prefix += "overlay=" + overlayTok + " "
 	}
 
 	// Writer side: stream requests without waiting for replies, then

@@ -1,0 +1,213 @@
+package graph
+
+import "pathalias/internal/cost"
+
+// Overlay is a query-scoped set of hypothetical link edits — the "what
+// if link X died / cost Y / existed" questions the paper answers by
+// editing source files and re-running. An overlay never touches the
+// graph or its caches: it records removals, cost overrides, and added
+// links against existing *Link values and node IDs, and PatchSnapshot
+// materializes a private snapshot view with only the touched adjacency
+// rows rebuilt.
+//
+// Cost overrides and additions are represented by private shadow *Link
+// values owned by the overlay, so everything downstream that derefs a
+// snapshot edge's Link (first-hop costs, route explanation) sees the
+// hypothetical cost without the shared link ever changing.
+//
+// An Overlay is built once and then read concurrently; it must not be
+// edited after PatchSnapshot or after being handed to a mapper machine.
+type Overlay struct {
+	removed  map[*Link]bool
+	override map[*Link]*Link   // base link -> private shadow with edited cost
+	added    map[int32][]*Link // from-node ID -> private added links, in add order
+	addedIdx map[uint64]*Link  // linkKey(from, to) -> added link
+	touched  map[int32]bool    // from-node IDs whose CSR rows need a rebuild
+	edits    int
+}
+
+// NewOverlay returns an empty overlay.
+func NewOverlay() *Overlay {
+	return &Overlay{
+		removed:  make(map[*Link]bool),
+		override: make(map[*Link]*Link),
+		added:    make(map[int32][]*Link),
+		addedIdx: make(map[uint64]*Link),
+		touched:  make(map[int32]bool),
+	}
+}
+
+// Edits returns the number of recorded edits.
+func (ov *Overlay) Edits() int { return ov.edits }
+
+// RemoveLink hides l (a link of the base graph) from the patched view.
+func (ov *Overlay) RemoveLink(l *Link) {
+	ov.removed[l] = true
+	ov.touched[int32(l.From.ID)] = true
+	ov.edits++
+}
+
+// OverrideCost gives l the cost c in the patched view.
+func (ov *Overlay) OverrideCost(l *Link, c cost.Cost) {
+	shadow := &Link{From: l.From, To: l.To, Cost: c, Op: l.Op, Flags: l.Flags}
+	ov.override[l] = shadow
+	ov.touched[int32(l.From.ID)] = true
+	ov.edits++
+}
+
+// AddLink adds a hypothetical from->to link with the given cost and
+// operator to the patched view and returns the private link value.
+func (ov *Overlay) AddLink(from, to *Node, c cost.Cost, op Op) *Link {
+	l := &Link{From: from, To: to, Cost: c, Op: op}
+	id := int32(from.ID)
+	ov.added[id] = append(ov.added[id], l)
+	ov.addedIdx[linkKey(from, to)] = l
+	ov.touched[id] = true
+	ov.edits++
+	return l
+}
+
+// Removed reports whether l is hidden by the overlay.
+func (ov *Overlay) Removed(l *Link) bool { return ov.removed[l] }
+
+// Shadow returns the overlay's cost-override shadow for l, or l itself.
+func (ov *Overlay) Shadow(l *Link) *Link {
+	if s := ov.override[l]; s != nil {
+		return s
+	}
+	return l
+}
+
+// AddedFrom returns the overlay-added links out of node id, in add order.
+func (ov *Overlay) AddedFrom(id int32) []*Link { return ov.added[id] }
+
+// FindLink is g.FindLink as seen through the overlay: added links are
+// found and cost-overridden links resolve to their shadow. A removed
+// link is still returned — `dead a b` matches the source language's
+// `delete {a!b}`, which flags the declaration LDeleted without
+// unregistering it, so the pair keeps blocking back-link invention.
+// Callers that must not traverse a removed link check Removed first.
+func (ov *Overlay) FindLink(g *Graph, from, to *Node) *Link {
+	if l := ov.addedIdx[linkKey(from, to)]; l != nil {
+		return l
+	}
+	l := g.FindLink(from, to)
+	if l == nil {
+		return nil
+	}
+	return ov.Shadow(l)
+}
+
+// PatchSnapshot builds a private snapshot applying the overlay to base.
+// Untouched adjacency rows are block-copied; touched rows are rebuilt
+// with removed edges dropped, overridden edges re-costed (EdgeLink
+// pointing at the private shadow), and added edges appended at the end
+// of their row — the same position a link appended to the source would
+// occupy in a fresh parse.
+//
+// Unlike Graph.Snapshot/SnapshotPatched this is a pure function: it
+// installs nothing in any cache and never reads the graph, so it is safe
+// under a read lock with concurrent overlay evaluations. Every array the
+// mapper or an explainer will index — Row, To, EdgeCost, EdgeFlags,
+// EdgeOp, EdgeLink, NodeFlags, Adjust — is freshly allocated even for a
+// zero-edit overlay, because the engine recycles displaced snapshot
+// buffers across updates and a cached overlay evaluation must stay
+// readable after the base map moves on. Only immutable-after-build data
+// is shared: Nodes (names and IDs never change), the rank arrays
+// (replaced, never edited in place), and the gateway map.
+func (ov *Overlay) PatchSnapshot(base *Snapshot) *Snapshot {
+	n := len(base.Row) - 1
+	s := &Snapshot{
+		Nodes:     base.Nodes,
+		Row:       make([]int32, n+1),
+		NodeFlags: make([]NodeFlags, n),
+		Adjust:    make([]cost.Cost, n),
+		Rank:      base.Rank,
+		ByRank:    base.ByRank,
+		gateways:  base.gateways,
+		gwEpoch:   base.gwEpoch,
+	}
+	copy(s.NodeFlags, base.NodeFlags)
+	copy(s.Adjust, base.Adjust)
+
+	edges := int32(len(base.To))
+	for id := range ov.touched {
+		lo, hi := base.Row[id], base.Row[id+1]
+		kept := int32(0)
+		for e := lo; e < hi; e++ {
+			if !ov.removed[base.EdgeLink[e]] {
+				kept++
+			}
+		}
+		edges += kept + int32(len(ov.added[id])) - (hi - lo)
+	}
+	s.To = make([]int32, edges)
+	s.EdgeCost = make([]cost.Cost, edges)
+	s.EdgeFlags = make([]LinkFlags, edges)
+	s.EdgeOp = make([]Op, edges)
+	s.EdgeLink = make([]*Link, edges)
+
+	e := int32(0)
+	for id := 0; id < n; {
+		if !ov.touched[int32(id)] {
+			// Copy the maximal run of untouched rows as one block.
+			start := id
+			for id < n && !ov.touched[int32(id)] {
+				id++
+			}
+			lo, hi := base.Row[start], base.Row[id]
+			delta := e - lo
+			copy(s.To[e:], base.To[lo:hi])
+			copy(s.EdgeCost[e:], base.EdgeCost[lo:hi])
+			copy(s.EdgeFlags[e:], base.EdgeFlags[lo:hi])
+			copy(s.EdgeOp[e:], base.EdgeOp[lo:hi])
+			copy(s.EdgeLink[e:], base.EdgeLink[lo:hi])
+			for k := start; k < id; k++ {
+				s.Row[k] = base.Row[k] + delta
+			}
+			e += hi - lo
+			continue
+		}
+		s.Row[id] = e
+		for x := base.Row[id]; x < base.Row[id+1]; x++ {
+			l := base.EdgeLink[x]
+			if ov.removed[l] {
+				continue
+			}
+			if sh := ov.override[l]; sh != nil {
+				s.To[e] = base.To[x]
+				s.EdgeCost[e] = sh.Cost
+				s.EdgeFlags[e] = base.EdgeFlags[x]
+				s.EdgeOp[e] = base.EdgeOp[x]
+				s.EdgeLink[e] = sh
+			} else {
+				s.To[e] = base.To[x]
+				s.EdgeCost[e] = base.EdgeCost[x]
+				s.EdgeFlags[e] = base.EdgeFlags[x]
+				s.EdgeOp[e] = base.EdgeOp[x]
+				s.EdgeLink[e] = l
+			}
+			e++
+		}
+		for _, l := range ov.added[int32(id)] {
+			s.To[e] = int32(l.To.ID)
+			s.EdgeCost[e] = l.Cost
+			s.EdgeFlags[e] = l.Flags
+			s.EdgeOp[e] = l.Op
+			s.EdgeLink[e] = l
+			e++
+		}
+		id++
+	}
+	s.Row[n] = e
+
+	// Base spill edges are normally absent (detached machines keep their
+	// invented links private); copy defensively if present.
+	if base.extra != nil {
+		s.extra = make(map[int32][]SpillEdge, len(base.extra))
+		for id, sp := range base.extra {
+			s.extra[id] = append([]SpillEdge(nil), sp...)
+		}
+	}
+	return s
+}

@@ -22,7 +22,10 @@
 // probe-count anomaly claim can be measured.
 package hash
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // SecondaryVariant selects the double-hashing step function.
 type SecondaryVariant int
@@ -101,9 +104,15 @@ type Table[V any] struct {
 	variant      SecondaryVariant
 	growth       GrowthPolicy
 	rehashes     int
-	probes       int64
 	rehashProbes int64
-	accesses     int64
+
+	// probes and accesses are instrumentation only. They are atomic so
+	// read-only lookups stay safe under concurrent readers (the remap
+	// engine resolves what-if vantage hosts from multiple goroutines
+	// holding its read lock); every structural mutation still requires
+	// external synchronization.
+	probes   atomic.Int64
+	accesses atomic.Int64
 
 	// retired holds discarded tables: "Rather than freeing the old tables
 	// ... they are placed on a list and made available to our memory
@@ -176,9 +185,9 @@ func (t *Table[V]) Stats() Stats {
 		Len:          t.len,
 		Size:         len(t.slots),
 		Rehashes:     t.rehashes,
-		Probes:       t.probes,
+		Probes:       t.probes.Load(),
 		RehashProbes: t.rehashProbes,
-		Accesses:     t.accesses,
+		Accesses:     t.accesses.Load(),
 		RetiredSlots: retired,
 	}
 }
@@ -231,7 +240,7 @@ func (t *Table[V]) Reserve(n int) {
 
 // Lookup finds the value stored under key.
 func (t *Table[V]) Lookup(key string) (V, bool) {
-	t.accesses++
+	t.accesses.Add(1)
 	i, _, found := t.probe(key)
 	if !found {
 		var zero V
@@ -243,7 +252,7 @@ func (t *Table[V]) Lookup(key string) (V, bool) {
 // Insert stores val under key, returning the previous value if the key was
 // already present.
 func (t *Table[V]) Insert(key string, val V) (prev V, existed bool) {
-	t.accesses++
+	t.accesses.Add(1)
 	i, _, found := t.probe(key)
 	if found {
 		prev = t.slots[i].val
@@ -262,7 +271,7 @@ func (t *Table[V]) Insert(key string, val V) (prev V, existed bool) {
 // absent. This is the hot path during parsing: one probe sequence serves
 // both the hit and the miss.
 func (t *Table[V]) GetOrInsert(key string, mk func() V) (V, bool) {
-	t.accesses++
+	t.accesses.Add(1)
 	i, _, found := t.probe(key)
 	if found {
 		return t.slots[i].val, true
@@ -283,7 +292,7 @@ func (t *Table[V]) GetOrInsert(key string, mk func() V) (V, bool) {
 // the hit path costs one probe sequence and no allocation, and the miss
 // path does not probe twice the way Lookup-then-Insert would.
 func (t *Table[V]) GetOrInsertKeyed(key string, intern func(string) string, mk func(canon string) V) (V, bool) {
-	t.accesses++
+	t.accesses.Add(1)
 	i, _, found := t.probe(key)
 	if found {
 		return t.slots[i].val, true
@@ -309,7 +318,7 @@ func (t *Table[V]) probe(key string) (idx int, hash uint64, found bool) {
 	i := int(k % uint64(size))
 	step := 0
 	for {
-		t.probes++
+		t.probes.Add(1)
 		e := &t.slots[i]
 		if !e.set {
 			return i, k, false

@@ -97,6 +97,14 @@ func NewDetachedMachine(g *graph.Graph, opts Options) *Machine {
 // may have changed since the previous run.
 func (mc *Machine) UseSnapshot(s *graph.Snapshot) { mc.extSnap = s }
 
+// UseEdits gives a detached machine a what-if overlay of link edits
+// (internal/whatif). The caller is responsible for running the machine
+// against a snapshot patched with the same overlay (UseSnapshot of
+// ov.PatchSnapshot); UseEdits only makes the back-link pass — which
+// walks the live adjacency lists rather than the snapshot — see the
+// identical edited view. Pass nil to clear.
+func (mc *Machine) UseEdits(ov *graph.Overlay) { mc.mach.edits = ov }
+
 // snapshot resolves the snapshot for a run: the externally supplied one
 // for detached machines, the graph's memoized one otherwise.
 func (mc *Machine) snapshot() *graph.Snapshot {

@@ -1,0 +1,147 @@
+package remap
+
+import (
+	"errors"
+	"fmt"
+
+	"pathalias/internal/graph"
+	"pathalias/internal/mapper"
+	"pathalias/internal/printer"
+)
+
+// What-if overlay evaluation: map a hypothetical edit set against the
+// engine's shared graph and snapshot without touching either. The whole
+// evaluation happens under the Multi read lock — build the overlay
+// against the live graph, patch a private snapshot view, run a throwaway
+// detached machine, derive entries — so it can run concurrently with
+// other overlays and with serving reads, while updates (which take the
+// write lock) are simply held off for the few milliseconds a run takes.
+//
+// The returned OverlayRun is self-contained: its entries, label table,
+// and snapshot stay valid (and race-free) after the base map moves on,
+// which is what lets internal/whatif cache evaluations across queries.
+
+// ErrOverlayUnavailable is returned when the engine cannot answer
+// what-if queries: no successful update yet, or the last update fell
+// back to a plain (non-journaled) merge because the sources had errors.
+var ErrOverlayUnavailable = errors.New("remap: what-if overlays unavailable (no clean journaled map state)")
+
+// OverlayCtx is the read-only graph view handed to an overlay builder.
+// All lookups fold names the way the engine does.
+type OverlayCtx struct{ e *Engine }
+
+// Lookup resolves a host name to its live node. Ghosts — names that only
+// survive as deleted placeholders — do not resolve.
+func (c OverlayCtx) Lookup(name string) (*graph.Node, bool) {
+	n, ok := c.e.g.Lookup(c.e.foldName(name))
+	if !ok {
+		return nil, false
+	}
+	// Read-only ghost probe: nstate() grows the ledger for unseen IDs,
+	// which a read-locked path must not do.
+	if n.ID < len(c.e.nstates) && c.e.nstates[n.ID].ghost {
+		return nil, false
+	}
+	return n, true
+}
+
+// FindLink returns the declared from->to link, if any.
+func (c OverlayCtx) FindLink(from, to *graph.Node) *graph.Link {
+	return c.e.g.FindLink(from, to)
+}
+
+// OverlayRun is one evaluated what-if: the routing table a fresh run
+// over the edited map would produce, plus the machine and patched
+// snapshot needed to explain individual routes. Everything here is
+// private to the run (or immutable), so it may be cached and read after
+// later base-map updates without synchronization.
+type OverlayRun struct {
+	Gen         uint64          // engine update generation the run is valid for
+	Host        string          // folded vantage host
+	Entries     []printer.Entry // full routing table under the overlay
+	Unreachable []string        // hosts with no route even after back links
+	LabelByHost map[string]int32
+
+	Machine *mapper.Machine // the throwaway machine; labels index explain
+	Snap    *graph.Snapshot // the private patched view the machine ran on
+	Overlay *graph.Overlay  // nil for a base (no-edit) evaluation
+}
+
+// Generation returns the engine's current update generation. A cached
+// OverlayRun is current iff its Gen matches.
+func (m *Multi) Generation() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.e.updGen
+}
+
+// EvalOverlay evaluates a hypothetical edit set from the given vantage
+// host. build receives a read-only view of the live graph and returns
+// the overlay to apply; a nil overlay (or one with no edits) evaluates
+// the unmodified base map — the comparison side of an impact report,
+// guaranteed byte-identical to the serving tables at the same Gen.
+func (m *Multi) EvalOverlay(host string, build func(OverlayCtx) (*graph.Overlay, error)) (*OverlayRun, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	e := m.e
+	if e.updGen == 0 || !e.journaled || e.plain != nil || e.snap == nil {
+		return nil, ErrOverlayUnavailable
+	}
+	hostName := e.foldName(host)
+	local, err := e.localNodeFor(hostName)
+	if err != nil {
+		return nil, err
+	}
+	var ov *graph.Overlay
+	if build != nil {
+		ov, err = build(OverlayCtx{e})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Always patch, even with zero edits: the patched snapshot is the
+	// run's private, stable copy of the edge arrays (the engine recycles
+	// the base snapshot's buffers on later updates).
+	var snap *graph.Snapshot
+	if ov != nil {
+		snap = ov.PatchSnapshot(e.snap)
+	} else {
+		snap = graph.NewOverlay().PatchSnapshot(e.snap)
+	}
+	mc := mapper.NewDetachedMachine(e.g, e.mopts)
+	if ov != nil {
+		mc.UseEdits(ov)
+	}
+	mc.UseSnapshot(snap)
+	mres, err := mc.FullRun(local)
+	if err != nil {
+		return nil, fmt.Errorf("remap: overlay map run: %w", err)
+	}
+
+	// Derive the routing table exactly the way a vantage does, through a
+	// throwaway vantage whose buffers are private to this run.
+	v := newVantage(hostName)
+	v.mc = mc
+	v.rebuildRoutes(e)
+	run := &OverlayRun{
+		Gen:         e.updGen,
+		Host:        hostName,
+		Entries:     v.assembleEntries(e),
+		LabelByHost: make(map[string]int32, len(v.rows)),
+		Machine:     mc,
+		Snap:        snap,
+		Overlay:     ov,
+	}
+	for _, r := range v.rows {
+		if _, dup := run.LabelByHost[r.e.Host]; !dup {
+			run.LabelByHost[r.e.Host] = r.label
+		}
+	}
+	if len(mres.Unreachable) > 0 {
+		run.Unreachable = make([]string, len(mres.Unreachable))
+		for i, n := range mres.Unreachable {
+			run.Unreachable[i] = n.Name
+		}
+	}
+	return run, nil
+}

@@ -34,9 +34,9 @@ import (
 // string that reaches it. Names beginning with '.' are domain-suffix
 // entries (gateways).
 type Entry struct {
-	Host  string
-	Route string
-	Cost  cost.Cost
+	Host  string    `json:"host"`
+	Route string    `json:"route"`
+	Cost  cost.Cost `json:"cost"`
 }
 
 // Options configure index construction.

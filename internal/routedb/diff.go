@@ -1,105 +1,42 @@
 package routedb
 
 import (
-	"bufio"
-	"fmt"
 	"io"
+
+	"pathalias/internal/whatif/diff"
 )
 
 // The UUCP map project shipped updated map data monthly over USENET
 // ("timely and accurate data widely available"); administrators re-ran
-// pathalias on each batch and wanted to know what moved. Diff compares
-// two route databases host by host.
+// pathalias on each batch and wanted to know what moved. The comparison
+// itself lives in internal/whatif/diff so routed's live impact reports
+// share it; this file keeps the route-database-level API.
 
 // ChangeKind classifies one difference between route sets.
-type ChangeKind int
+type ChangeKind = diff.ChangeKind
 
 const (
-	// Added: the host is routable now and was not before.
-	Added ChangeKind = iota
-	// Removed: the host was routable and no longer is.
-	Removed
-	// Rerouted: the route text changed (the path moved).
-	Rerouted
-	// Recosted: same path, different cost (a link's grade changed).
-	Recosted
+	Added    = diff.Added
+	Removed  = diff.Removed
+	Rerouted = diff.Rerouted
+	Recosted = diff.Recosted
 )
 
-func (k ChangeKind) String() string {
-	switch k {
-	case Added:
-		return "added"
-	case Removed:
-		return "removed"
-	case Rerouted:
-		return "rerouted"
-	default:
-		return "recosted"
-	}
-}
-
 // Change is one host's difference between two route databases.
-type Change struct {
-	Kind ChangeKind
-	Host string
-	Old  Entry // zero value for Added
-	New  Entry // zero value for Removed
-}
+type Change = diff.Change
 
 // Diff reports the changes from old to new, ordered by host name.
 // Unchanged hosts produce nothing.
 func Diff(old, new *DB) []Change {
-	var changes []Change
-	i, j := 0, 0
-	oe, ne := old.Entries(), new.Entries()
-	for i < len(oe) && j < len(ne) {
-		switch {
-		case oe[i].Host < ne[j].Host:
-			changes = append(changes, Change{Kind: Removed, Host: oe[i].Host, Old: oe[i]})
-			i++
-		case oe[i].Host > ne[j].Host:
-			changes = append(changes, Change{Kind: Added, Host: ne[j].Host, New: ne[j]})
-			j++
-		default:
-			if oe[i].Route != ne[j].Route {
-				changes = append(changes, Change{Kind: Rerouted, Host: oe[i].Host, Old: oe[i], New: ne[j]})
-			} else if oe[i].Cost != ne[j].Cost {
-				changes = append(changes, Change{Kind: Recosted, Host: oe[i].Host, Old: oe[i], New: ne[j]})
-			}
-			i++
-			j++
-		}
-	}
-	for ; i < len(oe); i++ {
-		changes = append(changes, Change{Kind: Removed, Host: oe[i].Host, Old: oe[i]})
-	}
-	for ; j < len(ne); j++ {
-		changes = append(changes, Change{Kind: Added, Host: ne[j].Host, New: ne[j]})
-	}
-	return changes
+	return diff.Diff(old.Entries(), new.Entries())
 }
 
 // DiffStats aggregates a change list.
-type DiffStats struct {
-	Added, Removed, Rerouted, Recosted int
-}
+type DiffStats = diff.Stats
 
 // Summarize counts changes by kind.
 func Summarize(changes []Change) DiffStats {
-	var s DiffStats
-	for _, c := range changes {
-		switch c.Kind {
-		case Added:
-			s.Added++
-		case Removed:
-			s.Removed++
-		case Rerouted:
-			s.Rerouted++
-		case Recosted:
-			s.Recosted++
-		}
-	}
-	return s
+	return diff.Summarize(changes)
 }
 
 // WriteChanges renders a change list, one line per change:
@@ -107,21 +44,5 @@ func Summarize(changes []Change) DiffStats {
 //	added     newhost       via!newhost!%s (500)
 //	rerouted  duke          duke!%s (500) -> phs!duke!%s (800)
 func WriteChanges(w io.Writer, changes []Change) error {
-	bw := bufio.NewWriter(w)
-	for _, c := range changes {
-		var err error
-		switch c.Kind {
-		case Added:
-			_, err = fmt.Fprintf(bw, "added\t%s\t%s (%d)\n", c.Host, c.New.Route, int64(c.New.Cost))
-		case Removed:
-			_, err = fmt.Fprintf(bw, "removed\t%s\t%s (%d)\n", c.Host, c.Old.Route, int64(c.Old.Cost))
-		default:
-			_, err = fmt.Fprintf(bw, "%s\t%s\t%s (%d) -> %s (%d)\n", c.Kind, c.Host,
-				c.Old.Route, int64(c.Old.Cost), c.New.Route, int64(c.New.Cost))
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return diff.WriteChanges(w, changes)
 }

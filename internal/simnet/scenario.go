@@ -1,0 +1,106 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"pathalias/internal/graph"
+)
+
+// Scenario generation: deterministic outage and flap sequences over a
+// graph's ordinary links, rendered as what-if overlay specs. The 1986
+// network's links really did flap — hosts went down for a weekend, a
+// modem died, an administrator marked a link DEAD until the next map
+// batch — and the what-if subsystem exists to answer exactly those
+// events. OutageScenario produces the event stream that drives its
+// benchmark, soak test, and the routed smoke test.
+
+// LinkRef names one directed declared link.
+type LinkRef struct {
+	From, To string
+}
+
+// OrdinaryLinks lists the graph's ordinary declared links — the ones an
+// overlay's dead/cost edits may target: not aliases, net edges, invented
+// back links, dead or deleted links, and between non-private, non-net
+// hosts. Sorted by (From, To) so callers can sample deterministically.
+func OrdinaryLinks(g *graph.Graph) []LinkRef {
+	var out []LinkRef
+	for _, n := range g.Nodes() {
+		if n.IsDeleted() || n.IsNet() || n.IsPrivate() {
+			continue
+		}
+		for l := n.FirstLink(); l != nil; l = l.Next {
+			if l.Flags&(graph.LAlias|graph.LNetMember|graph.LNetEntry|graph.LBack|graph.LDead|graph.LDeleted) != 0 {
+				continue
+			}
+			to := l.To
+			if to.IsDeleted() || to.IsNet() || to.IsPrivate() {
+				continue
+			}
+			out = append(out, LinkRef{From: n.Name, To: to.Name})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// ScenarioStep is one moment of an outage scenario: the set of links
+// currently down.
+type ScenarioStep struct {
+	Down []LinkRef // sorted by (From, To)
+}
+
+// OverlaySpec renders the step as a what-if overlay spec ("dead a b;
+// dead c d"), or "" for a step with nothing down.
+func (s ScenarioStep) OverlaySpec() string {
+	var b strings.Builder
+	for i, l := range s.Down {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "dead %s %s", l.From, l.To)
+	}
+	return b.String()
+}
+
+// OutageScenario generates a deterministic flap sequence: steps outages
+// long, each with at most maxDown links down, where every step toggles a
+// few links relative to the previous one — links flap down and back up
+// across steps rather than each step drawing an independent set. The
+// same (links, seed) always yields the same scenario.
+func OutageScenario(links []LinkRef, seed int64, steps, maxDown int) []ScenarioStep {
+	rng := rand.New(rand.NewSource(seed))
+	down := make(map[LinkRef]bool)
+	out := make([]ScenarioStep, 0, steps)
+	for i := 0; i < steps; i++ {
+		// Toggle 1..3 links: a down link may recover, an up link may die.
+		for t := rng.Intn(3) + 1; t > 0 && len(links) > 0; t-- {
+			l := links[rng.Intn(len(links))]
+			if down[l] {
+				delete(down, l)
+			} else if len(down) < maxDown {
+				down[l] = true
+			}
+		}
+		st := ScenarioStep{}
+		for l := range down {
+			st.Down = append(st.Down, l)
+		}
+		sort.Slice(st.Down, func(a, b int) bool {
+			if st.Down[a].From != st.Down[b].From {
+				return st.Down[a].From < st.Down[b].From
+			}
+			return st.Down[a].To < st.Down[b].To
+		})
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package simnet_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"pathalias/internal/parser"
+	"pathalias/internal/simnet"
+	"pathalias/internal/whatif"
+)
+
+func paperLinks(t *testing.T) []simnet.LinkRef {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/paper1981.map")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := parser.Parse(parser.Input{Name: "paper1981.map", Src: string(src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return simnet.OrdinaryLinks(res.Graph)
+}
+
+func TestOrdinaryLinksPaper(t *testing.T) {
+	links := paperLinks(t)
+	// The paper map declares 10 host-to-host links; the ARPA net edges
+	// and its members must not appear.
+	if len(links) != 10 {
+		t.Fatalf("links = %v, want 10 ordinary links", links)
+	}
+	for i, l := range links {
+		if l.From == "ARPA" || l.To == "ARPA" || l.To == "mit-ai" || l.To == "stanford" {
+			t.Errorf("net link leaked into ordinary set: %v", l)
+		}
+		if i > 0 && (links[i-1].From > l.From || (links[i-1].From == l.From && links[i-1].To > l.To)) {
+			t.Errorf("links not sorted at %d: %v", i, links[i-1:i+1])
+		}
+	}
+}
+
+func TestOutageScenarioDeterministicAndBounded(t *testing.T) {
+	links := paperLinks(t)
+	a := simnet.OutageScenario(links, 99, 30, 2)
+	b := simnet.OutageScenario(links, 99, 30, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different scenarios")
+	}
+	c := simnet.OutageScenario(links, 100, 30, 2)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+	flapped := false
+	for i, st := range a {
+		if len(st.Down) > 2 {
+			t.Fatalf("step %d has %d links down, cap 2", i, len(st.Down))
+		}
+		if i > 0 && !reflect.DeepEqual(a[i-1].Down, st.Down) {
+			flapped = true
+		}
+	}
+	if !flapped {
+		t.Fatal("scenario never changed state")
+	}
+}
+
+// Every non-empty scenario step must render to a spec the what-if parser
+// accepts, whose canonical form lists exactly the down links.
+func TestScenarioSpecsParse(t *testing.T) {
+	links := paperLinks(t)
+	for _, st := range simnet.OutageScenario(links, 7, 40, 3) {
+		spec := st.OverlaySpec()
+		if spec == "" {
+			if len(st.Down) != 0 {
+				t.Fatalf("empty spec for non-empty step %v", st.Down)
+			}
+			continue
+		}
+		sp, err := whatif.ParseSpec(spec)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", spec, err)
+		}
+		if len(sp.Edits) != len(st.Down) {
+			t.Fatalf("spec %q has %d edits, step has %d links", spec, len(sp.Edits), len(st.Down))
+		}
+		for i, ed := range sp.Edits {
+			if ed.Op != whatif.OpDead || ed.From != st.Down[i].From || ed.To != st.Down[i].To {
+				t.Fatalf("edit %d of %q = %+v, want dead %v", i, spec, ed, st.Down[i])
+			}
+		}
+	}
+}

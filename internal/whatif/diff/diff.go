@@ -1,0 +1,160 @@
+// Package diff compares two route sets host by host — the logic behind
+// cmd/routediff's monthly-map workflow ("which routes moved with this
+// batch?") and routed's live what-if impact reports ("which routes move
+// if this link dies?"). Both callers need exactly the same comparison,
+// so it lives here on the plain entry representation and routedb/whatif
+// adapt to it.
+package diff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"pathalias/internal/resolver"
+)
+
+// Entry is one host's route; the resolver's entry type, which both the
+// text route database and an overlay evaluation produce.
+type Entry = resolver.Entry
+
+// ChangeKind classifies one difference between route sets.
+type ChangeKind int
+
+const (
+	// Added: the host is routable now and was not before.
+	Added ChangeKind = iota
+	// Removed: the host was routable and no longer is.
+	Removed
+	// Rerouted: the route text changed (the path moved).
+	Rerouted
+	// Recosted: same path, different cost (a link's grade changed).
+	Recosted
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case Added:
+		return "added"
+	case Removed:
+		return "removed"
+	case Rerouted:
+		return "rerouted"
+	default:
+		return "recosted"
+	}
+}
+
+// MarshalJSON renders the kind as its name ("rerouted"), not an opaque
+// enum number — the form the HTTP what-if impact reply serves.
+func (k ChangeKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the name form emitted by MarshalJSON.
+func (k *ChangeKind) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"added"`:
+		*k = Added
+	case `"removed"`:
+		*k = Removed
+	case `"rerouted"`:
+		*k = Rerouted
+	case `"recosted"`:
+		*k = Recosted
+	default:
+		return fmt.Errorf("diff: unknown change kind %s", b)
+	}
+	return nil
+}
+
+// Change is one host's difference between two route sets.
+type Change struct {
+	Kind ChangeKind `json:"kind"`
+	Host string     `json:"host"`
+	Old  Entry      `json:"old"` // zero value for Added
+	New  Entry      `json:"new"` // zero value for Removed
+}
+
+// Diff reports the changes from old to new, ordered by host name. Both
+// inputs must be sorted by host (the order DB.Entries and the printer
+// emit). Unchanged hosts produce nothing.
+func Diff(oe, ne []Entry) []Change {
+	var changes []Change
+	i, j := 0, 0
+	for i < len(oe) && j < len(ne) {
+		switch {
+		case oe[i].Host < ne[j].Host:
+			changes = append(changes, Change{Kind: Removed, Host: oe[i].Host, Old: oe[i]})
+			i++
+		case oe[i].Host > ne[j].Host:
+			changes = append(changes, Change{Kind: Added, Host: ne[j].Host, New: ne[j]})
+			j++
+		default:
+			if oe[i].Route != ne[j].Route {
+				changes = append(changes, Change{Kind: Rerouted, Host: oe[i].Host, Old: oe[i], New: ne[j]})
+			} else if oe[i].Cost != ne[j].Cost {
+				changes = append(changes, Change{Kind: Recosted, Host: oe[i].Host, Old: oe[i], New: ne[j]})
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(oe); i++ {
+		changes = append(changes, Change{Kind: Removed, Host: oe[i].Host, Old: oe[i]})
+	}
+	for ; j < len(ne); j++ {
+		changes = append(changes, Change{Kind: Added, Host: ne[j].Host, New: ne[j]})
+	}
+	return changes
+}
+
+// Stats aggregates a change list.
+type Stats struct {
+	Added    int `json:"added"`
+	Removed  int `json:"removed"`
+	Rerouted int `json:"rerouted"`
+	Recosted int `json:"recosted"`
+}
+
+// Summarize counts changes by kind.
+func Summarize(changes []Change) Stats {
+	var s Stats
+	for _, c := range changes {
+		switch c.Kind {
+		case Added:
+			s.Added++
+		case Removed:
+			s.Removed++
+		case Rerouted:
+			s.Rerouted++
+		case Recosted:
+			s.Recosted++
+		}
+	}
+	return s
+}
+
+// WriteChanges renders a change list, one line per change:
+//
+//	added     newhost       via!newhost!%s (500)
+//	rerouted  duke          duke!%s (500) -> phs!duke!%s (800)
+func WriteChanges(w io.Writer, changes []Change) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range changes {
+		var err error
+		switch c.Kind {
+		case Added:
+			_, err = fmt.Fprintf(bw, "added\t%s\t%s (%d)\n", c.Host, c.New.Route, int64(c.New.Cost))
+		case Removed:
+			_, err = fmt.Fprintf(bw, "removed\t%s\t%s (%d)\n", c.Host, c.Old.Route, int64(c.Old.Cost))
+		default:
+			_, err = fmt.Fprintf(bw, "%s\t%s\t%s (%d) -> %s (%d)\n", c.Kind, c.Host,
+				c.Old.Route, int64(c.Old.Cost), c.New.Route, int64(c.New.Cost))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
