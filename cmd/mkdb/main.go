@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 
+	"pathalias/internal/atomicfile"
 	"pathalias/internal/routedb"
 )
 
@@ -120,24 +121,11 @@ func writeOut(db *routedb.DB, w io.Writer, binary bool) error {
 	return err
 }
 
-// writeFile emits the database to path atomically: written to a temp
-// file in the same directory, closed with its error checked, renamed
-// into place. On any failure the temp file is removed and the previous
-// path contents survive untouched.
+// writeFile emits the database to path atomically and durably (fsynced
+// before the rename; see internal/atomicfile). On any failure the temp
+// file is removed and the previous path contents survive untouched.
 func writeFile(db *routedb.DB, path string, binary bool) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := writeOut(db, f, binary); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return atomicfile.Publish(path, func(w io.Writer) error {
+		return writeOut(db, w, binary)
+	})
 }

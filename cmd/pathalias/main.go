@@ -32,8 +32,11 @@
 // Compiled output:
 //
 //	-o-db file  also compile the routes into the binary route database
-//	            (rdb) at file, written atomically — the mmap-served
-//	            format routed -db and uupath open with no parsing
+//	            (rdb) at file, written atomically and durably — the
+//	            mmap-served format routed -db and uupath open with no
+//	            parsing. Combined with -watch, every regeneration that
+//	            changes the routes republishes the database (no-op
+//	            regenerations publish nothing)
 //
 // Continuous regeneration:
 //
@@ -61,6 +64,7 @@ import (
 	"strings"
 
 	"pathalias"
+	"pathalias/internal/atomicfile"
 	"pathalias/internal/core"
 	"pathalias/internal/mapper"
 	"pathalias/internal/printer"
@@ -131,6 +135,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runWatch(fs.Args(), watchConfig{
 			interval: *watchEvery,
 			outPath:  *outPath,
+			outDB:    *outDB,
 			opts: pathalias.Options{
 				LocalHost:    *local,
 				PrintCosts:   *costs,
@@ -216,25 +221,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // writeBinaryDB compiles the run's routes straight into the mmap-served
-// binary database format (-o-db), atomically: written to a temp file in
-// the same directory and renamed into place, so a routed -db watcher of
-// the target never observes a partial file. Write and close errors are
-// propagated — a half-written database must not look like success.
+// binary database format (-o-db), durably and atomically (see
+// internal/atomicfile): a routed -db watcher of the target never
+// observes a partial file, and a crash right after the rename cannot
+// leave a torn new file behind.
 func writeBinaryDB(path string, entries []printer.Entry, fold bool) error {
 	db := routedb.BuildWith(entries, routedb.Options{FoldCase: fold})
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
+	return atomicfile.Publish(path, func(w io.Writer) error {
+		_, err := db.WriteBinary(w)
 		return err
-	}
-	if _, err := db.WriteBinary(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	})
 }

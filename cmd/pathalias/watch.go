@@ -11,12 +11,12 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"pathalias"
+	"pathalias/internal/atomicfile"
 	"pathalias/internal/fswatch"
 )
 
@@ -24,6 +24,7 @@ import (
 type watchConfig struct {
 	interval time.Duration
 	outPath  string
+	outDB    string // compiled database to republish on route changes ("" = none)
 	opts     pathalias.Options
 }
 
@@ -52,7 +53,7 @@ func runWatch(paths []string, cfg watchConfig, stderr io.Writer) int {
 		return 1
 	}
 	defer eng.Close()
-	w := newWatcher(eng, paths, cfg.outPath, stderr)
+	w := newWatcher(eng, paths, cfg.outPath, cfg.outDB, stderr)
 	if _, err := w.regenerate(); err != nil {
 		fmt.Fprintf(stderr, "pathalias: %v\n", err)
 		return 1
@@ -83,17 +84,24 @@ type watcher struct {
 	paths   []string
 	sigs    []watchSig
 	outPath string
+	outDB   string
+	pubGen  uint64 // RouteGen of the last published compiled database
+	pubOK   bool   // outDB has been published at least once
 	stderr  io.Writer
 }
 
-func newWatcher(eng *pathalias.Engine, paths []string, outPath string, stderr io.Writer) *watcher {
+func newWatcher(eng *pathalias.Engine, paths []string, outPath, outDB string, stderr io.Writer) *watcher {
 	return &watcher{eng: eng, paths: paths, sigs: make([]watchSig, len(paths)),
-		outPath: outPath, stderr: stderr}
+		outPath: outPath, outDB: outDB, stderr: stderr}
 }
 
 // regenerate recomputes routes (incrementally when possible) and
-// rewrites the output file atomically (temp + rename). It reports
-// whether anything was written.
+// rewrites the output file atomically and durably (see
+// internal/atomicfile). With -o-db it also republishes the compiled
+// database — but only when the result's route generation advanced, so
+// edits that cannot change routes (comments, whitespace, a re-touched
+// file) never emit a new image for downstream watchers to reload. It
+// reports whether anything was written.
 func (w *watcher) regenerate() (bool, error) {
 	for i, p := range w.paths {
 		if fi, err := os.Stat(p); err == nil {
@@ -111,20 +119,14 @@ func (w *watcher) regenerate() (bool, error) {
 	for _, warn := range res.Warnings {
 		fmt.Fprintf(w.stderr, "pathalias: %s\n", warn)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(w.outPath), ".pathalias-*")
-	if err != nil {
+	if err := atomicfile.Publish(w.outPath, res.WriteRoutes); err != nil {
 		return false, err
 	}
-	defer os.Remove(tmp.Name())
-	if err := res.WriteRoutes(tmp); err != nil {
-		tmp.Close()
-		return false, err
-	}
-	if err := tmp.Close(); err != nil {
-		return false, err
-	}
-	if err := os.Rename(tmp.Name(), w.outPath); err != nil {
-		return false, err
+	if w.outDB != "" && (!w.pubOK || res.RouteGen != w.pubGen) {
+		if err := atomicfile.Publish(w.outDB, res.WriteDB); err != nil {
+			return false, err
+		}
+		w.pubGen, w.pubOK = res.RouteGen, true
 	}
 	for _, name := range res.Unreachable {
 		fmt.Fprintf(w.stderr, "pathalias: %s: no route\n", name)

@@ -26,7 +26,7 @@ func TestWatcherRegeneratesOnChange(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer eng.Close()
-	w := newWatcher(eng, []string{mapPath}, outPath, io.Discard)
+	w := newWatcher(eng, []string{mapPath}, outPath, "", io.Discard)
 	if wrote, err := w.regenerate(); err != nil || !wrote {
 		t.Fatalf("initial regenerate: wrote=%v err=%v", wrote, err)
 	}
@@ -86,5 +86,117 @@ func TestRunWatchUsage(t *testing.T) {
 	errw.Reset()
 	if code := run([]string{"-watch", "1s", "-l", "unc", "-o", "out"}, io.Discard, &errw); code != 2 {
 		t.Errorf("-watch without files: run = %d (%s)", code, errw.String())
+	}
+}
+
+// TestWatcherPartialBatchNotSkipped pins the semantics of regenerate's
+// identical-inputs skip (`Unchanged > before && Updates > 0`): the
+// engine counts an update as Unchanged only when the WHOLE input set is
+// byte-identical, so a batch where one file is untouched but another
+// changed must regenerate — the untouched file cannot mask the change.
+func TestWatcherPartialBatchNotSkipped(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.map")
+	b := filepath.Join(dir, "b.map")
+	outPath := filepath.Join(dir, "routes.out")
+	if err := os.WriteFile(a, []byte("unc\tduke(HOURLY)\nduke\tunc(DEMAND)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("duke\tresearch(DAILY)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pathalias.NewEngine(pathalias.Options{LocalHost: "unc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	w := newWatcher(eng, []string{a, b}, outPath, "", io.Discard)
+	if wrote, err := w.regenerate(); err != nil || !wrote {
+		t.Fatalf("initial regenerate: wrote=%v err=%v", wrote, err)
+	}
+
+	// Re-touch with identical bytes: a true no-op, skipped.
+	if err := os.WriteFile(b, []byte("duke\tresearch(DAILY)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if wrote, err := w.regenerate(); err != nil || wrote {
+		t.Fatalf("identical re-touch: wrote=%v err=%v, want skip", wrote, err)
+	}
+
+	// Change only b, leave a untouched: the batch must NOT be skipped.
+	if err := os.WriteFile(b, []byte("duke\tresearch(DEMAND), zot(DAILY)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if wrote, err := w.regenerate(); err != nil || !wrote {
+		t.Fatalf("partial-batch change: wrote=%v err=%v, want regenerate", wrote, err)
+	}
+	out, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "zot\t") {
+		t.Fatalf("new host from the changed file missing:\n%s", out)
+	}
+}
+
+// TestWatcherPublishesDB: with -o-db, a route-changing edit republishes
+// the compiled database, and an edit that cannot change routes (a
+// comment) rewrites the text output but publishes no new image.
+func TestWatcherPublishesDB(t *testing.T) {
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "w.map")
+	outPath := filepath.Join(dir, "routes.out")
+	dbPath := filepath.Join(dir, "routes.rdb")
+	if err := os.WriteFile(mapPath, []byte(watchMapSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pathalias.NewEngine(pathalias.Options{LocalHost: "unc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	w := newWatcher(eng, []string{mapPath}, outPath, dbPath, io.Discard)
+	if wrote, err := w.regenerate(); err != nil || !wrote {
+		t.Fatalf("initial regenerate: wrote=%v err=%v", wrote, err)
+	}
+	db1, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatalf("no database published: %v", err)
+	}
+	dbStat1, err := os.Stat(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A comment-only edit: routes cannot change, so the text output is
+	// rewritten but the image is not republished (same inode, same bytes).
+	if err := os.WriteFile(mapPath, []byte("# tweak\n"+watchMapSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if wrote, err := w.regenerate(); err != nil || !wrote {
+		t.Fatalf("comment edit: wrote=%v err=%v", wrote, err)
+	}
+	dbStat2, err := os.Stat(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !os.SameFile(dbStat1, dbStat2) {
+		t.Error("comment-only edit republished the database")
+	}
+
+	// A route-changing edit publishes a new image.
+	edited := strings.Replace(watchMapSrc, "duke(HOURLY)", "duke(WEEKLY*20)", 1)
+	if err := os.WriteFile(mapPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if wrote, err := w.regenerate(); err != nil || !wrote {
+		t.Fatalf("route edit: wrote=%v err=%v", wrote, err)
+	}
+	db2, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(db1) == string(db2) {
+		t.Error("route-changing edit did not publish a new image")
 	}
 }

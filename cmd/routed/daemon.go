@@ -51,6 +51,17 @@ type daemon struct {
 	// /stats. Nil outside -map mode.
 	residentVantages func() map[string]int
 
+	// mapReady reports whether the map engine has finished its first
+	// computation. Nil outside -map mode. During a warm start the daemon
+	// serves the last published image immediately; queries that need the
+	// live engine (from= vantages, what-if) are refused with a clear
+	// error until mapReady flips.
+	mapReady func() bool
+
+	// audits tracks in-flight background image verifications
+	// (auditImage); tests Wait on it.
+	audits sync.WaitGroup
+
 	mu       sync.Mutex // guards reloads (watch loop + explicit reload)
 	mtime    time.Time
 	size     int64
@@ -130,7 +141,11 @@ func (d *daemon) reload() error {
 // reloadBinaryLocked opens the compiled database and swaps it in;
 // d.mu must be held. The stat triple is recorded even when validation
 // fails, so a persistently corrupt file is re-probed only by its cheap
-// footer checksum until it changes again.
+// footer checksum until it changes again. The open reuses the served
+// database's already-validated sections where the new image is
+// byte-identical (the continuous-publish common case: one edit moves
+// one corner of the map), and the audit-grade verification the open
+// path defers runs in the background after the swap.
 func (d *daemon) reloadBinaryLocked() error {
 	fi, err := os.Stat(d.path)
 	if err != nil {
@@ -138,7 +153,7 @@ func (d *daemon) reloadBinaryLocked() error {
 	}
 	d.mtime = fi.ModTime()
 	d.size = fi.Size()
-	db, err := routedb.OpenBinary(d.path)
+	db, err := routedb.OpenBinaryReusing(d.path, d.store.DB())
 	if err != nil {
 		// Memoize what we observed so a persistently corrupt file is
 		// re-probed by its cheap footer checksum, not re-opened, until
@@ -158,11 +173,39 @@ func (d *daemon) reloadBinaryLocked() error {
 	if got := db.Options(); got != d.opts {
 		d.logf("note: %s was compiled with FoldCase=%v; the file's setting wins over the -i flag", d.path, got.FoldCase)
 	}
-	d.store.Swap(db)
+	prev := d.store.Swap(db)
 	d.loadedAt = time.Now()
 	d.swaps.Add(1)
-	d.logf("mapped %d routes from %s (no parse)", db.Len(), d.path)
+	if n := db.ReusedSections(); n > 0 {
+		d.logf("mapped %d routes from %s (no parse, %d/4 sections reused from the previous image)", db.Len(), d.path, n)
+	} else {
+		d.logf("mapped %d routes from %s (no parse)", db.Len(), d.path)
+	}
+	d.auditImage(db, prev, d.path)
 	return nil
+}
+
+// auditImage runs the audit-grade verification the binary open path
+// defers for cold-start speed (routedb.DeepVerify — today, the probe
+// reachability proof) in the background, after db has already started
+// serving. On a fault the store is demoted back to prev with a logged
+// error — unless a newer database superseded db first, in which case
+// the late verdict must not clobber it. Failures only log and demote:
+// serving answers from the predecessor beats refusing to serve.
+func (d *daemon) auditImage(db, prev *routedb.DB, src string) {
+	d.audits.Add(1)
+	go func() {
+		defer d.audits.Done()
+		err := db.DeepVerify()
+		if err == nil {
+			return
+		}
+		if d.store.CompareAndSwap(db, prev) {
+			d.logf("audit: %s failed deep verification: %v (demoted to the previous database)", src, err)
+		} else {
+			d.logf("audit: %s failed deep verification: %v (already superseded)", src, err)
+		}
+	}()
 }
 
 // staleSettle is how long after a file's mtime the watcher keeps
@@ -297,10 +340,11 @@ func (d *daemon) handleLine(line string) (reply string, closing bool) {
 		user = fields[1]
 	}
 	if hasOverlay {
-		if d.whatif == nil {
-			return "err what-if queries require -map mode", false
+		wf, err := d.whatifEval()
+		if err != nil {
+			return "err " + err.Error(), false
 		}
-		addr, err := d.whatif.Resolve(d.whatifFrom(from), overlay, fields[0], user)
+		addr, err := wf.Resolve(d.whatifFrom(from), overlay, fields[0], user)
 		if err != nil {
 			return "err " + err.Error(), false
 		}
@@ -328,8 +372,9 @@ func (d *daemon) whatifFrom(from string) string {
 
 // whatifLine answers the explain and impact commands.
 func (d *daemon) whatifLine(cmd string, fields []string) string {
-	if d.whatif == nil {
-		return "err what-if queries require -map mode"
+	wf, err := d.whatifEval()
+	if err != nil {
+		return "err " + err.Error()
 	}
 	from, overlay := "", ""
 	hasOverlay := false
@@ -351,7 +396,7 @@ func (d *daemon) whatifLine(cmd string, fields []string) string {
 		if len(fields) != 1 {
 			return "err want: explain [from=host] [overlay=spec] dest"
 		}
-		res, err := d.whatif.Explain(d.whatifFrom(from), overlay, fields[0])
+		res, err := wf.Explain(d.whatifFrom(from), overlay, fields[0])
 		if err != nil {
 			return "err " + err.Error()
 		}
@@ -363,7 +408,7 @@ func (d *daemon) whatifLine(cmd string, fields []string) string {
 		if overlay == "" || len(fields) != 0 {
 			return "err want: impact [from=host] overlay=spec"
 		}
-		imp, err := d.whatif.ImpactOf(d.whatifFrom(from), overlay)
+		imp, err := wf.ImpactOf(d.whatifFrom(from), overlay)
 		if err != nil {
 			return "err " + err.Error()
 		}
@@ -391,7 +436,10 @@ func impactLine(imp *whatif.Impact) string {
 }
 
 // storeFor picks the store answering a query: the default store for an
-// empty vantage, the per-vantage one otherwise.
+// empty vantage, the per-vantage one otherwise. During a warm start
+// only the default store (the published image) exists; vantage queries
+// are refused until the engine's first computation lands rather than
+// blocking the connection behind it.
 func (d *daemon) storeFor(from string) (*routedb.Store, error) {
 	if from == "" {
 		return d.store, nil
@@ -399,7 +447,24 @@ func (d *daemon) storeFor(from string) (*routedb.Store, error) {
 	if d.vantage == nil {
 		return nil, fmt.Errorf("vantage queries (from=) require -map mode")
 	}
+	if d.mapReady != nil && !d.mapReady() {
+		return nil, fmt.Errorf("map engine still warming up (serving the last published image)")
+	}
 	return d.vantage(from)
+}
+
+// whatifEval returns the what-if evaluator once it can answer: never
+// outside -map mode, and not during a warm start, where the daemon is
+// serving the published image before the engine has a graph to
+// hypothesize over.
+func (d *daemon) whatifEval() (*whatif.Evaluator, error) {
+	if d.whatif == nil {
+		return nil, fmt.Errorf("what-if queries require -map mode")
+	}
+	if d.mapReady != nil && !d.mapReady() {
+		return nil, fmt.Errorf("map engine still warming up (serving the last published image)")
+	}
+	return d.whatif, nil
 }
 
 // The serving hot path. A mailer that writes N requests back-to-back
@@ -748,11 +813,12 @@ func (d *daemon) handler() http.Handler {
 			user = "%s"
 		}
 		if overlay := r.URL.Query().Get("overlay"); overlay != "" {
-			if d.whatif == nil {
-				http.Error(w, "what-if queries require -map mode", http.StatusBadRequest)
+			wf, err := d.whatifEval()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
 				return
 			}
-			addr, err := d.whatif.Resolve(d.whatifFrom(r.URL.Query().Get("from")), overlay, dest, user)
+			addr, err := wf.Resolve(d.whatifFrom(r.URL.Query().Get("from")), overlay, dest, user)
 			if err != nil {
 				http.Error(w, err.Error(), http.StatusBadRequest)
 				return

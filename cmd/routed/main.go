@@ -10,7 +10,7 @@
 //	routed -d routes.db [-tcp addr] [-http addr] [-watch 2s] [-i]
 //	routed -db routes.rdb [-tcp addr] [-http addr] [-watch 2s]
 //	routed -d routes.db -stdin
-//	routed -map -l localhost [-vantages 64] [-tcp addr] [-http addr] [-watch 2s] [-i] file...
+//	routed -map -l localhost [-o-db routes.rdb] [-vantages 64] [-tcp addr] [-http addr] [-watch 2s] [-i] file...
 //
 // With -d, routed serves a precompiled text route database and reloads
 // it when the file changes. With -db, it serves a compiled binary
@@ -26,6 +26,16 @@
 // changed files and re-maps only the affected region of the network
 // through the incremental re-map engine — the serving index hot-swaps
 // in milliseconds, without a pathalias|mkdb round trip.
+//
+// With -map -o-db file, routed also keeps a compiled image of the
+// routes continuously published at file: every re-map that changes the
+// routes atomically and durably replaces it (no-op edits publish
+// nothing), so a crash at any instant leaves a valid image — and on
+// restart routed warm-starts by mmap-serving that image immediately
+// while the first map computation runs in the background, swapping the
+// live engine's database in when it lands. Until then, queries needing
+// the live graph (from= vantages, what-if) answer with a clear
+// "warming up" error instead of blocking.
 //
 // In -map mode routed is multi-source: a from=<host> parameter on the
 // line protocol or HTTP /route answers the query from that host's
@@ -81,6 +91,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		watch    = fs.Duration("watch", 2*time.Second, "hot-reload on change: file events plus this fallback poll interval (0 disables)")
 		fold     = fs.Bool("i", false, "case-fold queries (for maps computed with pathalias -i)")
 		vantages = fs.Int("vantages", 64, "max resident vantage machines for from= queries (-map mode)")
+		odb      = fs.String("o-db", "", "continuously publish the compiled route database to `file` and warm-start from it (-map mode)")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +99,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	usage := func() int {
 		fmt.Fprintln(stderr, "usage: routed -d routes.db | -db routes.rdb [-tcp addr] [-http addr] [-watch 2s] [-i] | -stdin")
-		fmt.Fprintln(stderr, "       routed -map -l localhost [-vantages 64] [-tcp addr] [-http addr] [-watch 2s] [-i] file...")
+		fmt.Fprintln(stderr, "       routed -map -l localhost [-o-db routes.rdb] [-vantages 64] [-tcp addr] [-http addr] [-watch 2s] [-i] file...")
 		return 2
 	}
 	sources := 0
@@ -103,6 +114,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *mapMode && (*local == "" || len(fs.Args()) == 0) {
 		return usage()
 	}
+	if *odb != "" && !*mapMode {
+		fmt.Fprintln(stderr, "routed: -o-db requires -map mode")
+		return usage()
+	}
 	if !*useStdin && *tcpAddr == "" && *httpAddr == "" {
 		return usage()
 	}
@@ -113,11 +128,35 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var d *daemon
 	if *mapMode {
 		d = newMapDaemon(routedb.Options{FoldCase: *fold}, stderr)
-		w, err := newMapWatcher(d, *local, *vantages, fs.Args())
+		// Warm start: if a previously published image exists, serve it
+		// immediately — lookups are answered from the mmap within
+		// milliseconds of exec — while the first map computation runs in
+		// the background; its database swaps in when it lands. The
+		// deferred audit-grade verification runs behind the swap, demoting
+		// to an empty store (all misses, never wrong answers) if the image
+		// turns out corrupt before the live engine supersedes it.
+		warm := false
+		if *odb != "" {
+			if db, err := routedb.OpenBinary(*odb); err == nil {
+				d.store.Swap(db)
+				d.swaps.Add(1)
+				d.loadedAt = time.Now()
+				d.logf("warm start: serving %d routes from %s while the first map computation runs", db.Len(), *odb)
+				d.auditImage(db, nil, *odb)
+				warm = true
+			} else if !os.IsNotExist(err) {
+				fmt.Fprintf(stderr, "routed: warm start from %s: %v (computing from sources instead)\n", *odb, err)
+			}
+		}
+		w, err := newMapWatcher(d, *local, *vantages, fs.Args(), *odb, warm)
 		if err != nil {
 			fmt.Fprintf(stderr, "routed: %v\n", err)
 			return 1
 		}
+		// Join a warm start's background computation before returning:
+		// it logs to stderr and publishes to -o-db, neither of which
+		// should outlive run.
+		defer func() { <-w.ready }()
 		if *watch > 0 {
 			go w.watch(ctx, *watch)
 		}

@@ -277,7 +277,7 @@ func TestMapModeServesAndHotRemaps(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := newMapDaemon(routedb.Options{}, io.Discard)
-	w, err := newMapWatcher(d, "unc", 64, []string{mapPath})
+	w, err := newMapWatcher(d, "unc", 64, []string{mapPath}, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +358,7 @@ func TestVantageProtocol(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := newMapDaemon(routedb.Options{}, io.Discard)
-	w, err := newMapWatcher(d, "unc", 8, []string{mapPath})
+	w, err := newMapWatcher(d, "unc", 8, []string{mapPath}, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +436,7 @@ func TestVantageSwapSurvivesDefaultFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := newMapDaemon(routedb.Options{}, io.Discard)
-	w, err := newMapWatcher(d, "a", 8, []string{mapPath})
+	w, err := newMapWatcher(d, "a", 8, []string{mapPath}, "", false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,13 +16,16 @@ package main
 // edit re-maps the resident vantages and swaps all their stores.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
 	"time"
 
+	"pathalias/internal/atomicfile"
 	"pathalias/internal/core"
 	"pathalias/internal/fswatch"
 	"pathalias/internal/mapper"
@@ -63,11 +66,31 @@ type mapWatcher struct {
 	// case when one edit touches one corner of the network — skips that
 	// store's rebuild and swap entirely.
 	gens map[string]uint64
+
+	// odb is the compiled database continuously republished from the
+	// default vantage ("" = none); pubGen/pubOK track the RouteGen of the
+	// last published image so no-op re-maps publish nothing. Guarded by
+	// mu (only remap, which holds it, touches them).
+	odb    string
+	pubGen uint64
+	pubOK  bool
+
+	// ready is closed once the engine's first computation has landed (or
+	// definitively failed). On a warm start the initial re-map runs in the
+	// background while the daemon serves the last published image;
+	// d.mapReady reads this channel to gate the queries that need the
+	// live engine.
+	ready chan struct{}
 }
 
-// newMapWatcher builds the engine, performs the initial full map
-// computation, and swaps the first database in.
-func newMapWatcher(d *daemon, localHost string, maxVantages int, paths []string) (*mapWatcher, error) {
+// newMapWatcher builds the engine and performs the initial full map
+// computation. Cold (warm=false), the computation is synchronous: the
+// daemon does not serve until the first database is swapped in, and an
+// initial-map error is fatal. Warm, the daemon is already serving the
+// last published image, so the initial computation runs in the
+// background and swaps the live engine's database in when it lands;
+// until then d.mapReady gates the engine-backed query forms.
+func newMapWatcher(d *daemon, localHost string, maxVantages int, paths []string, odb string, warm bool) (*mapWatcher, error) {
 	if d.opts.FoldCase {
 		localHost = strings.ToLower(localHost)
 	}
@@ -88,14 +111,34 @@ func newMapWatcher(d *daemon, localHost string, maxVantages int, paths []string)
 		sigs:   make([]fileSig, len(paths)),
 		stores: make(map[string]*routedb.Store),
 		gens:   make(map[string]uint64),
+		odb:    odb,
+		ready:  make(chan struct{}),
 	}
 	d.vantage = w.storeFor
 	d.whatif = whatif.New(eng, whatif.Options{FoldCase: d.opts.FoldCase})
 	d.defaultVantage = localHost
 	d.residentVantages = w.residentCounts
-	if err := w.remap(); err != nil {
-		return nil, err
+	d.mapReady = func() bool {
+		select {
+		case <-w.ready:
+			return true
+		default:
+			return false
+		}
 	}
+	if !warm {
+		defer close(w.ready)
+		if err := w.remap(); err != nil {
+			return nil, err
+		}
+		return w, nil
+	}
+	go func() {
+		defer close(w.ready)
+		if err := w.remap(); err != nil {
+			d.logf("initial map: %v (still serving the published image)", err)
+		}
+	}()
 	return w, nil
 }
 
@@ -208,6 +251,11 @@ func (w *mapWatcher) remap() error {
 	} else {
 		w.d.logf("vantage %s (default): %v (still serving previous database)", w.local, defErr)
 	}
+	if w.odb != "" && defErr == nil && (!w.pubOK || res.RouteGen != w.pubGen) {
+		if err := w.publish(res.RouteGen); err != nil {
+			w.d.logf("publish %s: %v (previous image still intact)", w.odb, err)
+		}
+	}
 
 	resident := w.eng.Vantages()
 	live := make(map[string]bool, len(resident))
@@ -247,6 +295,39 @@ func (w *mapWatcher) remap() error {
 	return defErr
 }
 
+// publish writes the default store's database — which at this point
+// serves exactly the entries of the route generation gen — to w.odb,
+// atomically and durably (see internal/atomicfile): a crash at any
+// point leaves either the previous image or the new one, never a torn
+// file. The caller has already established that gen differs from the
+// last published generation, so every call here is a route change —
+// except the first after a warm start, where the image on disk usually
+// IS the current routes: that case is detected by byte comparison and
+// adopted without a write, so a restart alone never churns the file.
+// w.mu must be held (pubGen/pubOK are guarded by it).
+func (w *mapWatcher) publish(gen uint64) error {
+	db := w.d.store.DB()
+	var buf bytes.Buffer
+	if _, err := db.WriteBinary(&buf); err != nil {
+		return err
+	}
+	if !w.pubOK {
+		if old, err := os.ReadFile(w.odb); err == nil && bytes.Equal(old, buf.Bytes()) {
+			w.pubGen, w.pubOK = gen, true
+			return nil // warm restart: the on-disk image is already exact
+		}
+	}
+	if err := atomicfile.Publish(w.odb, func(out io.Writer) error {
+		_, err := out.Write(buf.Bytes())
+		return err
+	}); err != nil {
+		return err
+	}
+	w.pubGen, w.pubOK = gen, true
+	w.d.logf("published %s (%d routes)", w.odb, db.Len())
+	return nil
+}
+
 // changed reports whether any watched source looks different: a (mtime,
 // size) change, or a recent-enough mtime that a same-second rewrite
 // could hide behind it (the engine's content hashes resolve those).
@@ -271,6 +352,17 @@ func (w *mapWatcher) changed() bool {
 // mid-edit syntax error, a vanished file) are logged and the previous
 // databases keep serving — exactly like the -d watcher.
 func (w *mapWatcher) watch(ctx context.Context, interval time.Duration) {
+	// On a warm start the initial computation is still running in its own
+	// goroutine; it owns the engine until ready closes. Join it before
+	// watching — and before an early shutdown's eng.Close, which must not
+	// race it.
+	select {
+	case <-w.ready:
+	case <-ctx.Done():
+		<-w.ready
+		w.eng.Close()
+		return
+	}
 	t := time.NewTicker(interval)
 	defer t.Stop()
 	var kicks <-chan struct{} // nil without event support: never ready

@@ -87,7 +87,12 @@ func TestPipelinedMatchesSingleQueryBinary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer f.store.DB().Close()
+	// The background image audit holds the mapping; join it before the
+	// explicit Close (Close forbids in-flight queries).
+	defer func() {
+		f.audits.Wait()
+		f.store.DB().Close()
+	}()
 
 	var want strings.Builder
 	for _, q := range pipelineQueries {
@@ -366,7 +371,7 @@ func TestHTTPBulkVantage(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := newMapDaemon(routedb.Options{}, io.Discard)
-	if _, err := newMapWatcher(d, "unc", 8, []string{mapPath}); err != nil {
+	if _, err := newMapWatcher(d, "unc", 8, []string{mapPath}, "", false); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(d.handler())

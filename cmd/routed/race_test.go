@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled gates wall-clock assertions: race instrumentation
+// distorts the text/warm timing ratio, so speedup bars only run
+// uninstrumented.
+const raceEnabled = true

@@ -32,7 +32,7 @@ func newTestMapDaemon(t *testing.T) *daemon {
 		t.Fatal(err)
 	}
 	d := newMapDaemon(routedb.Options{}, io.Discard)
-	if _, err := newMapWatcher(d, "unc", 8, []string{mapPath}); err != nil {
+	if _, err := newMapWatcher(d, "unc", 8, []string{mapPath}, "", false); err != nil {
 		t.Fatal(err)
 	}
 	return d

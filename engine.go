@@ -149,6 +149,7 @@ func convertResult(opts Options, r *remap.Result) *Result {
 	res := &Result{
 		Warnings:    r.Warnings,
 		Unreachable: r.Unreachable,
+		RouteGen:    r.RouteGen,
 		opts:        opts,
 	}
 	res.Routes = make([]Route, len(r.Entries))

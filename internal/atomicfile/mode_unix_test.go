@@ -1,0 +1,51 @@
+//go:build unix
+
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestPublishHonorsUmask pins the mode bugfix: a published file must
+// carry 0666 filtered by the process umask (like os.Create), not
+// os.CreateTemp's private 0600 — databases are published to be read by
+// mailers and daemons running as other users.
+func TestPublishHonorsUmask(t *testing.T) {
+	old := syscall.Umask(0o022)
+	defer syscall.Umask(old)
+
+	path := filepath.Join(t.TempDir(), "routes.rdb")
+	if err := Publish(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "image")
+		return err
+	}); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Mode().Perm(); got != 0o644 {
+		t.Errorf("published mode = %o under umask 022, want 644", got)
+	}
+
+	// A replacement under a tighter umask gets the tighter mode; the
+	// mode is decided per publish, by the kernel, with no chmod race.
+	syscall.Umask(0o077)
+	if err := Publish(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "image2")
+		return err
+	}); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if fi, err = os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := fi.Mode().Perm(); got != 0o600 {
+		t.Errorf("published mode = %o under umask 077, want 600", got)
+	}
+}

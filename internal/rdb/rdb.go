@@ -12,15 +12,18 @@
 // modern scale), opening an rdb file costs a checksum pass and a
 // structural validation walk over already-laid-out sections.
 //
-// # File format (version 1)
+// # File format (versions 1 and 2)
 //
 // A single flat file, all integers little-endian, sections 8-byte
 // aligned, in fixed order:
 //
-//	header   112 bytes: magic "\x89RDB\r\n\x1a\n", version, flags,
-//	         entry count, hash slot count, and the section table
-//	         (offset+length for strings, entries, hash, trie, plus the
-//	         trie root offset)
+//	header   112 bytes (v1) / 128 bytes (v2): magic "\x89RDB\r\n\x1a\n",
+//	         version, flags, entry count, hash slot count, and the
+//	         section table (offset+length for strings, entries, hash,
+//	         trie, plus the trie root offset). Version 2 appends four
+//	         u32 per-section CRC-32C checksums (strings, entries, hash,
+//	         trie) at bytes 104–120 — everything through byte 104 is
+//	         laid out exactly as in v1
 //	strings  host names and route format strings: entry 0's host, then
 //	         its route, then entry 1's host, ... — contiguous in entry
 //	         order, covering the section exactly
@@ -56,7 +59,7 @@
 // same bytes, so compiled databases can be compared, cached, and
 // shipped by content hash.
 //
-// The Reader distrusts its input. Open verifies the checksum and then
+// The Reader distrusts its input. Open verifies the checksums and then
 // structurally validates every section — bounds, sortedness, hash
 // table shape, and a full trie walk — before any lookup is served, so
 // a truncated, bit-flipped, or hostile file yields an error, never a
@@ -64,6 +67,19 @@
 // to read sequentially; the one check that inherently needs scattered
 // joins (probe reachability, see Reader.VerifyReachable) is deferred
 // off the cold path, where it buys no adversarial protection anyway.
+//
+// The writer emits version 2; the reader accepts both versions. The
+// per-section checksums exist for the continuous-publish pipeline: a
+// watcher replacing its mapping with the next published image of the
+// same map uses OpenReusing to skip re-validating sections that are
+// byte-identical to the already-validated previous image. The stored
+// CRCs are a change *pre-filter*, not the proof — CRC-32C is trivially
+// forgeable, so equality of the actual bytes against the validated
+// image (bytes.Equal) is what licenses the skip; see OpenBytesReusing.
+// Like the footer checksum, section CRCs are integrity against
+// accidental corruption, not authentication: an attacker who can write
+// the file can write matching checksums. Authenticating images is the
+// transport's job.
 package rdb
 
 import (
@@ -73,9 +89,18 @@ import (
 
 // Format constants; see the package comment for the layout.
 const (
-	headerSize = 112
-	footerSize = 16
-	version1   = 1
+	headerSizeV1 = 112
+	headerSizeV2 = 128
+	headerMin    = headerSizeV1 // smallest header any version can carry
+	footerSize   = 16
+	version1     = 1
+	version2     = 2
+
+	// numSections and secCRCOff describe the v2 per-section checksum
+	// block: four u32 CRC-32C values (strings, entries, hash, trie) at
+	// bytes 104–120 of the header.
+	numSections = 4
+	secCRCOff   = 104
 
 	entrySize = 16 // one entry record
 
@@ -160,3 +185,15 @@ func keyHashBytes(b []byte) uint64 {
 
 // align8 rounds n up to the next multiple of 8.
 func align8(n uint64) uint64 { return (n + 7) &^ 7 }
+
+// sectionNames label the four sections in file order, for diagnostics
+// and reuse logging.
+var sectionNames = [numSections]string{"strings", "entries", "hash", "trie"}
+
+// headerSizeOf returns the header size of a supported format version.
+func headerSizeOf(version uint32) int {
+	if version >= version2 {
+		return headerSizeV2
+	}
+	return headerSizeV1
+}

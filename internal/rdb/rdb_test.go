@@ -194,16 +194,10 @@ func TestBitFlips(t *testing.T) {
 func TestHostileImages(t *testing.T) {
 	base := compileT(t, testEntries(), resolver.Options{})
 
-	// reseal recomputes the CRC so only structural validation stands
-	// between the mutation and acceptance.
-	reseal := func(img []byte) []byte {
-		le.PutUint32(img[len(img)-footerSize:], crcChecksum(img[:len(img)-footerSize]))
-		return img
-	}
 	mutate := func(f func(img []byte)) []byte {
 		img := bytes.Clone(base)
 		f(img)
-		return reseal(img)
+		return resealT(img)
 	}
 
 	cases := map[string][]byte{
@@ -212,7 +206,15 @@ func TestHostileImages(t *testing.T) {
 		"slots not pow2":       mutate(func(img []byte) { le.PutUint64(img[24:], 13) }),
 		"strings shifted":      mutate(func(img []byte) { le.PutUint64(img[32:], 120) }),
 		"trie root wild":       mutate(func(img []byte) { le.PutUint64(img[96:], 1<<30) }),
-		"reserved nonzero":     mutate(func(img []byte) { img[104] = 1 }),
+		"reserved nonzero":     mutate(func(img []byte) { img[120] = 1 }),
+		// A wrong stored section checksum under a resealed footer must be
+		// caught by the per-section verification, not the body CRC.
+		"section checksum wrong": func() []byte {
+			img := bytes.Clone(base)
+			img[secCRCOff+4]++ // entries section CRC, low byte
+			le.PutUint32(img[len(img)-footerSize:], crcChecksum(img[:len(img)-footerSize]))
+			return img
+		}(),
 		"host unsorted": mutate(func(img []byte) {
 			// Swap the first two entry records; hosts fall out of order.
 			entOff := le.Uint64(img[48:])
@@ -299,7 +301,7 @@ func TestVerifyReachable(t *testing.T) {
 	if moved == 0 {
 		t.Fatal("could not construct an unreachable slot")
 	}
-	le.PutUint32(img[len(img)-footerSize:], crcChecksum(img[:len(img)-footerSize]))
+	resealT(img)
 
 	r2, err := OpenBytes(img)
 	if err != nil {
@@ -333,6 +335,188 @@ func TestCostRoundTrip(t *testing.T) {
 // does (test helper for resealing mutated images).
 func crcChecksum(body []byte) uint32 {
 	return crc32.Checksum(body, crcTable)
+}
+
+// resealT recomputes the stored per-section checksums (from the
+// possibly-mutated header's section table, clamped to the body since a
+// hostile header may point anywhere) and the footer CRC, so only
+// structural validation stands between a mutation and acceptance.
+func resealT(img []byte) []byte {
+	body := uint64(len(img) - footerSize)
+	clamp := func(off, length uint64) []byte {
+		if off > body {
+			return nil
+		}
+		if length > body-off {
+			length = body - off
+		}
+		return img[off : off+length]
+	}
+	for i, sec := range [numSections][]byte{
+		clamp(le.Uint64(img[32:]), le.Uint64(img[40:])),
+		clamp(le.Uint64(img[48:]), le.Uint64(img[56:])),
+		clamp(le.Uint64(img[64:]), le.Uint64(img[72:])),
+		clamp(le.Uint64(img[80:]), le.Uint64(img[88:])),
+	} {
+		le.PutUint32(img[secCRCOff+4*i:], crcChecksum(sec))
+	}
+	le.PutUint32(img[len(img)-footerSize:], crcChecksum(img[:len(img)-footerSize]))
+	return img
+}
+
+// compileV1 marshals through the version-1 compatibility path: the
+// 112-byte header with no per-section checksums, as written before the
+// format bump.
+func compileV1(t *testing.T, es []resolver.Entry, opts resolver.Options) []byte {
+	t.Helper()
+	img, err := marshal(resolver.New(es, opts).Entries(), opts, version1)
+	if err != nil {
+		t.Fatalf("marshal v1: %v", err)
+	}
+	return img
+}
+
+// TestVersionCompat pins the format bump both ways: the writer emits
+// version 2, and a version-1 image — what every previously published
+// database is — still opens and answers identically.
+func TestVersionCompat(t *testing.T) {
+	es := testEntries()
+	opts := resolver.Options{}
+	v2 := openT(t, compileT(t, es, opts))
+	if v2.Version() != version2 {
+		t.Errorf("Compile emits version %d, want %d", v2.Version(), version2)
+	}
+
+	v1img := compileV1(t, es, opts)
+	if got := le.Uint32(v1img[8:]); got != version1 {
+		t.Fatalf("compileV1 wrote version %d", got)
+	}
+	v1, err := OpenBytes(v1img)
+	if err != nil {
+		t.Fatalf("version-1 image rejected: %v", err)
+	}
+	if v1.Version() != version1 {
+		t.Errorf("Version = %d, want %d", v1.Version(), version1)
+	}
+	if v1.Len() != v2.Len() {
+		t.Fatalf("v1 Len = %d, v2 Len = %d", v1.Len(), v2.Len())
+	}
+	for i := 0; i < v1.Len(); i++ {
+		if v1.EntryAt(i) != v2.EntryAt(i) {
+			t.Errorf("entry %d differs across versions: %+v vs %+v", i, v1.EntryAt(i), v2.EntryAt(i))
+		}
+	}
+	// Section contents are version-independent (only the header grew),
+	// so the computed v1 section checksums match v2's stored ones.
+	if v1.SectionChecksums() != v2.SectionChecksums() {
+		t.Errorf("section checksums differ across versions: %08x vs %08x",
+			v1.SectionChecksums(), v2.SectionChecksums())
+	}
+}
+
+// TestOpenBytesReusing covers the continuous-publish validation
+// shortcut: identical sections are adopted from the validated previous
+// image, changed sections are re-validated in full, and neither a
+// stale stored checksum nor a forged one can smuggle bad bytes past
+// the validators.
+func TestOpenBytesReusing(t *testing.T) {
+	es := testEntries()
+	opts := resolver.Options{}
+	img := compileT(t, es, opts)
+	prev := openT(t, img)
+
+	// Identical republished image: all four sections reused, answers intact.
+	same, err := OpenBytesReusing(bytes.Clone(img), prev)
+	if err != nil {
+		t.Fatalf("identical image rejected: %v", err)
+	}
+	if same.ReusedSections() != numSections {
+		t.Errorf("identical image reused %d sections, want %d", same.ReusedSections(), numSections)
+	}
+	if i, ok := same.LookupExact("duke"); !ok || same.EntryAt(i).Route != "duke!%s" {
+		t.Error("lookup through reused sections failed")
+	}
+
+	// A genuinely changed map: one more route. Everything must
+	// re-validate cleanly and answer like a fresh open.
+	es2 := append(testEntries(), resolver.Entry{Host: "newhost", Route: "via!newhost!%s", Cost: 300})
+	img2 := compileT(t, es2, opts)
+	r2, err := OpenBytesReusing(img2, prev)
+	if err != nil {
+		t.Fatalf("changed image rejected: %v", err)
+	}
+	if i, ok := r2.LookupExact("newhost"); !ok || r2.EntryAt(i).Route != "via!newhost!%s" {
+		t.Error("new entry not found after reusing open")
+	}
+	// Strings, entries, and hash all shift; the trie happens to survive
+	// byte-identical (the leading-dot entries sort before "newhost", so
+	// their indices and label offsets are untouched) and may be reused.
+	if r2.ReusedSections() >= numSections {
+		t.Errorf("changed image reused all %d sections", r2.ReusedSections())
+	}
+
+	// Hostile: structurally corrupt the hash section and reseal every
+	// checksum. The stored CRC differs from prev's, so no reuse — the
+	// structural validators must run and reject it.
+	bad := bytes.Clone(img)
+	hashOff := le.Uint64(bad[64:])
+	hashLen := le.Uint64(bad[72:])
+	for s := uint64(0); s < hashLen/4; s++ {
+		if le.Uint32(bad[hashOff+s*4:]) != 0 {
+			le.PutUint32(bad[hashOff+s*4:], 1<<20) // dangling entry index
+			break
+		}
+	}
+	resealT(bad)
+	if _, err := OpenBytesReusing(bad, prev); err == nil {
+		t.Error("resealed hostile image accepted under reuse")
+	}
+
+	// Hostile: same corruption, but the stored hash CRC is copied from
+	// prev so the cheap pre-filter says "unchanged". The byte comparison
+	// must still refuse the skip, and the CRC check then catches the
+	// stale stored value.
+	bad2 := bytes.Clone(img)
+	for s := uint64(0); s < hashLen/4; s++ {
+		if le.Uint32(bad2[hashOff+s*4:]) != 0 {
+			le.PutUint32(bad2[hashOff+s*4:], 1<<20)
+			break
+		}
+	}
+	le.PutUint32(bad2[len(bad2)-footerSize:], crcChecksum(bad2[:len(bad2)-footerSize]))
+	if _, err := OpenBytesReusing(bad2, prev); err == nil {
+		t.Error("hostile image with stale stored checksum accepted under reuse")
+	}
+
+	// Cross-version reuse: section bytes are version-independent, so a
+	// v1 predecessor licenses skips in a v2 successor and vice versa.
+	v1img := compileV1(t, es, opts)
+	v1prev, err := OpenBytes(v1img)
+	if err != nil {
+		t.Fatalf("v1 open: %v", err)
+	}
+	up, err := OpenBytesReusing(bytes.Clone(img), v1prev)
+	if err != nil {
+		t.Fatalf("v2 image with v1 prev rejected: %v", err)
+	}
+	if up.ReusedSections() != numSections {
+		t.Errorf("v1→v2 reuse: %d sections, want %d", up.ReusedSections(), numSections)
+	}
+	down, err := OpenBytesReusing(bytes.Clone(v1img), prev)
+	if err != nil {
+		t.Fatalf("v1 image with v2 prev rejected: %v", err)
+	}
+	if down.ReusedSections() != numSections {
+		t.Errorf("v2→v1 reuse: %d sections, want %d", down.ReusedSections(), numSections)
+	}
+
+	// A truncated or bit-flipped image stays rejected under reuse: the
+	// v1 fallback still verifies the whole-body CRC.
+	flip := bytes.Clone(v1img)
+	flip[len(flip)/2] ^= 1
+	if _, err := OpenBytesReusing(flip, v1prev); err == nil {
+		t.Error("bit-flipped v1 image accepted under reuse")
+	}
 }
 
 // TestAppendResolveMapped: the zero-copy append path over a compiled

@@ -29,6 +29,7 @@ type Reader struct {
 	src  *mmapio.File // non-nil when Open mapped the file
 
 	opts     resolver.Options
+	version  uint32 // format version (1 or 2)
 	n        int    // entry count
 	slots    uint32 // hash slot count (power of two, or 0)
 	strs     []byte // strings section
@@ -38,6 +39,13 @@ type Reader struct {
 	trieRoot uint32
 	crc      uint32 // footer checksum
 
+	// secCRC is each section's CRC-32C in file order: computed during
+	// validation for v1 images, checked against the stored header
+	// values for v2. reused marks sections adopted byte-identical from
+	// a previous Reader (OpenReusing).
+	secCRC [numSections]uint32
+	reused [numSections]bool
+
 	closed atomic.Bool
 }
 
@@ -45,11 +53,20 @@ type Reader struct {
 // unavailable) and validates it; see OpenBytes for what validation
 // guarantees. The returned Reader owns the mapping: Close releases it.
 func Open(path string) (*Reader, error) {
+	return OpenReusing(path, nil)
+}
+
+// OpenReusing is Open with the continuous-publish validation shortcut:
+// sections of the new image that are byte-identical to the already
+// validated prev Reader's sections (see OpenBytesReusing) skip their
+// re-validation. prev must not be Closed before OpenReusing returns;
+// a nil prev makes this exactly Open.
+func OpenReusing(path string, prev *Reader) (*Reader, error) {
 	f, err := mmapio.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	r, err := OpenBytes(f.Data)
+	r, err := OpenBytesReusing(f.Data, prev)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("rdb: %s: %w", path, err)
@@ -68,8 +85,36 @@ func Open(path string) (*Reader, error) {
 // probe forever, or return a false positive; see VerifyReachable for
 // the one deliberately deferred proof.
 func OpenBytes(data []byte) (*Reader, error) {
+	return OpenBytesReusing(data, nil)
+}
+
+// OpenBytesReusing is OpenBytes with a validation shortcut for the
+// continuous-publish pipeline, where successive images of the same map
+// share most of their bytes: a section of data that is byte-identical
+// to the corresponding section of prev — a Reader that already passed
+// full validation — skips its checksum and structural re-validation,
+// because identity to validated bytes is a strictly stronger proof
+// than re-running the validators. The stored v2 per-section CRCs act
+// only as the cheap "did this section change" pre-filter before the
+// byte comparison; they are never themselves grounds for skipping
+// (CRC-32C equality is trivially forgeable, byte equality is not).
+//
+// Changed sections are validated exactly as by OpenBytes, including
+// their stored checksum; cross-section structural dependencies are
+// respected (e.g. the trie walk re-runs if the strings section moved
+// under it, and hash-table conclusions are only carried over when the
+// entry count is unchanged). For a version-1 image, which stores no
+// per-section checksums, the whole-body footer CRC is verified
+// instead; for version 2 the verified per-section checksums plus the
+// structural header validation already cover every semantic byte, and
+// the footer CRC is carried as a fingerprint without a second pass
+// over the body.
+//
+// prev must not be Closed before this returns. The guarantees after a
+// nil error are identical to OpenBytes's.
+func OpenBytesReusing(data []byte, prev *Reader) (*Reader, error) {
 	r := &Reader{data: data}
-	if err := r.verify(); err != nil {
+	if err := r.verify(prev); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -98,6 +143,28 @@ func (r *Reader) Checksum() uint32 { return r.crc }
 // Size returns the image size in bytes.
 func (r *Reader) Size() int { return len(r.data) }
 
+// Version returns the image's format version (1 or 2).
+func (r *Reader) Version() uint32 { return r.version }
+
+// SectionChecksums returns each section's CRC-32C in file order
+// (strings, entries, hash, trie): computed during validation for a v1
+// image, verified against the stored header values for v2.
+func (r *Reader) SectionChecksums() [4]uint32 { return r.secCRC }
+
+// ReusedSections reports how many of the four sections were adopted
+// byte-identical from the previous image by OpenReusing — 4 means the
+// new image carried the same database and validation was pure
+// comparison; 0 after a plain Open.
+func (r *Reader) ReusedSections() int {
+	n := 0
+	for _, ok := range r.reused {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
 // FileChecksum reads just the integrity footer of an rdb file and
 // returns its checksum — the cheap "did the file change" probe for
 // watchers, no validation of the body.
@@ -108,7 +175,7 @@ func FileChecksum(path string) (uint32, error) {
 	}
 	defer f.Close()
 	data := f.Data
-	if len(data) < headerSize+footerSize || !IsMagic(data) {
+	if len(data) < headerMin+footerSize || !IsMagic(data) {
 		return 0, fmt.Errorf("rdb: %s: not a compiled route database", path)
 	}
 	foot := data[len(data)-footerSize:]
@@ -127,17 +194,24 @@ func corrupt(format string, args ...any) error {
 // OpenBytes, populating the Reader's section views as it goes. Every
 // offset computation is overflow-checked before it is used to slice,
 // so a hostile header can only produce an error, never a panic or an
-// out-of-bounds read.
-func (r *Reader) verify() error {
+// out-of-bounds read. With a non-nil prev (OpenBytesReusing), sections
+// byte-identical to prev's validated ones skip re-validation.
+func (r *Reader) verify(prev *Reader) error {
 	data := r.data
-	if len(data) < headerSize+footerSize {
+	if len(data) < headerMin+footerSize {
 		return corrupt("file too short (%d bytes)", len(data))
 	}
 	if !IsMagic(data) {
 		return fmt.Errorf("rdb: not a compiled route database (bad magic)")
 	}
-	if v := le.Uint32(data[8:]); v != version1 {
-		return fmt.Errorf("rdb: unsupported format version %d (want %d)", v, version1)
+	version := le.Uint32(data[8:])
+	if version != version1 && version != version2 {
+		return fmt.Errorf("rdb: unsupported format version %d (want %d or %d)", version, version1, version2)
+	}
+	r.version = version
+	hdrSize := uint64(headerSizeOf(version))
+	if uint64(len(data)) < hdrSize+footerSize {
+		return corrupt("file too short (%d bytes) for a version %d header", len(data), version)
 	}
 	foot := data[len(data)-footerSize:]
 	if string(foot[8:16]) != string(tailMagic[:]) {
@@ -147,9 +221,6 @@ func (r *Reader) verify() error {
 		return corrupt("nonzero footer padding")
 	}
 	body := data[:len(data)-footerSize]
-	if got, want := crc32.Checksum(body, crcTable), le.Uint32(foot[0:]); got != want {
-		return corrupt("checksum mismatch (file %08x, computed %08x)", want, got)
-	}
 
 	flags := le.Uint32(data[12:])
 	if flags&^uint32(knownFlags) != 0 {
@@ -190,7 +261,7 @@ func (r *Reader) verify() error {
 	// gaps beyond alignment padding, ending exactly at the footer. The
 	// cursor arithmetic cannot overflow: each section's length is
 	// checked against the remaining body first.
-	cur := uint64(headerSize)
+	cur := hdrSize
 	section := func(off, length uint64, name string) error {
 		if off != cur {
 			return corrupt("%s section at %d, want %d", name, off, cur)
@@ -236,9 +307,14 @@ func (r *Reader) verify() error {
 	r.crc = le.Uint32(foot[0:])
 
 	// Alignment padding and the reserved header tail must be zero: no
-	// bytes outside the sections carry information.
+	// bytes outside the sections carry information. (In v2 the section
+	// checksums occupy 104–120; the reserved tail starts after them.)
+	reserved := uint64(secCRCOff)
+	if version >= version2 {
+		reserved = secCRCOff + 4*numSections
+	}
 	for _, gap := range [][2]uint64{
-		{104, headerSize},
+		{reserved, hdrSize},
 		{strOff + strLen, entOff},
 		{entOff + entLen, hashOff},
 		{hashOff + hashLen, trieOff},
@@ -251,13 +327,113 @@ func (r *Reader) verify() error {
 		}
 	}
 
-	if err := r.verifyEntries(); err != nil {
-		return err
+	// Checksum phase. identical[i] records that section i is
+	// byte-identical to prev's already-validated section — the proof
+	// that licenses every skip below. The stored v2 CRCs serve only as
+	// the cheap pre-filter in front of the byte comparison.
+	secs := [numSections][]byte{r.strs, r.ents, r.hash, r.trie}
+	var stored [numSections]uint32
+	if version >= version2 {
+		for i := range stored {
+			stored[i] = le.Uint32(data[secCRCOff+4*i:])
+		}
 	}
-	if err := r.verifyHash(); err != nil {
-		return err
+	var identical [numSections]bool
+	if prev != nil {
+		psecs := [numSections][]byte{prev.strs, prev.ents, prev.hash, prev.trie}
+		for i := range secs {
+			if version >= version2 && stored[i] != prev.secCRC[i] {
+				continue // cheap pre-filter: a changed checksum cannot be identical bytes
+			}
+			identical[i] = bytes.Equal(secs[i], psecs[i])
+		}
+	}
+	if prev != nil && version >= version2 {
+		// Reuse fast path: adopt identical sections' checksums, verify
+		// changed ones against the header. Together with the structural
+		// header/padding checks above this covers every semantic byte,
+		// so the whole-body footer pass is skipped; the footer value is
+		// carried as the change-detection fingerprint only.
+		for i, sec := range secs {
+			if identical[i] {
+				r.secCRC[i] = prev.secCRC[i]
+				continue
+			}
+			if got := crc32.Checksum(sec, crcTable); got != stored[i] {
+				return corrupt("%s section checksum mismatch (header %08x, computed %08x)",
+					sectionNames[i], stored[i], got)
+			} else {
+				r.secCRC[i] = got
+			}
+		}
+	} else {
+		// Full pass: the body CRC against the footer and, in the same
+		// sweep over the bytes, each section's CRC (verified against
+		// the header for v2, recorded for later reuse either way).
+		bodyCRC, secCRC := checksumBody(body, [numSections][2]uint64{
+			{strOff, strLen}, {entOff, entLen}, {hashOff, hashLen}, {trieOff, trieLen},
+		})
+		if want := le.Uint32(foot[0:]); bodyCRC != want {
+			return corrupt("checksum mismatch (file %08x, computed %08x)", want, bodyCRC)
+		}
+		if version >= version2 {
+			for i, got := range secCRC {
+				if got != stored[i] {
+					return corrupt("%s section checksum mismatch (header %08x, computed %08x)",
+						sectionNames[i], stored[i], got)
+				}
+			}
+		}
+		r.secCRC = secCRC
+	}
+	r.reused = identical
+
+	// Structural phase, honoring cross-section dependencies: a
+	// validator's conclusions carry over only if every input it reads
+	// is unchanged. verifyEntries reads entries AND strings; verifyHash
+	// reads the hash section and the entry count; verifyTrie reads the
+	// trie, the strings (label bytes), the count, and the root offset.
+	if !(identical[0] && identical[1]) {
+		if err := r.verifyEntries(); err != nil {
+			return err
+		}
+	}
+	if !(identical[2] && r.n == prev.n) {
+		if err := r.verifyHash(); err != nil {
+			return err
+		}
+	}
+	if identical[3] && identical[0] && r.n == prev.n && r.trieRoot == prev.trieRoot {
+		return nil
 	}
 	return r.verifyTrie()
+}
+
+// crcBlock is the interleaving granularity of checksumBody: small
+// enough that a block hashed for the body is still cache-resident when
+// re-hashed for its section, so the double hash costs compute, not a
+// second pass of memory traffic.
+const crcBlock = 256 << 10
+
+// checksumBody computes the whole-body CRC-32C and all four section
+// CRCs in one interleaved sweep. offs holds each section's (offset,
+// length) within body, already layout-validated: ascending, in-bounds,
+// separated only by padding.
+func checksumBody(body []byte, offs [numSections][2]uint64) (bodyCRC uint32, secCRC [numSections]uint32) {
+	cur := uint64(0)
+	for i, ol := range offs {
+		off, length := ol[0], ol[1]
+		bodyCRC = crc32.Update(bodyCRC, crcTable, body[cur:off]) // header or padding
+		for p := off; p < off+length; {
+			end := min(p+crcBlock, off+length)
+			bodyCRC = crc32.Update(bodyCRC, crcTable, body[p:end])
+			secCRC[i] = crc32.Update(secCRC[i], crcTable, body[p:end])
+			p = end
+		}
+		cur = off + length
+	}
+	bodyCRC = crc32.Update(bodyCRC, crcTable, body[cur:]) // trailing padding
+	return bodyCRC, secCRC
 }
 
 // verifyEntries checks the entry records against the strings section.

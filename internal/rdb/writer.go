@@ -11,14 +11,15 @@ import (
 	"pathalias/internal/resolver"
 )
 
-// Compile serializes routes into a version-1 rdb file image. The
-// entries are normalized, sorted, and deduplicated through
-// resolver.New first — the compiled file indexes exactly what an
-// in-memory resolver built from the same entries and options would —
-// and the output is deterministic: same entries, same options, same
-// bytes.
+// Compile serializes routes into a version-2 rdb file image (the
+// current format; readers back to version 1 cannot open it, but this
+// reader opens both). The entries are normalized, sorted, and
+// deduplicated through resolver.New first — the compiled file indexes
+// exactly what an in-memory resolver built from the same entries and
+// options would — and the output is deterministic: same entries, same
+// options, same bytes.
 func Compile(entries []resolver.Entry, opts resolver.Options) ([]byte, error) {
-	return marshal(resolver.New(entries, opts).Entries(), opts)
+	return marshal(resolver.New(entries, opts).Entries(), opts, version2)
 }
 
 // Write compiles routes (see Compile) and writes the image to w.
@@ -39,8 +40,10 @@ type entryRec struct {
 }
 
 // marshal lays out canonical (normalized, strictly sorted, deduplicated)
-// entries as a complete file image.
-func marshal(es []resolver.Entry, opts resolver.Options) ([]byte, error) {
+// entries as a complete file image. version selects the header layout
+// (Compile always writes version2; tests exercise the version1
+// compatibility path).
+func marshal(es []resolver.Entry, opts resolver.Options, version uint32) ([]byte, error) {
 	// Strings section: hosts and routes, concatenated. Suffix-trie
 	// labels are substrings of their entry's host, so they get offsets
 	// into the same section for free.
@@ -91,7 +94,7 @@ func marshal(es []resolver.Entry, opts resolver.Options) ([]byte, error) {
 	}
 
 	// Section layout: fixed order, 8-byte aligned, nothing in between.
-	strOff := uint64(headerSize)
+	strOff := uint64(headerSizeOf(version))
 	entOff := align8(strOff + uint64(len(strs)))
 	hashOff := align8(entOff + uint64(len(es))*entrySize)
 	trieOff := align8(hashOff + slots*4)
@@ -99,7 +102,7 @@ func marshal(es []resolver.Entry, opts resolver.Options) ([]byte, error) {
 
 	img := make([]byte, bodyEnd+footerSize)
 	copy(img[0:], magic[:])
-	le.PutUint32(img[8:], version1)
+	le.PutUint32(img[8:], version)
 	flags := uint32(0)
 	if opts.FoldCase {
 		flags |= flagFoldCase
@@ -116,7 +119,9 @@ func marshal(es []resolver.Entry, opts resolver.Options) ([]byte, error) {
 	le.PutUint64(img[80:], trieOff)
 	le.PutUint64(img[88:], uint64(len(trie)))
 	le.PutUint64(img[96:], uint64(trieRoot))
-	// img[104:112] reserved, zero.
+	// v1: img[104:112] reserved, zero.
+	// v2: img[104:120] per-section CRCs (filled below), img[120:128]
+	// reserved, zero.
 
 	copy(img[strOff:], strs)
 	for i, r := range recs {
@@ -129,6 +134,17 @@ func marshal(es []resolver.Entry, opts resolver.Options) ([]byte, error) {
 		le.PutUint32(img[hashOff+uint64(i)*4:], v)
 	}
 	copy(img[trieOff:], trie)
+
+	if version >= version2 {
+		for i, sec := range [numSections][]byte{
+			img[strOff : strOff+uint64(len(strs))],
+			img[entOff : entOff+uint64(len(es))*entrySize],
+			img[hashOff : hashOff+slots*4],
+			img[trieOff : trieOff+uint64(len(trie))],
+		} {
+			le.PutUint32(img[secCRCOff+4*i:], crc32.Checksum(sec, crcTable))
+		}
+	}
 
 	foot := img[bodyEnd:]
 	le.PutUint32(foot[0:], crc32.Checksum(img[:bodyEnd], crcTable))

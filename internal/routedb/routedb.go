@@ -239,6 +239,23 @@ func (s *Store) Swap(db *DB) (old *DB) {
 	return old
 }
 
+// CompareAndSwap replaces the current database with new only if it is
+// still old, reporting whether the swap happened. This is the demotion
+// primitive for background audits: a verifier that finds a fault in the
+// database it audited rolls the store back to the predecessor — unless
+// a newer swap already superseded the faulty one, in which case the
+// rollback must not clobber it. nil arguments mean the empty database,
+// matching Swap.
+func (s *Store) CompareAndSwap(old, new *DB) bool {
+	if old == nil {
+		old = emptyDB
+	}
+	if new == nil {
+		new = emptyDB
+	}
+	return s.cur.CompareAndSwap(old, new)
+}
+
 // Len returns the current database's route count.
 func (s *Store) Len() int { return s.DB().Len() }
 

@@ -169,3 +169,40 @@ func TestDBStatsSnapshot(t *testing.T) {
 		t.Errorf("Stats = %+v", s)
 	}
 }
+
+// TestStoreCompareAndSwap pins the demotion primitive: the rollback
+// succeeds only while the faulty database is still current, so a
+// newer good swap can never be clobbered by a late-finishing audit.
+func TestStoreCompareAndSwap(t *testing.T) {
+	good := fromEntries([]Entry{{Host: "a", Route: "a!%s"}}, Options{})
+	faulty := fromEntries([]Entry{{Host: "b", Route: "b!%s"}}, Options{})
+	newer := fromEntries([]Entry{{Host: "c", Route: "c!%s"}}, Options{})
+
+	s := NewStore(good)
+	s.Swap(faulty)
+	if !s.CompareAndSwap(faulty, good) {
+		t.Fatal("demotion of the current DB failed")
+	}
+	if s.DB() != good {
+		t.Fatal("store not rolled back")
+	}
+
+	// Audit finishes late: the faulty DB was already superseded.
+	s.Swap(faulty)
+	s.Swap(newer)
+	if s.CompareAndSwap(faulty, good) {
+		t.Fatal("stale demotion clobbered a newer database")
+	}
+	if s.DB() != newer {
+		t.Fatal("newer database lost")
+	}
+
+	// nil means the empty database on both sides, like Swap.
+	s2 := NewStore(nil)
+	if !s2.CompareAndSwap(nil, good) {
+		t.Fatal("nil-old CAS against an empty store failed")
+	}
+	if s2.DB() != good {
+		t.Fatal("nil-old CAS did not install the new DB")
+	}
+}
