@@ -58,6 +58,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -92,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		cpuprofile  = fs.String("cpuprofile", "", "write a CPU profile to `file`")
 		memprofile  = fs.String("memprofile", "", "write a heap profile to `file`")
 		watchEvery  = fs.Duration("watch", 0, "stay resident and regenerate when a map file changes")
+		logLevel    = fs.String("log-level", "info", "log verbosity in -watch mode: debug, info, warn or error")
 		outPath     = fs.String("o", "", "output `file` instead of stdout (required with -watch)")
 		outDB       = fs.String("o-db", "", "also compile the routes into a binary route database at `file` (rdb, for routed -db / uupath)")
 	)
@@ -132,10 +134,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*local = strings.ToLower(*local)
 	}
 	if *watchEvery > 0 {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintf(stderr, "pathalias: bad -log-level %q (want debug, info, warn or error)\n", *logLevel)
+			return 2
+		}
 		return runWatch(fs.Args(), watchConfig{
 			interval: *watchEvery,
 			outPath:  *outPath,
 			outDB:    *outDB,
+			logLevel: lvl,
 			opts: pathalias.Options{
 				LocalHost:    *local,
 				PrintCosts:   *costs,

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +26,7 @@ type watchConfig struct {
 	interval time.Duration
 	outPath  string
 	outDB    string // compiled database to republish on route changes ("" = none)
+	logLevel slog.Level
 	opts     pathalias.Options
 }
 
@@ -54,12 +56,16 @@ func runWatch(paths []string, cfg watchConfig, stderr io.Writer) int {
 	}
 	defer eng.Close()
 	w := newWatcher(eng, paths, cfg.outPath, cfg.outDB, stderr)
+	// Once resident, the watcher is a daemon: its progress and error
+	// reporting go through structured logging (-log-level), while CLI
+	// diagnostics — map warnings, unreachable hosts — keep the classic
+	// "pathalias:" stderr format scripts grep for.
+	w.log = slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: cfg.logLevel}))
 	if _, err := w.regenerate(); err != nil {
 		fmt.Fprintf(stderr, "pathalias: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stderr, "pathalias: watching %d files every %v, writing %s\n",
-		len(paths), cfg.interval, cfg.outPath)
+	w.log.Info("watching", "files", len(paths), "interval", cfg.interval, "out", cfg.outPath)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	w.loop(ctx, cfg.interval)
@@ -88,11 +94,13 @@ type watcher struct {
 	pubGen  uint64 // RouteGen of the last published compiled database
 	pubOK   bool   // outDB has been published at least once
 	stderr  io.Writer
+	log     *slog.Logger
 }
 
 func newWatcher(eng *pathalias.Engine, paths []string, outPath, outDB string, stderr io.Writer) *watcher {
 	return &watcher{eng: eng, paths: paths, sigs: make([]watchSig, len(paths)),
-		outPath: outPath, outDB: outDB, stderr: stderr}
+		outPath: outPath, outDB: outDB, stderr: stderr,
+		log: slog.New(slog.NewTextHandler(stderr, nil))}
 }
 
 // regenerate recomputes routes (incrementally when possible) and
@@ -176,9 +184,9 @@ func (w *watcher) loop(ctx context.Context, interval time.Duration) {
 			continue
 		}
 		if wrote, err := w.regenerate(); err != nil {
-			fmt.Fprintf(w.stderr, "pathalias: watch: %v (keeping previous output)\n", err)
+			w.log.Warn("regenerate failed, keeping previous output", "err", err)
 		} else if wrote {
-			fmt.Fprintf(w.stderr, "pathalias: regenerated %s\n", w.outPath)
+			w.log.Info("regenerated", "out", w.outPath)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"pathalias/internal/fswatch"
+	"pathalias/internal/obs"
 	"pathalias/internal/parser"
 	"pathalias/internal/rdb"
 	"pathalias/internal/routedb"
@@ -62,6 +64,34 @@ type daemon struct {
 	// (auditImage); tests Wait on it.
 	audits sync.WaitGroup
 
+	// Telemetry (metrics.go). metrics feeds GET /metrics and the /stats
+	// latency summaries; it is nil only when a test clears it to measure
+	// instrumentation overhead. traces retains the most recent re-map
+	// generation traces (-map mode; GET /lastmap, `trace`). generation
+	// reads the engine's update generation (-map mode). demoted is set
+	// while the store serves a predecessor because the newest image
+	// failed its background audit — /readyz reports it — and cleared by
+	// the next successful swap.
+	metrics    *serverMetrics
+	traces     *obs.TraceRing
+	generation func() uint64
+	demoted    atomic.Bool
+	started    time.Time
+	version    string
+	imagePath  string // compiled image served (-db) or published (-o-db)
+
+	// slowThresh is the slow-query log threshold (-slow); 0 disables.
+	// Only the surfaces that already read the clock per request check it
+	// (HTTP, what-if forms) — the pipelined line path is measured per
+	// batch and never individually.
+	slowThresh time.Duration
+
+	// log is the structured logger every daemon message goes through;
+	// logLvl backs -log-level. logf/warnf keep the printf shape the
+	// call sites always had.
+	log    *slog.Logger
+	logLvl *slog.LevelVar
+
 	mu       sync.Mutex // guards reloads (watch loop + explicit reload)
 	mtime    time.Time
 	size     int64
@@ -70,6 +100,10 @@ type daemon struct {
 	swaps    atomic.Uint64
 }
 
+// traceRingSize is how many re-map generation traces -map mode retains
+// for GET /lastmap?n= and post-hoc "why was that edit slow" questions.
+const traceRingSize = 64
+
 // newDaemon loads path into a fresh store. With binary, path is a
 // compiled route database (rdb): it is memory-mapped and served with no
 // parse — the instant-start mode — and hot reloads swap in a fresh
@@ -77,6 +111,7 @@ type daemon struct {
 // lookups drain.
 func newDaemon(path string, binary bool, opts routedb.Options, logw io.Writer) (*daemon, error) {
 	d := &daemon{path: path, binary: binary, opts: opts, store: routedb.NewStore(nil), logw: logw}
+	d.initTelemetry()
 	if err := d.reload(); err != nil {
 		return nil, err
 	}
@@ -86,11 +121,43 @@ func newDaemon(path string, binary bool, opts routedb.Options, logw io.Writer) (
 // newMapDaemon returns a daemon whose store is fed by a map watcher
 // rather than a route file; the caller swaps databases in directly.
 func newMapDaemon(opts routedb.Options, logw io.Writer) *daemon {
-	return &daemon{opts: opts, store: routedb.NewStore(nil), logw: logw}
+	d := &daemon{opts: opts, store: routedb.NewStore(nil), logw: logw}
+	d.initTelemetry()
+	d.traces = obs.NewTraceRing(traceRingSize)
+	return d
+}
+
+// initTelemetry wires the logger and metrics registry common to every
+// mode. The level defaults to Info; run() lowers or raises it from
+// -log-level after construction.
+func (d *daemon) initTelemetry() {
+	d.started = time.Now()
+	d.version = "dev"
+	d.logLvl = new(slog.LevelVar)
+	d.log = slog.New(slog.NewTextHandler(d.logw, &slog.HandlerOptions{Level: d.logLvl}))
+	d.metrics = newServerMetrics(d)
 }
 
 func (d *daemon) logf(format string, args ...any) {
-	fmt.Fprintf(d.logw, "routed: "+format+"\n", args...)
+	d.log.Info(fmt.Sprintf(format, args...))
+}
+
+func (d *daemon) warnf(format string, args ...any) {
+	d.log.Warn(fmt.Sprintf(format, args...))
+}
+
+// noteSlow counts and logs a query that crossed the -slow threshold,
+// with enough of the request to name the culprit destination, vantage,
+// and overlay.
+func (d *daemon) noteSlow(surface, req string, dur time.Duration) {
+	if d.slowThresh <= 0 || dur < d.slowThresh {
+		return
+	}
+	if d.metrics != nil {
+		d.metrics.slow.Inc()
+	}
+	d.log.Warn("slow query", "surface", surface, "request", req,
+		"dur", dur.Round(time.Microsecond).String(), "threshold", d.slowThresh.String())
 }
 
 // contentHash fingerprints a route file for the same-second-rewrite
@@ -134,6 +201,7 @@ func (d *daemon) reload() error {
 	d.store.Swap(db)
 	d.loadedAt = time.Now()
 	d.swaps.Add(1)
+	d.demoted.Store(false)
 	d.logf("loaded %d routes from %s", db.Len(), d.path)
 	return nil
 }
@@ -176,6 +244,7 @@ func (d *daemon) reloadBinaryLocked() error {
 	prev := d.store.Swap(db)
 	d.loadedAt = time.Now()
 	d.swaps.Add(1)
+	d.demoted.Store(false)
 	if n := db.ReusedSections(); n > 0 {
 		d.logf("mapped %d routes from %s (no parse, %d/4 sections reused from the previous image)", db.Len(), d.path, n)
 	} else {
@@ -201,9 +270,13 @@ func (d *daemon) auditImage(db, prev *routedb.DB, src string) {
 			return
 		}
 		if d.store.CompareAndSwap(db, prev) {
-			d.logf("audit: %s failed deep verification: %v (demoted to the previous database)", src, err)
+			d.demoted.Store(true)
+			if d.metrics != nil {
+				d.metrics.demotions.Inc()
+			}
+			d.warnf("audit: %s failed deep verification: %v (demoted to the previous database)", src, err)
 		} else {
-			d.logf("audit: %s failed deep verification: %v (already superseded)", src, err)
+			d.warnf("audit: %s failed deep verification: %v (already superseded)", src, err)
 		}
 	}()
 }
@@ -273,14 +346,14 @@ func (d *daemon) watch(ctx context.Context, interval time.Duration) {
 		}
 		changed, err := d.changed()
 		if err != nil {
-			d.logf("watch: %v", err)
+			d.warnf("watch: %v", err)
 			continue
 		}
 		if !changed {
 			continue
 		}
 		if err := d.reload(); err != nil {
-			d.logf("reload: %v (still serving previous database)", err)
+			d.warnf("reload: %v (still serving previous database)", err)
 		}
 	}
 }
@@ -299,6 +372,8 @@ func (d *daemon) watch(ctx context.Context, interval time.Duration) {
 //	                          report every host whose route changes
 //	                          under the overlay (-map mode)
 //	stats                     one-line counter dump
+//	trace                     the newest re-map generation's stage
+//	                          trace, one line (-map mode only)
 //	quit                      close the connection
 //
 // An overlay spec is the what-if edit language with commas for
@@ -306,9 +381,10 @@ func (d *daemon) watch(ctx context.Context, interval time.Duration) {
 //
 // Replies are "ok <payload>" or "err <message>" — a malformed or
 // rejected what-if query is always answered, never dropped. The command
-// words shadow hosts literally named "stats"/"quit"/"explain"/"impact",
-// but only in the first field: resolve those with an explicit user
-// argument ("stats someuser") or a leading vantage ("from=unc explain").
+// words shadow hosts literally named
+// "stats"/"quit"/"trace"/"explain"/"impact", but only in the first
+// field: resolve those with an explicit user argument ("stats
+// someuser") or a leading vantage ("from=unc explain").
 func (d *daemon) handleLine(line string) (reply string, closing bool) {
 	fields := strings.Fields(line)
 	if len(fields) > 0 && (fields[0] == "explain" || fields[0] == "impact") {
@@ -332,6 +408,8 @@ func (d *daemon) handleLine(line string) (reply string, closing bool) {
 		return "ok bye", true
 	case len(fields) == 1 && fields[0] == "stats" && from == "" && !hasOverlay:
 		return "ok " + d.statsLine(), false
+	case len(fields) == 1 && fields[0] == "trace" && from == "" && !hasOverlay:
+		return d.traceReply(), false
 	case len(fields) > 2:
 		return "err want: [from=host] [overlay=spec] dest [user]", false
 	}
@@ -359,6 +437,19 @@ func (d *daemon) handleLine(line string) (reply string, closing bool) {
 		return "err " + err.Error(), false
 	}
 	return "ok " + res.Address(), false
+}
+
+// traceReply answers the `trace` protocol command with the newest
+// re-map generation's stage trace.
+func (d *daemon) traceReply() string {
+	if d.traces == nil {
+		return "err re-map traces require -map mode"
+	}
+	t := d.traces.Last()
+	if t == nil {
+		return "err no re-map generation recorded yet"
+	}
+	return "ok " + t.Line()
 }
 
 // whatifFrom maps an optional from= value to the vantage what-if
@@ -551,16 +642,39 @@ func (d *daemon) serveConn(r io.Reader, w io.Writer) error {
 	bw := bufio.NewWriterSize(w, connBufSize)
 	st := linePool.Get().(*lineState)
 	defer linePool.Put(st)
+	// Latency is observed per batch, not per request: one clock read
+	// when a batch's first line arrives, one at its flush boundary, the
+	// batch mean recorded once per request (Histogram.ObserveBatch).
+	// Per-request time.Now() calls would be a measurable fraction of the
+	// ~170ns a pipelined resolve costs.
+	var hist *obs.Histogram
+	if d.metrics != nil {
+		hist = d.metrics.line
+	}
+	var batchN int
+	var batchStart time.Time
+	observeBatch := func() {
+		if batchN > 0 {
+			hist.ObserveBatch(time.Since(batchStart), batchN)
+			batchN = 0
+		}
+	}
 	for {
 		// Flush before a read that would block: the client has seen
 		// nothing of this batch yet, and the next request may be a
 		// reply away.
 		if br.Buffered() == 0 {
+			if hist != nil {
+				observeBatch()
+			}
 			if err := bw.Flush(); err != nil {
 				return err
 			}
 		}
 		line, tooLong, err := readLine(br, st)
+		if hist != nil && batchN == 0 {
+			batchStart = time.Now()
+		}
 		switch {
 		case tooLong:
 			if _, werr := bw.WriteString("err line too long\n"); werr != nil {
@@ -569,6 +683,9 @@ func (d *daemon) serveConn(r io.Reader, w io.Writer) error {
 		case err == nil || (err == io.EOF && len(line) > 0):
 			var closing bool
 			st.out, closing = d.handleLineBytes(st.out[:0], line, st, true)
+			if hist != nil {
+				batchN++
+			}
 			if _, werr := bw.Write(st.out); werr != nil {
 				return werr
 			}
@@ -576,10 +693,16 @@ func (d *daemon) serveConn(r io.Reader, w io.Writer) error {
 				return werr
 			}
 			if closing {
+				if hist != nil {
+					observeBatch()
+				}
 				return bw.Flush()
 			}
 		}
 		if err != nil {
+			if hist != nil {
+				observeBatch()
+			}
 			if err == io.EOF {
 				return bw.Flush()
 			}
@@ -634,6 +757,7 @@ var (
 	fromPrefix  = []byte("from=")
 	quitWord    = []byte("quit")
 	statsWord   = []byte("stats")
+	traceWord   = []byte("trace")
 	defaultUser = []byte("%s")
 	overlayTok  = []byte("overlay=")
 	explainWord = []byte("explain")
@@ -669,7 +793,18 @@ func whatifRequestBytes(line []byte) bool {
 // every input; a line with non-ASCII bytes is delegated to it outright
 // (case folding is not byte-local there).
 func (d *daemon) handleLineBytes(dst, line []byte, st *lineState, commands bool) (out []byte, closing bool) {
-	if !asciiLine(line) || whatifRequestBytes(line) {
+	if wf := whatifRequestBytes(line); wf || !asciiLine(line) {
+		// What-if evaluation maps a graph; one clock read per request
+		// is nothing next to that, so this is where per-request latency
+		// (and the slow-query check) lives on the line protocol.
+		if wf && d.metrics != nil {
+			start := time.Now()
+			reply, closing := d.handleLine(string(line))
+			dur := time.Since(start)
+			d.metrics.whatifReq.Observe(dur)
+			d.noteSlow("line", string(line), dur)
+			return append(dst, reply...), closing
+		}
 		reply, closing := d.handleLine(string(line))
 		return append(dst, reply...), closing
 	}
@@ -688,6 +823,8 @@ func (d *daemon) handleLineBytes(dst, line []byte, st *lineState, commands bool)
 	case commands && len(fields) == 1 && len(from) == 0 && bytes.Equal(fields[0], statsWord):
 		dst = append(dst, "ok "...)
 		return append(dst, d.statsLine()...), false
+	case commands && len(fields) == 1 && len(from) == 0 && bytes.Equal(fields[0], traceWord):
+		return append(dst, d.traceReply()...), false
 	case len(fields) > 2:
 		return append(dst, "err want: [from=host] [overlay=spec] dest [user]"...), false
 	}
@@ -729,13 +866,13 @@ func (d *daemon) serveTCP(ctx context.Context, ln net.Listener) {
 			if ctx.Err() != nil {
 				return
 			}
-			d.logf("accept: %v", err)
+			d.warnf("accept: %v", err)
 			continue
 		}
 		go func() {
 			defer conn.Close()
 			if err := d.serveConn(conn, conn); err != nil {
-				d.logf("conn %s: %v", conn.RemoteAddr(), err)
+				d.warnf("conn %s: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
@@ -758,6 +895,17 @@ type statsSnapshot struct {
 	WhatIf *whatif.Stats `json:"whatif,omitempty"`
 	// Vantages maps each resident vantage to its route count.
 	Vantages map[string]int `json:"vantages,omitempty"`
+	// Version and UptimeSecs identify the process; Generation is the map
+	// engine's update generation (-map mode); Image is the compiled
+	// database served or published, when there is one.
+	Version    string  `json:"version,omitempty"`
+	UptimeSecs float64 `json:"uptime_secs"`
+	Generation uint64  `json:"generation,omitempty"`
+	Image      string  `json:"image,omitempty"`
+	// Latency summarizes the request histograms by surface; surfaces
+	// with no observations are omitted, so a freshly started daemon's
+	// JSON is exactly the pre-telemetry shape plus identity fields.
+	Latency map[string]latencySummary `json:"latency,omitempty"`
 }
 
 func (d *daemon) snapshot() statsSnapshot {
@@ -775,6 +923,12 @@ func (d *daemon) snapshot() statsSnapshot {
 		Hits:       s.Hits,
 		SuffixHits: s.SuffixHits,
 		Misses:     s.Misses,
+		Version:    d.version,
+		UptimeSecs: time.Since(d.started).Seconds(),
+		Image:      d.imagePath,
+	}
+	if d.generation != nil {
+		snap.Generation = d.generation()
 	}
 	if d.whatif != nil {
 		ws := d.whatif.Stats()
@@ -782,6 +936,24 @@ func (d *daemon) snapshot() statsSnapshot {
 	}
 	if d.residentVantages != nil {
 		snap.Vantages = d.residentVantages()
+	}
+	if d.metrics != nil {
+		lat := make(map[string]latencySummary)
+		for name, h := range map[string]*obs.Histogram{
+			"line":           d.metrics.line,
+			"http_route":     d.metrics.httpRoute,
+			"http_routes":    d.metrics.httpRoutes,
+			"whatif":         d.metrics.whatifReq,
+			"overlay_cold":   d.metrics.overlayCold,
+			"overlay_cached": d.metrics.overlayCached,
+		} {
+			if sum, ok := summarize(h); ok {
+				lat[name] = sum
+			}
+		}
+		if len(lat) > 0 {
+			snap.Latency = lat
+		}
 	}
 	return snap
 }
@@ -794,15 +966,33 @@ func (d *daemon) statsLine() string {
 		line += fmt.Sprintf(" whatif_hits=%d whatif_misses=%d whatif_evictions=%d whatif_resident=%d vantages=%d",
 			s.WhatIf.Hits, s.WhatIf.Misses, s.WhatIf.Evictions, s.WhatIf.Resident, len(s.Vantages))
 	}
+	// Latency joins the line only once sampled, keeping the historical
+	// exact line shape for fresh daemons (and the tests that pin it).
+	if d.metrics != nil {
+		if n := d.metrics.line.Count(); n > 0 {
+			line += fmt.Sprintf(" line_reqs=%d line_p50=%s line_p99=%s", n,
+				d.metrics.line.Quantile(0.50).Round(time.Microsecond),
+				d.metrics.line.Quantile(0.99).Round(time.Microsecond))
+		}
+	}
 	return line
 }
 
 // handler builds the HTTP mux: GET /route?dest=...&user=..., POST
 // /routes (bulk), POST /whatif (overlay queries as JSON), /stats,
-// /healthz.
+// /metrics (Prometheus text), /healthz (liveness), /readyz
+// (readiness), /lastmap (re-map traces, -map mode).
 func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /route", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() {
+			dur := time.Since(start)
+			if d.metrics != nil {
+				d.metrics.httpRoute.Observe(dur)
+			}
+			d.noteSlow("http_route", r.URL.RawQuery, dur)
+		}()
 		dest := r.URL.Query().Get("dest")
 		if dest == "" {
 			http.Error(w, "missing dest parameter", http.StatusBadRequest)
@@ -848,6 +1038,15 @@ func (d *daemon) handler() http.Handler {
 	//	 "from": "host", "overlay": "dead a b; cost a c 300",
 	//	 "dest": "host", "user": "lou"}
 	mux.HandleFunc("POST /whatif", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		desc := "" // filled after decode, for the slow-query log
+		defer func() {
+			dur := time.Since(start)
+			if d.metrics != nil {
+				d.metrics.whatifReq.Observe(dur)
+			}
+			d.noteSlow("whatif", desc, dur)
+		}()
 		if d.whatif == nil {
 			http.Error(w, "what-if queries require -map mode", http.StatusBadRequest)
 			return
@@ -867,6 +1066,9 @@ func (d *daemon) handler() http.Handler {
 			req.User = "%s"
 		}
 		from := d.whatifFrom(req.From)
+		if d.slowThresh > 0 {
+			desc = fmt.Sprintf("op=%s from=%s overlay=%q dest=%s", req.Op, from, req.Overlay, req.Dest)
+		}
 		var out any
 		var err error
 		switch req.Op {
@@ -897,6 +1099,8 @@ func (d *daemon) handler() http.Handler {
 	// the pipelined line protocol. The single-token stats/quit commands
 	// are not special here: every line is a resolve.
 	mux.HandleFunc("POST /routes", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		nreq := 0
 		st := linePool.Get().(*lineState)
 		defer linePool.Put(st)
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -909,6 +1113,7 @@ func (d *daemon) handler() http.Handler {
 				bw.WriteString("err line too long\n")
 			case err == nil || (err == io.EOF && len(line) > 0):
 				st.out, _ = d.handleLineBytes(st.out[:0], line, st, false)
+				nreq++
 				bw.Write(st.out)
 				bw.WriteByte('\n')
 			}
@@ -917,13 +1122,70 @@ func (d *daemon) handler() http.Handler {
 			}
 		}
 		bw.Flush()
+		// The whole body is one batch: requests per bulk call are
+		// indistinguishable to the client, so the batch mean is the
+		// honest per-request number (same accounting as the pipelined
+		// line protocol).
+		if d.metrics != nil && nreq > 0 {
+			d.metrics.httpRoutes.ObserveBatch(time.Since(start), nreq)
+		}
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(d.snapshot())
 	})
+	if d.metrics != nil {
+		mux.Handle("GET /metrics", d.metrics.reg.Handler())
+	}
+	// /healthz is liveness: the process is up and answering. /readyz is
+	// readiness: the daemon is serving the map it was asked to serve —
+	// 503 while a warm start's first computation is still running, and
+	// 503 while the store is demoted to a predecessor because the
+	// newest image failed its background audit. A balancer draining on
+	// /readyz keeps traffic on healthy peers through both windows
+	// without killing a process that is still correctly serving its
+	// fallback.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if d.mapReady != nil && !d.mapReady() {
+			http.Error(w, "warming up: serving the last published image while the first map computation runs",
+				http.StatusServiceUnavailable)
+			return
+		}
+		if d.demoted.Load() {
+			http.Error(w, "demoted: the served image failed deep verification; serving its predecessor",
+				http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	// /lastmap exposes the re-map pipeline traces: the newest
+	// generation by default, the most recent ?n= as a newest-first
+	// array.
+	mux.HandleFunc("GET /lastmap", func(w http.ResponseWriter, r *http.Request) {
+		if d.traces == nil {
+			http.Error(w, "re-map traces require -map mode", http.StatusNotFound)
+			return
+		}
+		if nStr := r.URL.Query().Get("n"); nStr != "" {
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n < 1 {
+				http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(d.traces.Recent(n))
+			return
+		}
+		t := d.traces.Last()
+		if t == nil {
+			http.Error(w, "no re-map generation recorded yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(t)
 	})
 	return mux
 }
@@ -952,6 +1214,6 @@ func (d *daemon) serveHTTP(ctx context.Context, ln net.Listener) {
 		srv.Shutdown(shutCtx)
 	}()
 	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-		d.logf("http: %v", err)
+		d.warnf("http: %v", err)
 	}
 }

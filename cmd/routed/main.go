@@ -65,7 +65,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -73,6 +76,12 @@ import (
 
 	"pathalias/internal/routedb"
 )
+
+// version is the build identity shown in /stats, /metrics
+// (routed_build_info) and the stats line. Release builds override it:
+//
+//	go build -ldflags "-X main.version=1.4.0" ./cmd/routed
+var version = "dev"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
@@ -92,9 +101,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fold     = fs.Bool("i", false, "case-fold queries (for maps computed with pathalias -i)")
 		vantages = fs.Int("vantages", 64, "max resident vantage machines for from= queries (-map mode)")
 		odb      = fs.String("o-db", "", "continuously publish the compiled route database to `file` and warm-start from it (-map mode)")
+		logLevel = fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		slow     = fs.Duration("slow", 250*time.Millisecond, "log queries slower than this threshold (0 disables)")
+		pprofOn  = fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); keep it private")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(stderr, "routed: bad -log-level %q (want debug, info, warn or error)\n", *logLevel)
 		return 2
 	}
 	usage := func() int {
@@ -128,6 +145,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var d *daemon
 	if *mapMode {
 		d = newMapDaemon(routedb.Options{FoldCase: *fold}, stderr)
+		configureTelemetry(d, lvl, *slow, *odb)
 		// Warm start: if a previously published image exists, serve it
 		// immediately — lookups are answered from the mmap within
 		// milliseconds of exec — while the first map computation runs in
@@ -171,9 +189,29 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "routed: %v\n", err)
 			return 1
 		}
+		configureTelemetry(d, lvl, *slow, *binPath)
 		if *watch > 0 {
 			go d.watch(ctx, *watch)
 		}
+	}
+
+	if *pprofOn != "" {
+		ln, err := net.Listen("tcp", *pprofOn)
+		if err != nil {
+			fmt.Fprintf(stderr, "routed: pprof: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "routed: pprof on %s\n", ln.Addr())
+		// A dedicated mux so the profiling surface never leaks onto the
+		// serving address: pprof exposes heap contents and must stay on
+		// the side listener the operator chose.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { _ = (&http.Server{Handler: pm}).Serve(ln) }()
 	}
 
 	if *useStdin {
@@ -210,4 +248,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		<-done
 	}
 	return 0
+}
+
+// configureTelemetry applies the flags the daemon constructors cannot
+// see: build identity (version is linker-set), the image path served or
+// published, the slow-query threshold, and the log level.
+func configureTelemetry(d *daemon, lvl slog.Level, slow time.Duration, image string) {
+	d.version = version
+	d.imagePath = image
+	d.slowThresh = slow
+	d.logLvl.Set(lvl)
+	d.metrics.registerBuildInfo(version, image)
 }

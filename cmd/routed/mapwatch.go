@@ -29,6 +29,7 @@ import (
 	"pathalias/internal/core"
 	"pathalias/internal/fswatch"
 	"pathalias/internal/mapper"
+	"pathalias/internal/obs"
 	"pathalias/internal/remap"
 	"pathalias/internal/routedb"
 	"pathalias/internal/whatif"
@@ -115,9 +116,27 @@ func newMapWatcher(d *daemon, localHost string, maxVantages int, paths []string,
 		ready:  make(chan struct{}),
 	}
 	d.vantage = w.storeFor
-	d.whatif = whatif.New(eng, whatif.Options{FoldCase: d.opts.FoldCase})
+	wopts := whatif.Options{FoldCase: d.opts.FoldCase}
+	if d.metrics != nil {
+		// Every overlay evaluation lands in the cold or cached latency
+		// histogram; the evaluator reports which path it actually took
+		// (a concurrent identical evaluation counts as cached).
+		mm := d.metrics
+		wopts.Observe = func(cold bool, dur time.Duration) {
+			if cold {
+				mm.overlayCold.Observe(dur)
+			} else {
+				mm.overlayCached.Observe(dur)
+			}
+		}
+	}
+	d.whatif = whatif.New(eng, wopts)
 	d.defaultVantage = localHost
 	d.residentVantages = w.residentCounts
+	d.generation = eng.Generation
+	if d.metrics != nil {
+		d.metrics.registerMapMetrics(eng, d.whatif)
+	}
 	d.mapReady = func() bool {
 		select {
 		case <-w.ready:
@@ -192,7 +211,10 @@ func (w *mapWatcher) storeFor(from string) (*routedb.Store, error) {
 
 // remap runs the engine over the current file contents and swaps every
 // resident vantage's store. Unchanged files are deduplicated inside the
-// engine by content hash, so calling this on suspicion is cheap.
+// engine by content hash, so calling this on suspicion is cheap. Every
+// effective generation records a stage trace (obs.Trace) in the
+// daemon's ring: where the wall time went — read, scan, patch,
+// snapshot, map, store swaps, publish — plus the shape of the change.
 func (w *mapWatcher) remap() error {
 	start := time.Now()
 	ins, err := core.ReadInputsMmap(w.paths)
@@ -208,6 +230,7 @@ func (w *mapWatcher) remap() error {
 	for i, in := range ins {
 		rins[i] = remap.Input{Name: in.Name, Src: in.Src, Release: in.Release}
 	}
+	readDur := time.Since(start)
 	// Update owns the inputs from here on, success or error (it may
 	// retain some of them in its caches even when it fails).
 	statsBefore := w.eng.Stats()
@@ -216,7 +239,7 @@ func (w *mapWatcher) remap() error {
 	}
 	stats := w.eng.Stats()
 	if w.d.swaps.Load() > 0 && stats.Unchanged > statsBefore.Unchanged {
-		return nil // identical inputs: nothing to swap
+		return nil // identical inputs: nothing to swap, no generation
 	}
 
 	// Swap the default store, then every resident vantage's — each
@@ -226,6 +249,9 @@ func (w *mapWatcher) remap() error {
 	// storeFor cannot register a pre-edit store the pass would miss.
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	storeMark := time.Now()
+	var pubDur time.Duration
+	published := false
 	routes := 0
 	skipped := 0
 	res, defErr := w.eng.ResultFor(w.local)
@@ -247,14 +273,19 @@ func (w *mapWatcher) remap() error {
 			w.d.loadedAt = time.Now()
 			w.d.mu.Unlock()
 			w.d.swaps.Add(1)
+			w.d.demoted.Store(false)
 		}
 	} else {
-		w.d.logf("vantage %s (default): %v (still serving previous database)", w.local, defErr)
+		w.d.warnf("vantage %s (default): %v (still serving previous database)", w.local, defErr)
 	}
 	if w.odb != "" && defErr == nil && (!w.pubOK || res.RouteGen != w.pubGen) {
+		pubMark := time.Now()
 		if err := w.publish(res.RouteGen); err != nil {
-			w.d.logf("publish %s: %v (previous image still intact)", w.odb, err)
+			w.d.warnf("publish %s: %v (previous image still intact)", w.odb, err)
+		} else {
+			published = true
 		}
+		pubDur = time.Since(pubMark)
 	}
 
 	resident := w.eng.Vantages()
@@ -268,7 +299,7 @@ func (w *mapWatcher) remap() error {
 		}
 		vres, err := w.eng.ResultFor(from)
 		if err != nil {
-			w.d.logf("vantage %s: %v (still serving previous database)", from, err)
+			w.d.warnf("vantage %s: %v (still serving previous database)", from, err)
 			continue
 		}
 		if vres.RouteGen == w.gens[from] {
@@ -290,9 +321,59 @@ func (w *mapWatcher) remap() error {
 
 	warm := stats.Incremental - statsBefore.Incremental
 	full := stats.FullRemaps - statsBefore.FullRemaps
+	storeDur := time.Since(storeMark) - pubDur
+	wall := time.Since(start)
 	w.d.logf("mapped %d routes from %d files (+%d vantage stores, %d unchanged; %d warm/%d full re-maps) in %v",
-		routes, len(w.paths), swapped, skipped, warm, full, time.Since(start).Round(time.Millisecond))
+		routes, len(w.paths), swapped, skipped, warm, full, wall.Round(time.Millisecond))
+	w.recordTrace(start, wall, readDur, storeDur, pubDur, published, warm, full, routes)
 	return defErr
+}
+
+// recordTrace assembles the generation's stage trace. The engine's
+// per-phase timing (scan/patch/snapshot/map) is read after the swap
+// pass so lazy vantage catch-ups count into the map sums; whatever the
+// named stages do not account for — scheduling, logging, bookkeeping —
+// is closed out as an explicit "other" stage, so the stages always sum
+// to the generation's wall time.
+func (w *mapWatcher) recordTrace(start time.Time, wall, readDur, storeDur, pubDur time.Duration, published bool, warm, full, routes int) {
+	if w.d.traces == nil {
+		return
+	}
+	timing := w.eng.Timing()
+	stages := []obs.Stage{
+		{Name: "read", Dur: readDur},
+		{Name: "scan", Dur: timing.Scan},
+		{Name: "patch", Dur: timing.Patch},
+		{Name: "snapshot", Dur: timing.Snapshot},
+		{Name: "map", Dur: timing.Map, Note: fmt.Sprintf("across vantages: mapping %v + route derivation %v",
+			timing.MapSum.Round(time.Microsecond), timing.RouteSum.Round(time.Microsecond))},
+		{Name: "store", Dur: storeDur},
+		{Name: "publish", Dur: pubDur},
+	}
+	var accounted time.Duration
+	for _, s := range stages {
+		accounted += s.Dur
+	}
+	if other := wall - accounted; other > 0 {
+		stages = append(stages, obs.Stage{Name: "other", Dur: other})
+	}
+	tr := &obs.Trace{
+		Gen:          w.eng.Generation(),
+		Start:        start,
+		Wall:         wall,
+		Path:         timing.Path,
+		Warm:         warm,
+		Full:         full,
+		Nodes:        timing.Nodes,
+		NodesTouched: timing.NodesTouched,
+		LinksTouched: timing.LinksTouched,
+		Rescanned:    timing.Rescanned,
+		Routes:       routes,
+		Published:    published,
+		Stages:       stages,
+	}
+	w.d.traces.Add(tr)
+	w.d.log.Debug("remap trace", "trace", tr.Line())
 }
 
 // publish writes the default store's database — which at this point

@@ -15,7 +15,10 @@
 //
 // Output is a one-line human summary, or with -json a machine-readable
 // record (QPS, p50/p90/p99/max latency, error count, GOMAXPROCS) meant
-// to be collected into BENCH_serve.json.
+// to be collected into BENCH_serve.json. With -scrape url, routeload
+// also fetches the daemon's /metrics after the run and reports the
+// server-side latency histogram next to the client numbers, so wire
+// cost and server cost separate at a glance.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"pathalias/internal/obs"
 	"pathalias/internal/routedb"
 )
 
@@ -56,6 +60,15 @@ type result struct {
 	P99us     float64 `json:"p99_us"`
 	MaxUs     float64 `json:"max_us"`
 	GoMaxProc int     `json:"gomaxprocs"`
+
+	// Server-side latency scraped from routed's /metrics after the run
+	// (-scrape). Client latency includes the wire and the batching; the
+	// server histogram is what routed itself spent per request, so the
+	// gap between the two is the transport. Bucket-interpolated, so
+	// coarser than the client's exact samples.
+	SrvSamples uint64  `json:"srv_samples,omitempty"`
+	SrvP50us   float64 `json:"srv_p50_us,omitempty"`
+	SrvP99us   float64 `json:"srv_p99_us,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -71,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		user    = fs.String("user", "user", "user name sent with every request")
 		from    = fs.String("f", "", "vantage host: prefix every request with from=<host> (server in -map mode)")
 		jsonOut = fs.Bool("json", false, "emit the result as one JSON object")
+		scrape  = fs.String("scrape", "", "routed /metrics URL: after the run, report the server-side latency histogram next to the client numbers")
 	)
 	fs.SetOutput(stderr)
 	if err := fs.Parse(args); err != nil {
@@ -132,6 +146,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		res.MaxUs = us(lats[len(lats)-1])
 	}
 
+	if *scrape != "" {
+		surface := "line"
+		if res.Mode == "http" {
+			surface = "http_routes"
+		}
+		if err := scrapeServer(&res, *scrape, surface); err != nil {
+			fmt.Fprintf(stderr, "routeload: scrape %s: %v\n", *scrape, err)
+			return 1
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		if err := enc.Encode(res); err != nil {
@@ -140,9 +165,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	fmt.Fprintf(stdout, "%s %s: %d reqs, %d conns, depth %d: %.0f qps, p50 %.0fµs p90 %.0fµs p99 %.0fµs max %.0fµs, %d errors\n",
+	fmt.Fprintf(stdout, "%s %s: %d reqs, %d conns, depth %d: %.0f qps, p50 %.0fµs p90 %.0fµs p99 %.0fµs max %.0fµs, %d errors",
 		res.Mode, res.Target, res.Requests, res.Conns, res.Depth, res.QPS, res.P50us, res.P90us, res.P99us, res.MaxUs, res.Errors)
+	if res.SrvSamples > 0 {
+		fmt.Fprintf(stdout, " | server: %d samples, p50 %.0fµs p99 %.0fµs", res.SrvSamples, res.SrvP50us, res.SrvP99us)
+	}
+	fmt.Fprintln(stdout)
 	return 0
+}
+
+// scrapeServer fetches routed's /metrics and fills in the server-side
+// request-latency quantiles for the surface this run drove: "line" for
+// -tcp, "http_routes" for -http (POST /routes observes batch means).
+func scrapeServer(res *result, url, surface string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s", resp.Status)
+	}
+	samples, err := obs.ParseText(resp.Body)
+	if err != nil {
+		return err
+	}
+	pts := obs.HistogramBuckets(samples, "routed_request_seconds", map[string]string{"surface": surface})
+	if len(pts) == 0 {
+		return fmt.Errorf("no routed_request_seconds{surface=%q} series (old routed, or wrong URL?)", surface)
+	}
+	res.SrvSamples = uint64(pts[len(pts)-1].Count)
+	res.SrvP50us = obs.HistogramQuantile(0.50, pts) * 1e6
+	res.SrvP99us = obs.HistogramQuantile(0.99, pts) * 1e6
+	return nil
 }
 
 // loadDests returns the destination names to query: the hosts of every

@@ -24,7 +24,8 @@ package hash
 
 import (
 	"fmt"
-	"sync/atomic"
+
+	"pathalias/internal/obs"
 )
 
 // SecondaryVariant selects the double-hashing step function.
@@ -106,13 +107,14 @@ type Table[V any] struct {
 	rehashes     int
 	rehashProbes int64
 
-	// probes and accesses are instrumentation only. They are atomic so
-	// read-only lookups stay safe under concurrent readers (the remap
-	// engine resolves what-if vantage hosts from multiple goroutines
-	// holding its read lock); every structural mutation still requires
-	// external synchronization.
-	probes   atomic.Int64
-	accesses atomic.Int64
+	// probes and accesses are instrumentation only. They are sharded
+	// padded atomics (obs.Counter) so read-only lookups stay safe — and
+	// contention-free — under concurrent readers (the remap engine
+	// resolves what-if vantage hosts from multiple goroutines holding
+	// its read lock); every structural mutation still requires external
+	// synchronization.
+	probes   obs.Counter
+	accesses obs.Counter
 
 	// retired holds discarded tables: "Rather than freeing the old tables
 	// ... they are placed on a list and made available to our memory
@@ -185,9 +187,9 @@ func (t *Table[V]) Stats() Stats {
 		Len:          t.len,
 		Size:         len(t.slots),
 		Rehashes:     t.rehashes,
-		Probes:       t.probes.Load(),
+		Probes:       int64(t.probes.Load()),
 		RehashProbes: t.rehashProbes,
-		Accesses:     t.accesses.Load(),
+		Accesses:     int64(t.accesses.Load()),
 		RetiredSlots: retired,
 	}
 }
@@ -240,7 +242,7 @@ func (t *Table[V]) Reserve(n int) {
 
 // Lookup finds the value stored under key.
 func (t *Table[V]) Lookup(key string) (V, bool) {
-	t.accesses.Add(1)
+	t.accesses.Inc()
 	i, _, found := t.probe(key)
 	if !found {
 		var zero V
@@ -252,7 +254,7 @@ func (t *Table[V]) Lookup(key string) (V, bool) {
 // Insert stores val under key, returning the previous value if the key was
 // already present.
 func (t *Table[V]) Insert(key string, val V) (prev V, existed bool) {
-	t.accesses.Add(1)
+	t.accesses.Inc()
 	i, _, found := t.probe(key)
 	if found {
 		prev = t.slots[i].val
@@ -271,7 +273,7 @@ func (t *Table[V]) Insert(key string, val V) (prev V, existed bool) {
 // absent. This is the hot path during parsing: one probe sequence serves
 // both the hit and the miss.
 func (t *Table[V]) GetOrInsert(key string, mk func() V) (V, bool) {
-	t.accesses.Add(1)
+	t.accesses.Inc()
 	i, _, found := t.probe(key)
 	if found {
 		return t.slots[i].val, true
@@ -292,7 +294,7 @@ func (t *Table[V]) GetOrInsert(key string, mk func() V) (V, bool) {
 // the hit path costs one probe sequence and no allocation, and the miss
 // path does not probe twice the way Lookup-then-Insert would.
 func (t *Table[V]) GetOrInsertKeyed(key string, intern func(string) string, mk func(canon string) V) (V, bool) {
-	t.accesses.Add(1)
+	t.accesses.Inc()
 	i, _, found := t.probe(key)
 	if found {
 		return t.slots[i].val, true
@@ -318,7 +320,7 @@ func (t *Table[V]) probe(key string) (idx int, hash uint64, found bool) {
 	i := int(k % uint64(size))
 	step := 0
 	for {
-		t.probes.Add(1)
+		t.probes.Inc()
 		e := &t.slots[i]
 		if !e.set {
 			return i, k, false

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: log-spaced, powers of two in nanoseconds.
+// Bucket 0 covers (0, 256ns]; each next bucket doubles; the last
+// bounded bucket tops out at 2^35 ns ≈ 34s, past which observations
+// land in +Inf. 28 bounded buckets span 256ns..34s — the whole range
+// between one resolver probe and a pathological full re-map — at 2x
+// resolution, which is plenty for p50/p90/p99 on a log-normal-ish
+// latency distribution.
+const (
+	minShift  = 8  // bucket 0 upper bound: 1<<8 ns
+	nbBounded = 28 // bounded buckets
+	nbTotal   = nbBounded + 1
+)
+
+// bucketBound returns bounded bucket i's inclusive upper bound.
+func bucketBound(i int) time.Duration {
+	return time.Duration(1) << (minShift + i)
+}
+
+// bucketIndex maps a duration in nanoseconds to its bucket.
+func bucketIndex(ns int64) int {
+	if ns <= 1<<minShift {
+		return 0
+	}
+	i := bits.Len64(uint64(ns-1)) - minShift
+	if i >= nbTotal {
+		return nbTotal - 1 // +Inf
+	}
+	return i
+}
+
+// histShard is one goroutine-shard of a histogram, padded to a whole
+// number of cache lines so shards never false-share.
+type histShard struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [nbTotal]atomic.Uint64
+	_       [cacheLine - (nbTotal+2)*8%cacheLine]byte
+}
+
+// Histogram is a log-bucketed latency histogram, sharded like Counter:
+// Observe is wait-free, allocation-free, and touches one shard's
+// cache lines only. Reads merge the shards.
+type Histogram struct {
+	shards [nShards]histShard
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	s := &h.shards[shardIdx()]
+	s.count.Add(1)
+	s.sumNS.Add(uint64(d))
+	s.buckets[bucketIndex(int64(d))].Add(1)
+}
+
+// ObserveBatch records n requests that together took total — the
+// pipelined hot path's shape, where per-request clock reads would cost
+// more than the requests. The batch mean lands n times in one bucket:
+// count and sum stay exact, and the distribution degrades only within
+// a batch, whose requests were indistinguishable to the client anyway
+// (they were answered in one flush).
+func (h *Histogram) ObserveBatch(total time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	s := &h.shards[shardIdx()]
+	s.count.Add(uint64(n))
+	s.sumNS.Add(uint64(total))
+	s.buckets[bucketIndex(int64(total)/int64(n))].Add(uint64(n))
+}
+
+// snapshot merges the shards. Racy-consistent: concurrent observes may
+// be half-included, which a scrape tolerates by design.
+func (h *Histogram) snapshot() (buckets [nbTotal]uint64, count, sumNS uint64) {
+	for i := range h.shards {
+		s := &h.shards[i]
+		count += s.count.Load()
+		sumNS += s.sumNS.Load()
+		for j := range s.buckets {
+			buckets[j] += s.buckets[j].Load()
+		}
+	}
+	return buckets, count, sumNS
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.shards {
+		n += h.shards[i].count.Load()
+	}
+	return n
+}
+
+// Quantile estimates the q-th quantile (0 < q ≤ 1) from the bucket
+// counts, interpolating linearly within the winning bucket. Zero with
+// no observations. The error is bounded by the bucket width: at most
+// 2x, in practice far less for the mid-bucket mass.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	buckets, count, _ := h.snapshot()
+	if count == 0 {
+		return 0
+	}
+	rank := q * float64(count)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := 0.0
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			hi := bucketBound(i)
+			if i == nbTotal-1 {
+				hi = bucketBound(nbBounded - 1) // +Inf reports the top bound
+				lo = hi
+			}
+			frac := (rank - cum) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return bucketBound(nbBounded - 1)
+}

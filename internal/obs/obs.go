@@ -1,0 +1,283 @@
+// Package obs is the repo's zero-dependency telemetry layer: counters,
+// gauges, and log-bucketed latency histograms over one shared
+// cache-line-padded sharded-atomic primitive, a registry that renders
+// them in the Prometheus text exposition format, and the structured
+// stage traces the re-map pipeline records per generation.
+//
+// The primitives are built for the serving hot path: Counter.Add and
+// Histogram.Observe are wait-free (a single atomic add on a shard
+// picked per goroutine), allocate nothing, and never false-share — the
+// same design the resolver's per-query counters used privately before
+// this package unified them. Reads (Load, WritePrometheus) sum the
+// shards; they are racy-consistent snapshots, which is all a scrape
+// needs.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// nShards is the counter fan-out. Power of two; 8 lines (512 B) per
+// counter buys uncontended increments from ~8 concurrent goroutines,
+// which covers the daemon's connection counts without making every
+// instrumented struct page-sized.
+const nShards = 8
+
+// cacheLine keeps each shard on its own line so concurrent writers on
+// different shards never bounce one line between cores.
+const cacheLine = 64
+
+type padShard struct {
+	v atomic.Uint64
+	_ [cacheLine - 8]byte
+}
+
+// shardIdx spreads concurrent writers across shards. The address of a
+// stack local differs between goroutines (each goroutine owns its
+// stack), which is all the distribution needs: the same goroutine
+// hits the same shard (no extra coherence traffic), different
+// goroutines usually hit different ones. Correctness never depends on
+// the distribution — reads sum every shard.
+func shardIdx() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>6) & (nShards - 1)
+}
+
+// Counter is a monotonically increasing counter, sharded across
+// cache-line-padded atomics. The zero value is ready to use; it is
+// also usable unregistered (the resolver and hash table embed
+// counters per instance and expose them through Func metrics).
+type Counter struct {
+	shards [nShards]padShard
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.shards[shardIdx()].v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.shards[shardIdx()].v.Add(n) }
+
+// Load sums the shards.
+func (c *Counter) Load() uint64 {
+	var sum uint64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a set-or-adjusted instantaneous value. Gauges are read-
+// mostly (one writer, scrapes read), so a single atomic is enough.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// metricKind discriminates what a registry slot holds.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series: a full series name (which may embed
+// a literal {label="value",...} set) plus the instrument behind it.
+type metric struct {
+	name string // full series name, labels included
+	help string
+	kind metricKind
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	fn func() float64
+}
+
+// Registry holds named metrics and renders them as Prometheus text.
+// Registration is idempotent by full series name: asking for an
+// existing name returns the existing instrument (first help wins), so
+// packages can Get-or-create without coordination. Registering the
+// same name as two different kinds panics — that is a programming
+// error, not a runtime condition.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) register(name, help string, kind metricKind) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.byName[name]; m != nil {
+		if m.kind.String() != kind.String() {
+			panic(fmt.Sprintf("obs: %s registered as both %s and %s", name, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.c = &Counter{}
+	case kindGauge:
+		m.g = &Gauge{}
+	case kindHistogram:
+		m.h = newHistogram()
+	}
+	r.byName[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name (which may embed a
+// literal label set, e.g. `requests_total{surface="line"}`), creating
+// it if needed.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter).c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge).g
+}
+
+// Histogram returns the latency histogram registered under name,
+// creating it if needed.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, help, kindHistogram).h
+}
+
+// CounterFunc registers a counter series whose value is read from fn
+// at scrape time — the bridge for counters that live elsewhere (the
+// store's resolver counters survive store swaps poorly as registry
+// state, so the registry reads them where they live).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindCounterFunc).fn = fn
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc).fn = fn
+}
+
+// splitSeries splits a full series name into the metric family and the
+// literal label body: `a{b="c"}` → ("a", `b="c"`); a bare name returns
+// ("a", "").
+func splitSeries(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// formatFloat renders a sample value the way Prometheus text expects:
+// shortest round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the text
+// exposition format, families sorted by name, HELP/TYPE emitted once
+// per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.byName))
+	for _, m := range r.byName {
+		ms = append(ms, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range ms {
+		family, labels := splitSeries(m.name)
+		if family != lastFamily {
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", family, m.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", family, m.kind)
+			lastFamily = family
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.c.Load())
+		case kindGauge:
+			fmt.Fprintf(&b, "%s %d\n", m.name, m.g.Load())
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(&b, "%s %s\n", m.name, formatFloat(m.fn()))
+		case kindHistogram:
+			writeHistogram(&b, family, labels, m.h)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket
+// lines with le in seconds, then _sum (seconds) and _count.
+func writeHistogram(b *strings.Builder, family, labels string, h *Histogram) {
+	buckets, count, sumNS := h.snapshot()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, n := range buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(buckets)-1 {
+			le = formatFloat(bucketBound(i).Seconds())
+		}
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", family, labels, sep, le, cum)
+	}
+	braces := ""
+	if labels != "" {
+		braces = "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", family, braces, formatFloat(time.Duration(sumNS).Seconds()))
+	fmt.Fprintf(b, "%s_count%s %d\n", family, braces, count)
+}
+
+// Handler serves the registry at an HTTP endpoint (GET /metrics).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

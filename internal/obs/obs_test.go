@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestObserveNoAllocs pins the hot-path contract: recording a latency
+// sample, a batch, or a counter bump allocates nothing. The serving
+// path runs at 0 allocs/request; telemetry must not break that.
+func TestObserveNoAllocs(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", "")
+	c := r.Counter("x_total", "")
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(123 * time.Microsecond)
+		h.ObserveBatch(time.Millisecond, 64)
+		c.Inc()
+		c.Add(3)
+	}); n != 0 {
+		t.Fatalf("hot-path observe allocates %v times per run, want 0", n)
+	}
+}
+
+func TestCounterSums(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestBucketGeometry(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {256, 0}, {257, 1}, {512, 1}, {513, 2},
+		{int64(bucketBound(nbBounded - 1)), nbBounded - 1},
+		{int64(bucketBound(nbBounded-1)) + 1, nbTotal - 1},
+		{math.MaxInt64, nbTotal - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.ns); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(300 * time.Nanosecond) // bucket (256, 512]
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	if p50 := h.Quantile(0.5); p50 <= 256*time.Nanosecond || p50 > 512*time.Nanosecond {
+		t.Errorf("p50 = %v, want within (256ns, 512ns]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 <= 64*time.Microsecond || p99 > 128*time.Microsecond {
+		t.Errorf("p99 = %v, want within the 100µs observation's bucket", p99)
+	}
+	if got := h.Count(); got != 100 {
+		t.Errorf("Count = %d, want 100", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestObserveBatch pins the batch-observation semantics: count and sum
+// are exact, the batch mean's bucket carries the whole batch.
+func TestObserveBatch(t *testing.T) {
+	var h Histogram
+	h.ObserveBatch(640*time.Microsecond, 64) // mean 10µs
+	buckets, count, sum := h.snapshot()
+	if count != 64 || time.Duration(sum) != 640*time.Microsecond {
+		t.Fatalf("count=%d sum=%v, want 64/640µs", count, time.Duration(sum))
+	}
+	if got := buckets[bucketIndex(int64(10*time.Microsecond))]; got != 64 {
+		t.Fatalf("mean bucket holds %d, want 64", got)
+	}
+	h.ObserveBatch(time.Second, 0) // no-op, must not panic or divide by zero
+	if h.Count() != 64 {
+		t.Fatalf("n=0 batch changed the count")
+	}
+}
+
+// TestExpositionRoundTrip renders a registry and parses it back with
+// the minimal parser: every value survives, histogram buckets are
+// cumulative and monotone, and the scrape-side quantile agrees with
+// the instrument-side one.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`req_total{surface="line"}`, "requests").Add(7)
+	r.Counter(`req_total{surface="http"}`, "requests").Add(3)
+	r.Gauge("resident", "resident things").Set(5)
+	r.GaugeFunc("uptime_seconds", "uptime", func() float64 { return 12.5 })
+	r.CounterFunc("hits_total", "hits", func() float64 { return 99 })
+	h := r.Histogram(`lat_seconds{surface="line"}`, "latency")
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{"# TYPE req_total counter", "# TYPE lat_seconds histogram", "# HELP resident resident things"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, text)
+	}
+	get := func(name string, labels map[string]string) float64 {
+		for _, s := range samples {
+			if s.Name != name {
+				continue
+			}
+			ok := true
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					ok = false
+				}
+			}
+			if ok {
+				return s.Value
+			}
+		}
+		t.Fatalf("no sample %s %v", name, labels)
+		return 0
+	}
+	if got := get("req_total", map[string]string{"surface": "line"}); got != 7 {
+		t.Errorf("req_total{line} = %v, want 7", got)
+	}
+	if got := get("uptime_seconds", nil); got != 12.5 {
+		t.Errorf("uptime_seconds = %v, want 12.5", got)
+	}
+	if got := get("hits_total", nil); got != 99 {
+		t.Errorf("hits_total = %v, want 99", got)
+	}
+	if got := get("lat_seconds_count", map[string]string{"surface": "line"}); got != 1000 {
+		t.Errorf("lat_seconds_count = %v, want 1000", got)
+	}
+
+	pts := HistogramBuckets(samples, "lat_seconds", map[string]string{"surface": "line"})
+	if len(pts) != nbTotal {
+		t.Fatalf("parsed %d buckets, want %d", len(pts), nbTotal)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Count < pts[i-1].Count {
+			t.Fatalf("buckets not cumulative at %d: %v < %v", i, pts[i].Count, pts[i-1].Count)
+		}
+	}
+	if !math.IsInf(pts[len(pts)-1].LE, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", pts[len(pts)-1].LE)
+	}
+	scraped := HistogramQuantile(0.9, pts)
+	direct := h.Quantile(0.9).Seconds()
+	if diff := math.Abs(scraped - direct); diff > direct*0.01 {
+		t.Errorf("scrape-side p90 %.6f vs instrument-side %.6f", scraped, direct)
+	}
+}
+
+// TestRegistryConcurrent hammers registration, observation, and
+// rendering from many goroutines — run under -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total", "")
+			h := r.Histogram("h_seconds", "")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "").Load(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Histogram("h_seconds", "").Count(); got != workers*iters {
+		t.Errorf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestRegistryKindClash(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as a gauge after a counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(3)
+	if r.Last() != nil {
+		t.Fatal("empty ring has a last trace")
+	}
+	for gen := uint64(1); gen <= 5; gen++ {
+		r.Add(&Trace{Gen: gen, Wall: time.Millisecond,
+			Stages: []Stage{{Name: "scan", Dur: time.Millisecond / 2}, {Name: "other", Dur: time.Millisecond / 2}}})
+	}
+	last := r.Last()
+	if last.Gen != 5 || last.Seq != 5 {
+		t.Fatalf("last = gen %d seq %d, want 5/5", last.Gen, last.Seq)
+	}
+	if got := last.SumStages(); got != time.Millisecond {
+		t.Fatalf("SumStages = %v, want 1ms", got)
+	}
+	recent := r.Recent(0)
+	if len(recent) != 3 || recent[0].Gen != 5 || recent[2].Gen != 3 {
+		t.Fatalf("Recent = %v, want gens 5,4,3", gens(recent))
+	}
+	if got := r.Recent(2); len(got) != 2 || got[1].Gen != 4 {
+		t.Fatalf("Recent(2) wrong: %v", gens(got))
+	}
+	if !strings.Contains(last.Line(), "gen=5") || !strings.Contains(last.Line(), "scan=") {
+		t.Fatalf("Line() = %q", last.Line())
+	}
+}
+
+func gens(ts []*Trace) []uint64 {
+	out := make([]uint64, len(ts))
+	for i, t := range ts {
+		out[i] = t.Gen
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a series name, its label set,
+// and the value. The minimal consumer's view — enough for the
+// round-trip test and for routeload's server-side quantile cross-check,
+// not a general Prometheus client.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value, "" when absent.
+func (s Sample) Label(k string) string { return s.Labels[k] }
+
+// ParseText parses the Prometheus text exposition format: comment and
+// blank lines are skipped, each remaining line is name{labels} value.
+// Timestamps (a third field) are rejected — this codebase never emits
+// them.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.Name = rest[:i]
+		rest = rest[i+1:]
+		j := strings.IndexByte(rest, '}')
+		if j < 0 {
+			return s, fmt.Errorf("unterminated label set")
+		}
+		if err := parseLabels(rest[:j], s.Labels); err != nil {
+			return s, err
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		i := strings.IndexByte(rest, ' ')
+		if i < 0 {
+			return s, fmt.Errorf("no value: %q", line)
+		}
+		s.Name = rest[:i]
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	if strings.ContainsAny(rest, " \t") {
+		return s, fmt.Errorf("unexpected trailing fields: %q", rest)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses k="v" pairs. Values may contain \" \\ \n escapes
+// (the format's full escape set).
+func parseLabels(body string, into map[string]string) error {
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("bad label body %q", body)
+		}
+		key := strings.TrimSpace(body[:eq])
+		body = body[eq+1:]
+		if len(body) == 0 || body[0] != '"' {
+			return fmt.Errorf("unquoted label value after %q", key)
+		}
+		body = body[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(body); i++ {
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				i++
+				switch body[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i == len(body) {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+		into[key] = val.String()
+		body = strings.TrimPrefix(body[i+1:], ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+// BucketPoint is one cumulative histogram bucket: the upper bound in
+// seconds (+Inf allowed) and the cumulative count at that bound.
+type BucketPoint struct {
+	LE    float64
+	Count float64
+}
+
+// HistogramBuckets extracts the cumulative buckets of one histogram
+// series from parsed samples: the _bucket samples of family whose
+// other labels all match want. Sorted by bound.
+func HistogramBuckets(samples []Sample, family string, want map[string]string) []BucketPoint {
+	var pts []BucketPoint
+	for _, s := range samples {
+		if s.Name != family+"_bucket" {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		le, err := strconv.ParseFloat(s.Labels["le"], 64)
+		if err != nil {
+			continue
+		}
+		pts = append(pts, BucketPoint{LE: le, Count: s.Value})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].LE < pts[j].LE })
+	return pts
+}
+
+// HistogramQuantile estimates the q-th quantile in seconds from
+// cumulative buckets (as scraped), interpolating linearly within the
+// winning bucket — the scrape-side mirror of Histogram.Quantile.
+// Returns 0 with no observations.
+func HistogramQuantile(q float64, pts []BucketPoint) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	total := pts[len(pts)-1].Count
+	if total == 0 {
+		return 0
+	}
+	rank := q * total
+	if rank < 1 {
+		rank = 1
+	}
+	prevLE, prevCum := 0.0, 0.0
+	for i, p := range pts {
+		if p.Count >= rank {
+			if math.IsInf(p.LE, 1) {
+				// +Inf bucket: report the last bounded bound.
+				if i > 0 {
+					return pts[i-1].LE
+				}
+				return 0
+			}
+			n := p.Count - prevCum
+			if n == 0 {
+				return p.LE
+			}
+			return prevLE + (rank-prevCum)/n*(p.LE-prevLE)
+		}
+		prevLE, prevCum = p.LE, p.Count
+	}
+	return prevLE
+}

@@ -41,6 +41,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"pathalias/internal/graph"
 	"pathalias/internal/mapper"
@@ -127,6 +128,11 @@ type Result struct {
 	// downstream artifacts — e.g. routed's resolver stores — when an
 	// update was a no-op for this vantage.
 	RouteGen uint64
+	// MapDur and RouteDur split this recompute's wall time between the
+	// mapping run and route derivation/assembly — observability only,
+	// zero when the result was served from cache.
+	MapDur   time.Duration
+	RouteDur time.Duration
 }
 
 // plainState is the fallback world for input sets the journal cannot
@@ -229,6 +235,34 @@ type Engine struct {
 
 	// Stats counts engine activity for observability.
 	Stats EngineStats
+
+	// timing records where the last effective update spent its time;
+	// see UpdateTiming.
+	timing UpdateTiming
+}
+
+// UpdateTiming is the per-phase breakdown of the last effective Update
+// — the raw material of the serving layer's re-map stage traces.
+// Observability only; consumed via Engine.Timing / Multi.Timing.
+type UpdateTiming struct {
+	Scan     time.Duration // hash, diff, and (re-)parse changed inputs
+	Patch    time.Duration // journal patch / rebuild / plain merge
+	Snapshot time.Duration // CSR snapshot + change history + warnings
+	Map      time.Duration // vantage mapping + route derivation, wall
+
+	// MapSum and RouteSum split Map by work kind, summed across
+	// vantages — with parallel recomputes they can exceed the Map wall.
+	MapSum   time.Duration
+	RouteSum time.Duration
+
+	// Path is how the graph reached the new input set: "incremental",
+	// "rebuild", "plain", or "unchanged".
+	Path string
+
+	Rescanned    int // inputs re-parsed
+	Nodes        int // graph size after the update
+	NodesTouched int // nodes the patch touched (== Nodes after a rebuild)
+	LinksTouched int // link events in the change set
 }
 
 // EngineStats count engine activity across updates. For a Multi,
@@ -302,7 +336,14 @@ func (e *Engine) Update(inputs []Input) (*Result, error) {
 	if err := e.sync(inputs); err != nil {
 		return nil, err
 	}
-	return e.van.result(e)
+	mark := time.Now()
+	res, err := e.van.result(e)
+	e.timing.Map = time.Since(mark)
+	if res != nil && e.timing.Path != "unchanged" {
+		e.timing.MapSum += res.MapDur
+		e.timing.RouteSum += res.RouteDur
+	}
+	return res, err
 }
 
 // sync brings the shared pipeline state — fragment cache, journaled
@@ -312,6 +353,8 @@ func (e *Engine) sync(inputs []Input) error {
 	if len(inputs) == 0 {
 		return fmt.Errorf("remap: no inputs")
 	}
+	start := time.Now()
+	e.timing = UpdateTiming{Path: "unchanged"}
 
 	// Phase 1: hash, diff, and scan changed inputs.
 	type slot struct {
@@ -393,6 +436,8 @@ func (e *Engine) sync(inputs []Input) error {
 	}
 	e.Stats.Rescanned += toScan
 	e.Stats.Updates++
+	e.timing.Scan = time.Since(start)
+	e.timing.Rescanned = toScan
 
 	// Phase 2: pick the path. Fragments with syntax errors cannot be
 	// journaled (the MaxErrors budget couples files); serve a plain
@@ -410,7 +455,14 @@ func (e *Engine) sync(inputs []Input) error {
 		}
 	}
 	if anyErrors || dupNames {
+		mark := time.Now()
 		err := e.plainSync(frags)
+		e.timing.Patch = time.Since(mark)
+		e.timing.Path = "plain"
+		if e.plain != nil {
+			e.timing.Nodes = e.plain.g.Len()
+			e.timing.NodesTouched = e.timing.Nodes
+		}
 		for i := range slots {
 			if slots[i].in.Release != nil {
 				slots[i].in.Release()
@@ -479,11 +531,16 @@ func (e *Engine) sync(inputs []Input) error {
 		}
 	}
 
+	mark := time.Now()
 	if !e.journaled || reorder || scopeSwitch {
 		e.rebuildAll(newStates)
+		e.timing.Path = "rebuild"
 	} else {
 		e.syncIncremental(newStates)
+		e.timing.Path = "incremental"
 	}
+	e.timing.Patch = time.Since(mark)
+	mark = time.Now()
 
 	// Phase 4: new generation — snapshot, change history, warnings.
 	e.jgen++
@@ -509,8 +566,19 @@ func (e *Engine) sync(inputs []Input) error {
 		e.snap = e.g.SnapshotPatched(e.snap, e.touchedBuf)
 	}
 	e.warnings = e.computeWarnings()
+	e.timing.Snapshot = time.Since(mark)
+	e.timing.Nodes = e.g.Len()
+	e.timing.LinksTouched = len(e.ch.edges)
+	if e.timing.Path == "rebuild" {
+		e.timing.NodesTouched = e.timing.Nodes
+	} else {
+		e.timing.NodesTouched = len(e.ch.touched)
+	}
 	return nil
 }
+
+// Timing returns the per-phase breakdown of the last effective update.
+func (e *Engine) Timing() UpdateTiming { return e.timing }
 
 // recordHistory appends this journal generation's change set to the
 // retained history, pruning from the oldest end when over budget.

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Multi is a multi-vantage incremental engine. It is safe for
@@ -58,7 +59,9 @@ func (m *Multi) Update(inputs []Input) error {
 	if err := m.e.sync(inputs); err != nil {
 		return err
 	}
+	mark := time.Now()
 	m.recomputeAllLocked()
+	m.e.timing.Map = time.Since(mark)
 	return nil
 }
 
@@ -115,9 +118,15 @@ func (m *Multi) recomputeAllLocked() {
 	}
 }
 
-// countRun aggregates one vantage mapping run into the engine stats.
+// countRun aggregates one vantage mapping run into the engine stats
+// and timing.
 func (m *Multi) countRun(res *Result, recomputed bool, err error) {
-	if !recomputed || err != nil || m.e.plain != nil {
+	if !recomputed || err != nil {
+		return
+	}
+	m.e.timing.MapSum += res.MapDur
+	m.e.timing.RouteSum += res.RouteDur
+	if m.e.plain != nil {
 		return
 	}
 	if res.Incremental {
@@ -209,6 +218,13 @@ func (m *Multi) Stats() EngineStats {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.e.Stats
+}
+
+// Timing returns the per-phase breakdown of the last effective update.
+func (m *Multi) Timing() UpdateTiming {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.e.timing
 }
 
 // Close releases every cached source (mmap holds etc).

@@ -19,6 +19,7 @@ package remap
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"pathalias/internal/mapper"
 	"pathalias/internal/printer"
@@ -115,6 +116,7 @@ func (v *vantage) fail(e *Engine, err error) (*Result, error) {
 // when the machine's labeling is close enough to the current journal
 // generation, cold otherwise — and refreshes the route state.
 func (v *vantage) recompute(e *Engine) (*Result, error) {
+	start := time.Now()
 	local, err := e.localNodeFor(v.host)
 	if err != nil {
 		return v.fail(e, err)
@@ -197,7 +199,8 @@ func (v *vantage) recompute(e *Engine) (*Result, error) {
 		}
 	}
 
-	out := &Result{Incremental: warm}
+	routeMark := time.Now()
+	out := &Result{Incremental: warm, MapDur: routeMark.Sub(start)}
 	fillMapStats(out, res)
 	if warm {
 		if v.patchRoutes(e, changed, netFlips) {
@@ -213,6 +216,7 @@ func (v *vantage) recompute(e *Engine) (*Result, error) {
 	for _, n := range res.Unreachable {
 		out.Unreachable = append(out.Unreachable, n.Name)
 	}
+	out.RouteDur = time.Since(routeMark)
 	v.jgen = e.jgen
 	v.resGen = e.updGen
 	v.needFull = false
@@ -227,6 +231,7 @@ func (v *vantage) recompute(e *Engine) (*Result, error) {
 // arrives. One-shot runs own the plain graph's Node.M; the core lock
 // serializes them.
 func (v *vantage) recomputePlain(e *Engine) (*Result, error) {
+	start := time.Now()
 	local, ok := e.plain.g.Lookup(v.host)
 	if !ok {
 		return v.fail(e, fmt.Errorf("remap: local host %q not found in input", v.host))
@@ -235,12 +240,15 @@ func (v *vantage) recomputePlain(e *Engine) (*Result, error) {
 	if err != nil {
 		return v.fail(e, err)
 	}
+	routeMark := time.Now()
 	v.routeGen++
 	out := &Result{
 		Entries:  printer.Routes(mres, e.opts.Printer),
 		Warnings: e.warnings,
 		RouteGen: v.routeGen,
+		MapDur:   routeMark.Sub(start),
 	}
+	out.RouteDur = time.Since(routeMark)
 	fillMapStats(out, mres)
 	for _, n := range mres.Unreachable {
 		out.Unreachable = append(out.Unreachable, n.Name)

@@ -104,7 +104,7 @@ func (r *Resolver) AppendResolve(dst []byte, dest, user []byte, s *Scratch) ([]b
 	}
 
 	if i, ok := r.ab.LookupExactBytes(key); ok {
-		r.nHits.n.Add(1)
+		r.nHits.Inc()
 		return r.ab.AppendRoute(dst, i, user), true
 	}
 
@@ -119,14 +119,14 @@ func (r *Resolver) AppendResolve(dst []byte, dest, user []byte, s *Scratch) ([]b
 	s.labels = appendLabels(s.labels[:0], name)
 	if len(s.labels) >= 2 {
 		if best, _ := r.ab.SuffixBestBytes(s.labels, len(s.labels)-1); best >= 0 {
-			r.nSuffixHits.n.Add(1)
+			r.nSuffixHits.Inc()
 			s.arg = append(s.arg[:0], key...)
 			s.arg = append(s.arg, '!')
 			s.arg = append(s.arg, user...)
 			return r.ab.AppendRoute(dst, best, s.arg), true
 		}
 	}
-	r.nMisses.n.Add(1)
+	r.nMisses.Inc()
 	return dst, false
 }
 

@@ -96,9 +96,9 @@ func TestAppendResolveCounters(t *testing.T) {
 // fallback through the allocating string resolution.
 type stringOnlyBacking struct{ m Backing }
 
-func (b stringOnlyBacking) Len() int                            { return b.m.Len() }
-func (b stringOnlyBacking) EntryAt(i int) Entry                 { return b.m.EntryAt(i) }
-func (b stringOnlyBacking) LookupExact(key string) (int, bool)  { return b.m.LookupExact(key) }
+func (b stringOnlyBacking) Len() int                           { return b.m.Len() }
+func (b stringOnlyBacking) EntryAt(i int) Entry                { return b.m.EntryAt(i) }
+func (b stringOnlyBacking) LookupExact(key string) (int, bool) { return b.m.LookupExact(key) }
 func (b stringOnlyBacking) SuffixBest(l []string, d int) (int, int) {
 	return b.m.SuffixBest(l, d)
 }

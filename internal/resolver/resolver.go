@@ -25,9 +25,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"pathalias/internal/cost"
+	"pathalias/internal/obs"
 )
 
 // Entry is one route: a destination name and the printf-style format
@@ -66,13 +66,6 @@ type Stats struct {
 	Hits       uint64 // resolves answered by an exact match
 	SuffixHits uint64 // resolves answered by the suffix trie
 	Misses     uint64 // resolves with no route
-}
-
-// padCounter is an atomic counter on its own cache line, so concurrent
-// readers bumping different counters don't false-share.
-type padCounter struct {
-	n atomic.Uint64
-	_ [56]byte
 }
 
 // Backing is the index a Resolver serves from. Two implementations
@@ -115,12 +108,13 @@ type Resolver struct {
 	entries     []Entry
 
 	// Each query does exactly one counter increment (Resolves is derived
-	// in Stats), and each counter is cache-line padded, to keep the
-	// concurrent hot path free of shared-line contention.
-	nLookups    padCounter
-	nHits       padCounter
-	nSuffixHits padCounter
-	nMisses     padCounter
+	// in Stats), and each counter is cache-line padded and sharded
+	// (obs.Counter), to keep the concurrent hot path free of shared-line
+	// contention.
+	nLookups    obs.Counter
+	nHits       obs.Counter
+	nSuffixHits obs.Counter
+	nMisses     obs.Counter
 }
 
 // memBacking is the built-in-memory index: sorted entries, a hash map
@@ -283,7 +277,7 @@ func (r *Resolver) normalize(name string) string {
 
 // Lookup finds the route for an exact name.
 func (r *Resolver) Lookup(host string) (Entry, bool) {
-	r.nLookups.n.Add(1)
+	r.nLookups.Inc()
 	i, ok := r.b.LookupExact(r.normalize(host))
 	if !ok {
 		return Entry{}, false
@@ -317,11 +311,11 @@ func (r *Resolver) lookupSuffix(dest string) (Entry, string, bool) {
 func (r *Resolver) Resolve(dest, user string) (Resolution, error) {
 	key := r.normalize(dest)
 	if i, ok := r.b.LookupExact(key); ok {
-		r.nHits.n.Add(1)
+		r.nHits.Inc()
 		return Resolution{Entry: r.b.EntryAt(i), Matched: key, Argument: user}, nil
 	}
 	if e, matched, ok := r.lookupSuffix(key); ok {
-		r.nSuffixHits.n.Add(1)
+		r.nSuffixHits.Inc()
 		return Resolution{
 			Entry:     e,
 			Matched:   matched,
@@ -329,7 +323,7 @@ func (r *Resolver) Resolve(dest, user string) (Resolution, error) {
 			ViaSuffix: true,
 		}, nil
 	}
-	r.nMisses.n.Add(1)
+	r.nMisses.Inc()
 	return Resolution{}, fmt.Errorf("routedb: no route to %q", dest)
 }
 
@@ -337,11 +331,11 @@ func (r *Resolver) Resolve(dest, user string) (Resolution, error) {
 // from the outcome counters, so a snapshot taken mid-query is internally
 // consistent.
 func (r *Resolver) Stats() Stats {
-	hits := r.nHits.n.Load()
-	suffix := r.nSuffixHits.n.Load()
-	misses := r.nMisses.n.Load()
+	hits := r.nHits.Load()
+	suffix := r.nSuffixHits.Load()
+	misses := r.nMisses.Load()
 	return Stats{
-		Lookups:    r.nLookups.n.Load(),
+		Lookups:    r.nLookups.Load(),
 		Resolves:   hits + suffix + misses,
 		Hits:       hits,
 		SuffixHits: suffix,

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pathalias/internal/graph"
 	"pathalias/internal/remap"
@@ -21,6 +22,11 @@ type Options struct {
 	// FoldCase matches an engine built with pathalias -i: query host
 	// names and spec host names fold to lower case.
 	FoldCase bool
+	// Observe, when set, is called once per overlay evaluation with
+	// whether it missed the cache (cold — a private mapping run) and how
+	// long it took. The serving layer points this at its latency
+	// histograms; the evaluator itself keeps only the counters.
+	Observe func(cold bool, d time.Duration)
 }
 
 // DefaultMaxCached is the default overlay cache capacity.
@@ -156,7 +162,24 @@ func compile(sp *Spec, ctx remap.OverlayCtx) (*graph.Overlay, error) {
 
 // eval returns the cached evaluation of (from, sp) at the current
 // generation, mapping it on a miss. sp == nil is the base evaluation.
+// With Options.Observe set, every call reports (cold, duration) — cold
+// meaning this call ran a mapping pass rather than being answered from
+// the cache or a concurrent in-flight evaluation.
 func (ev *Evaluator) eval(from string, sp *Spec) (*cacheEntry, error) {
+	if ev.opts.Observe == nil {
+		ent, _, err := ev.evalCold(from, sp)
+		return ent, err
+	}
+	start := time.Now()
+	ent, cold, err := ev.evalCold(from, sp)
+	ev.opts.Observe(cold, time.Since(start))
+	return ent, err
+}
+
+// evalCold is eval reporting whether this call ran a mapping pass
+// (cold) rather than being answered from the cache or a concurrent
+// in-flight evaluation. A retry after a cross-update race stays cold.
+func (ev *Evaluator) evalCold(from string, sp *Spec) (ent *cacheEntry, cold bool, err error) {
 	from = ev.fold(from)
 	canon := ""
 	if sp != nil {
@@ -170,7 +193,7 @@ func (ev *Evaluator) eval(from string, sp *Spec) (*cacheEntry, error) {
 			ent := el.Value.(*cacheEntry)
 			ev.mu.Unlock()
 			ev.hits.Add(1)
-			return ent, nil
+			return ent, cold, nil
 		}
 		if fc, ok := ev.flight[key]; ok {
 			// Identical evaluation in progress: wait for it rather than
@@ -178,15 +201,16 @@ func (ev *Evaluator) eval(from string, sp *Spec) (*cacheEntry, error) {
 			ev.mu.Unlock()
 			<-fc.done
 			if fc.err != nil {
-				return nil, fc.err
+				return nil, cold, fc.err
 			}
 			ev.hits.Add(1)
-			return fc.ent, nil
+			return fc.ent, cold, nil
 		}
 		fc := &flightCall{done: make(chan struct{})}
 		ev.flight[key] = fc
 		ev.mu.Unlock()
 
+		cold = true
 		ent, err := ev.evalMiss(key, from, sp)
 		fc.ent, fc.err = ent, err
 		ev.mu.Lock()
@@ -194,10 +218,10 @@ func (ev *Evaluator) eval(from string, sp *Spec) (*cacheEntry, error) {
 		ev.mu.Unlock()
 		close(fc.done)
 		if err != nil {
-			return nil, err
+			return nil, cold, err
 		}
 		if ent.key == key {
-			return ent, nil
+			return ent, cold, nil
 		}
 		// The engine updated between the Generation probe and the
 		// evaluation; the result was cached under its true generation.
